@@ -1,0 +1,105 @@
+"""E10 — the cross-cutting evaluation: every scheduler × every family.
+
+The table a systems version of this paper would report: mean / p95 span
+ratio per (scheduler, workload family) against the certified chain lower
+bound, plus exact-optimum ratios on small instances.
+
+Reproduced shape (the paper's hierarchy):
+    Profit ≤ Batch+ ≤ Batch, and the O(1) clairvoyant schedulers beat
+    the unbounded baselines on laxity-rich workloads.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Table
+from repro.core import simulate
+from repro.offline import exact_optimal_span, span_lower_bound
+from repro.schedulers import make_scheduler, scheduler_names
+from repro.workloads import (
+    WorkloadSpec,
+    bimodal_instance,
+    generate,
+    heavy_tail_instance,
+    poisson_instance,
+    ratio_stats,
+    rigid_instance,
+    run_grid,
+    small_integral_instance,
+)
+
+FAMILIES = {
+    "poisson": lambda s: poisson_instance(60, seed=s),
+    "bimodal": lambda s: bimodal_instance(60, seed=s, mu=10.0),
+    "heavy-tail": lambda s: heavy_tail_instance(60, seed=s),
+    "rigid": lambda s: rigid_instance(60, seed=s),
+    "bursty-laxity": lambda s: generate(
+        WorkloadSpec(n=60, arrival="bursty", laxity="uniform", laxity_scale=8.0),
+        seed=s,
+    ),
+}
+SEEDS = range(4)
+
+
+def test_e10_family_grid(benchmark):
+    protos = [make_scheduler(n) for n in scheduler_names()]
+    family_stats = {}
+    for fam, make in FAMILIES.items():
+        instances = [make(s) for s in SEEDS]
+        results = run_grid(protos, instances, span_lower_bound)
+        family_stats[fam] = ratio_stats(results)
+
+    table = Table(
+        ["scheduler", *FAMILIES.keys()],
+        title="E10: mean span ratio vs chain LB (4 seeds per family)",
+        precision=3,
+    )
+    for name in scheduler_names():
+        table.add(name, *[family_stats[f][name]["mean"] for f in FAMILIES])
+    print()
+    table.print()
+
+    # Paper hierarchy on laxity-rich families (poisson, bimodal):
+    for fam in ("poisson", "bimodal"):
+        st = family_stats[fam]
+        assert st["profit"]["mean"] <= st["batch+"]["mean"] + 0.05
+        assert st["batch+"]["mean"] <= st["batch"]["mean"] + 0.05
+        assert st["profit"]["mean"] < st["lazy"]["mean"]
+        assert st["profit"]["mean"] < st["random"]["mean"]
+    # On rigid workloads every scheduler degenerates to the same spans.
+    rigid = family_stats["rigid"]
+    values = [rigid[n]["mean"] for n in scheduler_names()]
+    assert max(values) - min(values) < 1e-9
+
+    inst = poisson_instance(60, seed=0)
+    benchmark(lambda: simulate(make_scheduler("batch+"), inst).span)
+
+
+def test_e10_exact_ratio_small_instances(benchmark):
+    """Exact competitive-ratio measurement: mean and worst span/OPT over
+    random small integral instances."""
+    instances = [small_integral_instance(7, seed=s) for s in range(20)]
+    opts = [exact_optimal_span(inst) for inst in instances]
+
+    table = Table(
+        ["scheduler", "mean span/OPT", "worst span/OPT"],
+        title="E10: exact ratios on 20 small instances",
+        precision=3,
+    )
+    worst_by_name = {}
+    for name in scheduler_names():
+        ratios = []
+        for inst, opt in zip(instances, opts):
+            sched = make_scheduler(name)
+            result = simulate(
+                sched, inst, clairvoyant=type(sched).requires_clairvoyance
+            )
+            ratios.append(result.span / opt)
+        worst_by_name[name] = max(ratios)
+        table.add(name, sum(ratios) / len(ratios), max(ratios))
+    print()
+    table.print()
+    # sanity: nothing beats OPT
+    assert all(w >= 1.0 - 1e-9 for w in worst_by_name.values())
+
+    inst = instances[0]
+    benchmark(lambda: exact_optimal_span(inst))

@@ -1,0 +1,54 @@
+"""E11 — engineering scaling: engine throughput and solver runtimes.
+
+Not a paper claim — the performance envelope a downstream user needs:
+
+* events/second of the discrete-event engine across instance sizes;
+* the vectorised union-measure sweep on large interval sets;
+* exact-solver runtime growth vs instance size (with node statistics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import simulate, union_measure
+from repro.offline import exact_optimal_schedule
+from repro.schedulers import BatchPlus, Profit
+from repro.workloads import poisson_instance, small_integral_instance
+
+
+@pytest.mark.parametrize("n", [1_000, 10_000])
+def test_e11_engine_throughput_batchplus(benchmark, n):
+    inst = poisson_instance(n, seed=0)
+    result = benchmark(lambda: simulate(BatchPlus(), inst))
+    events_per_run = result.events_processed
+    print(f"\nE11: Batch+ on n={n}: {events_per_run} events/run")
+    assert result.span > 0
+
+
+@pytest.mark.parametrize("n", [1_000, 10_000])
+def test_e11_engine_throughput_profit(benchmark, n):
+    inst = poisson_instance(n, seed=0)
+    result = benchmark(lambda: simulate(Profit(), inst, clairvoyant=True))
+    assert result.span > 0
+
+
+@pytest.mark.parametrize("n", [10_000, 100_000])
+def test_e11_union_measure_vectorised(benchmark, n):
+    rng = np.random.default_rng(0)
+    starts = rng.uniform(0, 1e6, n)
+    lengths = rng.uniform(0, 100, n)
+    measure = benchmark(lambda: union_measure(starts, lengths))
+    assert measure > 0
+
+
+@pytest.mark.parametrize("n", [5, 7, 9])
+def test_e11_exact_solver_scaling(benchmark, n):
+    inst = small_integral_instance(n, seed=1)
+    result = benchmark(lambda: exact_optimal_schedule(inst))
+    print(
+        f"\nE11: exact solver n={n}: {result.nodes_explored} nodes, "
+        f"{result.memo_hits} memo hits"
+    )
+    assert result.span > 0

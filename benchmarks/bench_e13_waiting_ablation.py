@@ -1,0 +1,140 @@
+"""E13 — ablation: how much does *principled* waiting buy?
+
+The paper's schedulers all delay starts to manufacture overlap; this
+ablation sweeps the two natural waiting knobs against certified ratio
+brackets:
+
+* ``WaitScale(β)`` — wait ``β × own length`` (β=1 ≈ Doubler's rule);
+* ``GreedyCover(θ)`` — start once a θ-fraction of the run is covered;
+
+and compares their best settings with Profit (whose waiting is
+*guarantee-driven*, not heuristic).
+
+Measured shape (recorded in EXPERIMENTS.md): *blind* waiting does not
+pay — WaitScale's curve is flat-to-worse in β on stochastic workloads —
+while *overlap-aware* waiting pays substantially (GreedyCover's interior
+θ beats both endpoints by >30%).  Neither heuristic escapes the §4.1
+adversary, and only Profit carries a worst-case guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.core import simulate
+from repro.offline import best_offline_span
+from repro.schedulers import GreedyCover, Profit, WaitScale
+from repro.workloads import bimodal_instance, poisson_instance
+
+INSTANCES = [poisson_instance(70, seed=s) for s in range(4)] + [
+    bimodal_instance(70, seed=s, mu=10.0) for s in range(4)
+]
+
+
+def mean_ratio(make_sched, refs):
+    vals = []
+    for inst, ref in zip(INSTANCES, refs):
+        result = simulate(make_sched(), inst, clairvoyant=True)
+        vals.append(result.span / ref)
+    return float(np.mean(vals))
+
+
+def test_e13_waitscale_beta_sweep(benchmark):
+    refs = [best_offline_span(inst) for inst in INSTANCES]
+    table = Table(
+        ["β", "mean ratio (piggyback)", "mean ratio (no piggyback)"],
+        title="E13: WaitScale β sweep (8 mixed workloads)",
+        precision=3,
+    )
+    curve = {}
+    for beta in (0.0, 0.25, 0.5, 1.0, 2.0, 4.0):
+        with_pb = mean_ratio(lambda b=beta: WaitScale(beta=b), refs)
+        without = mean_ratio(
+            lambda b=beta: WaitScale(beta=b, piggyback=False), refs
+        )
+        curve[beta] = with_pb
+        table.add(beta, with_pb, without)
+        # piggybacking never hurts on average (it only removes span).
+        assert with_pb <= without + 0.02
+    print()
+    table.print()
+    # Finding: blind waiting never helps much on stochastic workloads —
+    # the whole β curve stays within ~10% of the Eager endpoint (the
+    # benefit of waiting comes from *overlap awareness*, cf. GreedyCover).
+    assert max(curve.values()) <= 1.15 * curve[0.0]
+
+    benchmark(
+        lambda: simulate(WaitScale(beta=1.0), INSTANCES[0], clairvoyant=True).span
+    )
+
+
+def test_e13_greedycover_theta_sweep(benchmark):
+    refs = [best_offline_span(inst) for inst in INSTANCES]
+    table = Table(
+        ["θ", "mean ratio"],
+        title="E13: GreedyCover θ sweep (8 mixed workloads)",
+        precision=3,
+    )
+    curve = {}
+    for theta in (0.0, 0.25, 0.5, 0.75, 1.0):
+        curve[theta] = mean_ratio(lambda t=theta: GreedyCover(theta=t), refs)
+        table.add(theta, curve[theta])
+    print()
+    table.print()
+    assert min(curve.values()) <= curve[0.0] + 1e-9
+
+    benchmark(
+        lambda: simulate(
+            GreedyCover(theta=0.5), INSTANCES[0], clairvoyant=True
+        ).span
+    )
+
+
+def test_e13_heuristics_vs_profit_adversarial(benchmark):
+    """On the §4.1 adversary the heuristics cannot beat φ either, and on
+    average workloads Profit remains competitive with their tuned best —
+    guarantees come cheap here."""
+    from repro.adversaries import ClairvoyantLowerBoundAdversary
+
+    refs = [best_offline_span(inst) for inst in INSTANCES]
+    profit_mean = mean_ratio(lambda: Profit(), refs)
+    ws_best = min(
+        mean_ratio(lambda b=b: WaitScale(beta=b), refs) for b in (0.5, 1.0, 2.0)
+    )
+    gc_best = min(
+        mean_ratio(lambda t=t: GreedyCover(theta=t), refs)
+        for t in (0.25, 0.5, 0.75)
+    )
+    rows = []
+    for name, make in (
+        ("profit", lambda: Profit()),
+        ("wait-scale β=1", lambda: WaitScale(beta=1.0)),
+        ("greedy-cover θ=0.5", lambda: GreedyCover(theta=0.5)),
+    ):
+        adv = ClairvoyantLowerBoundAdversary(40)
+        result = simulate(make(), adversary=adv, clairvoyant=True)
+        witness = adv.paper_optimal_schedule(result.instance)
+        ratio = result.span / witness.span
+        assert ratio >= 1.55  # nobody escapes Theorem 4.1
+        rows.append((name, ratio))
+    table = Table(
+        ["scheduler", "forced ratio (§4.1, n=40)"],
+        title=(
+            "E13: adversarial check — mean workload ratios: "
+            f"profit {profit_mean:.3f}, wait-scale best {ws_best:.3f}, "
+            f"greedy-cover best {gc_best:.3f}"
+        ),
+        precision=4,
+    )
+    for row in rows:
+        table.add(*row)
+    print()
+    table.print()
+    # Profit is within 15% of the tuned heuristics on average workloads
+    # while carrying a worst-case guarantee they lack.
+    assert profit_mean <= 1.15 * min(ws_best, gc_best)
+
+    benchmark(
+        lambda: simulate(Profit(), INSTANCES[1], clairvoyant=True).span
+    )

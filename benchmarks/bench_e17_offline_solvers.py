@@ -1,0 +1,92 @@
+"""E17 — ablation of our own offline machinery.
+
+The harness's ratio denominators come from a toolbox of offline solvers;
+this experiment quantifies their quality/cost trade-off so EXPERIMENTS
+readers know how much to trust each:
+
+* mean optimality gap vs the exact optimum on small instances
+  (greedy < greedy+LS ≈ anneal ≈ beam ≤ exact, by construction);
+* relative spans on larger instances where exact is infeasible;
+* runtimes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.offline import (
+    anneal,
+    beam_search_schedule,
+    best_offline,
+    exact_optimal_span,
+    greedy_overlap,
+    local_search,
+    span_lower_bound,
+)
+from repro.workloads import poisson_instance, small_integral_instance
+
+SOLVERS = {
+    "greedy(deadline)": lambda inst: greedy_overlap(inst, "deadline"),
+    "greedy+local": lambda inst: local_search(greedy_overlap(inst, "deadline")),
+    "best_offline": lambda inst: best_offline(inst),
+    "beam(w=8)": lambda inst: beam_search_schedule(inst, width=8),
+    "anneal": lambda inst: anneal(
+        greedy_overlap(inst, "deadline"), iterations=1500, seed=0
+    ),
+}
+
+
+def test_e17_gap_vs_exact(benchmark):
+    instances = [small_integral_instance(7, seed=s) for s in range(20)]
+    opts = [exact_optimal_span(inst) for inst in instances]
+    table = Table(
+        ["solver", "mean gap vs OPT", "worst gap", "exact hits"],
+        title="E17: offline solver quality on 20 small instances",
+        precision=4,
+    )
+    gaps_by = {}
+    for name, solve in SOLVERS.items():
+        gaps = []
+        hits = 0
+        for inst, opt in zip(instances, opts):
+            span = solve(inst).span
+            assert span >= opt - 1e-9  # soundness: all are upper bounds
+            gaps.append(span / opt - 1.0)
+            if span <= opt + 1e-9:
+                hits += 1
+        gaps_by[name] = float(np.mean(gaps))
+        table.add(name, float(np.mean(gaps)), max(gaps), f"{hits}/20")
+    print()
+    table.print()
+    # the refined solvers never lose to plain greedy on average
+    for name in ("greedy+local", "best_offline", "anneal"):
+        assert gaps_by[name] <= gaps_by["greedy(deadline)"] + 1e-9
+
+    inst = instances[0]
+    benchmark(lambda: best_offline(inst).span)
+
+
+def test_e17_large_instance_quality_and_runtime(benchmark):
+    inst = poisson_instance(500, seed=1)
+    lb = span_lower_bound(inst)
+    table = Table(
+        ["solver", "span", "vs chain LB", "runtime (s)"],
+        title="E17: 500-job instance (exact infeasible)",
+        precision=3,
+    )
+    spans = {}
+    for name, solve in SOLVERS.items():
+        t0 = time.perf_counter()
+        span = solve(inst).span
+        elapsed = time.perf_counter() - t0
+        spans[name] = span
+        table.add(name, span, span / lb, elapsed)
+        assert span >= lb - 1e-9
+    print()
+    table.print()
+    assert spans["best_offline"] <= spans["greedy(deadline)"] + 1e-9
+
+    benchmark(lambda: greedy_overlap(inst, "deadline").span)

@@ -1,0 +1,98 @@
+"""E19 — ablation of the certified lower bounds.
+
+Three lower bounds feed the harness's ratio denominators; this
+experiment measures their tightness against exact optima across the
+laxity spectrum (where each bound's regime lives):
+
+* **chain** — needs disjoint reach windows; strongest when laxity and
+  arrival gaps are large;
+* **mandatory** — needs laxity < p; strongest on rigid-ish workloads;
+* **LP relaxation** — sees window geometry; dominates in the middle.
+
+Reported: mean LB/OPT per bound per laxity scale (1.0 = perfect).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.offline import (
+    chain_lower_bound,
+    exact_optimal_span_decomposed,
+    lp_lower_bound,
+    mandatory_lower_bound,
+)
+from repro.core.errors import SolverError
+from repro.workloads import WorkloadSpec, generate
+
+SEEDS = range(8)
+
+
+def instances_at(scale: float):
+    out = []
+    for seed in SEEDS:
+        inst = generate(
+            WorkloadSpec(
+                n=30,
+                arrival_rate=0.25,
+                laxity="proportional",
+                laxity_scale=scale,
+                length_high=4.0,
+                integral=True,
+            ),
+            seed=seed,
+        )
+        try:
+            opt = exact_optimal_span_decomposed(inst, max_component=14)
+        except SolverError:
+            continue
+        out.append((inst, opt))
+    return out
+
+
+def test_e19_tightness_by_laxity(benchmark):
+    table = Table(
+        ["laxity ×p", "chain/OPT", "mandatory/OPT", "LP/OPT", "best/OPT", "n inst"],
+        title="E19: lower-bound tightness vs exact optimum",
+        precision=3,
+    )
+    best_by_scale = {}
+    for scale in (0.0, 0.5, 1.0, 2.0, 4.0):
+        rows = {"chain": [], "mand": [], "lp": [], "best": []}
+        pairs = instances_at(scale)
+        for inst, opt in pairs:
+            ch = chain_lower_bound(inst) / opt
+            ma = mandatory_lower_bound(inst) / opt
+            lp = lp_lower_bound(inst, max_slots=600) / opt
+            rows["chain"].append(ch)
+            rows["mand"].append(ma)
+            rows["lp"].append(lp)
+            rows["best"].append(max(ch, ma, lp))
+            # soundness of all three
+            assert max(ch, ma, lp) <= 1.0 + 1e-6
+        means = {k: float(np.mean(v)) for k, v in rows.items()}
+        best_by_scale[scale] = means
+        table.add(
+            scale,
+            means["chain"],
+            means["mand"],
+            means["lp"],
+            means["best"],
+            len(pairs),
+        )
+    print()
+    table.print()
+
+    # regimes: mandatory is perfect on rigid workloads; LP dominates the
+    # combinatorial bounds in the mid-laxity regime.
+    assert best_by_scale[0.0]["mand"] == pytest.approx(1.0, abs=1e-6)
+    mid = best_by_scale[1.0]
+    assert mid["lp"] >= max(mid["chain"], mid["mand"]) - 1e-9
+
+    pairs = instances_at(1.0)
+    inst = pairs[0][0]
+    benchmark(lambda: lp_lower_bound(inst, max_slots=600))
+
+
+import pytest  # noqa: E402  (used in assertions above)

@@ -1,0 +1,62 @@
+"""E2 — Theorem 3.4 / Figure 2: Batch's tightness family.
+
+Runs Batch on the three-group construction and reproduces the forced
+ratio ``2mμ / (m(1+ε) + μ) → 2μ``, checking it never crosses the
+``2μ+1`` upper bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries import batch_tightness_instance
+from repro.analysis import Table, batch_lower_bound, batch_upper_bound
+from repro.core import simulate
+from repro.schedulers import Batch
+
+EPS = 1e-3
+
+
+@pytest.mark.parametrize("mu", [2.0, 5.0, 10.0])
+def test_e2_ratio_series(benchmark, mu):
+    table = Table(
+        ["m", "Batch span", "witness span", "ratio", "limit 2μ", "cap 2μ+1"],
+        title=f"E2: Figure 2 family, μ={mu:g}",
+        precision=3,
+    )
+    last_ratio = 0.0
+    for m in (1, 4, 16, 64, 256):
+        fam = batch_tightness_instance(m=m, mu=mu, epsilon=EPS)
+        result = simulate(Batch(), fam.instance)
+        ratio = result.span / fam.optimal_span
+        expected = 2 * m * mu / (m * (1 + EPS) + mu)
+        assert ratio == pytest.approx(expected, rel=1e-9)
+        assert ratio <= batch_upper_bound(mu) + 1e-9
+        assert ratio > last_ratio  # monotone approach to 2μ
+        last_ratio = ratio
+        table.add(m, result.span, fam.optimal_span, ratio,
+                  batch_lower_bound(mu), batch_upper_bound(mu))
+    print()
+    table.print()
+    # by m=256 the ratio is within 5% of the 2μ limit
+    assert last_ratio >= 0.95 * batch_lower_bound(mu)
+
+    # Extrapolate the measured sequence: it must converge to the exact
+    # finite-ε limit 2μ/(1+ε) (which → 2μ as ε → 0).
+    from repro.analysis import fit_limit
+
+    ms = [1, 4, 16, 64, 256]
+    ratios = []
+    for m in ms:
+        fam = batch_tightness_instance(m=m, mu=mu, epsilon=EPS)
+        ratios.append(simulate(Batch(), fam.instance).span / fam.optimal_span)
+    fit = fit_limit(ms, ratios)
+    expected_limit = 2 * mu / (1 + EPS)
+    assert fit.limit == pytest.approx(expected_limit, rel=1e-6)
+    print(
+        f"extrapolated limit {fit.limit:.6f} = 2μ/(1+ε) "
+        f"(→ 2μ = {2 * mu:g} as ε → 0)"
+    )
+
+    fam = batch_tightness_instance(m=64, mu=mu, epsilon=EPS)
+    benchmark(lambda: simulate(Batch(), fam.instance).span)

@@ -1,0 +1,80 @@
+"""E3 — Theorem 3.5 / Figure 3: Batch+'s tight ratio μ+1.
+
+Two parts:
+* the Figure 3 family forces Batch+ to ``m(μ+1-ε)/(m+μ) → μ+1``;
+* on random small integral instances the (μ+1)·OPT bound holds against
+  the *exact* optimum (tightness from below + soundness from above).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries import batchplus_tightness_instance
+from repro.analysis import Table, batchplus_ratio
+from repro.core import simulate
+from repro.offline import exact_optimal_span
+from repro.schedulers import BatchPlus
+from repro.workloads import small_integral_instance
+
+EPS = 1e-3
+
+
+@pytest.mark.parametrize("mu", [2.0, 5.0, 10.0])
+def test_e3_ratio_series(benchmark, mu):
+    table = Table(
+        ["m", "Batch+ span", "witness span", "ratio", "tight bound μ+1"],
+        title=f"E3: Figure 3 family, μ={mu:g}",
+        precision=3,
+    )
+    last_ratio = 0.0
+    for m in (1, 4, 16, 64, 256):
+        fam = batchplus_tightness_instance(m=m, mu=mu, epsilon=EPS)
+        result = simulate(BatchPlus(), fam.instance)
+        ratio = result.span / fam.optimal_span
+        assert ratio == pytest.approx(m * (mu + 1 - EPS) / (m + mu), rel=1e-9)
+        assert ratio <= batchplus_ratio(mu) + 1e-9
+        assert ratio > last_ratio
+        last_ratio = ratio
+        table.add(m, result.span, fam.optimal_span, ratio, batchplus_ratio(mu))
+    print()
+    table.print()
+    assert last_ratio >= 0.95 * batchplus_ratio(mu)
+
+    # Extrapolated limit = μ+1-ε exactly (→ μ+1 as ε → 0).
+    from repro.analysis import fit_limit
+
+    ms = [1, 4, 16, 64, 256]
+    ratios = []
+    for m in ms:
+        fam = batchplus_tightness_instance(m=m, mu=mu, epsilon=EPS)
+        ratios.append(
+            simulate(BatchPlus(), fam.instance).span / fam.optimal_span
+        )
+    fit = fit_limit(ms, ratios)
+    assert fit.limit == pytest.approx(mu + 1 - EPS, rel=1e-6)
+    print(
+        f"extrapolated limit {fit.limit:.6f} = μ+1-ε "
+        f"(→ μ+1 = {mu + 1:g} as ε → 0)"
+    )
+
+    fam = batchplus_tightness_instance(m=64, mu=mu, epsilon=EPS)
+    benchmark(lambda: simulate(BatchPlus(), fam.instance).span)
+
+
+def test_e3_bound_vs_exact_optimum(benchmark):
+    """span(Batch+) <= (μ+1)·OPT on 40 random integral instances."""
+    worst = 0.0
+    for seed in range(40):
+        inst = small_integral_instance(7, seed=seed)
+        result = simulate(BatchPlus(), inst)
+        opt = exact_optimal_span(inst)
+        normalised = result.span / (batchplus_ratio(inst.mu) * opt)
+        assert normalised <= 1.0 + 1e-9
+        worst = max(worst, normalised)
+    print(
+        f"\nE3: worst observed span/( (μ+1)·OPT ) over 40 random "
+        f"instances = {worst:.3f} (<= 1 required)"
+    )
+    inst = small_integral_instance(7, seed=0)
+    benchmark(lambda: exact_optimal_span(inst))

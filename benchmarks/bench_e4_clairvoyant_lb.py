@@ -1,0 +1,62 @@
+"""E4 — Theorem 4.1 / Figure 4: the clairvoyant golden-ratio lower bound.
+
+Replays the §4.1 adversary against every scheduler in the registry and
+reproduces the forced ratio ``min(φ, nφ/(φ+n-1)) → φ``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries import PHI, ClairvoyantLowerBoundAdversary
+from repro.analysis import Table, clairvoyant_adversary_ratio
+from repro.core import simulate
+from repro.schedulers import make_scheduler, scheduler_names
+
+
+def force_ratio(name: str, n: int):
+    sched = make_scheduler(name)
+    adv = ClairvoyantLowerBoundAdversary(n)
+    result = simulate(
+        sched, adversary=adv, clairvoyant=type(sched).requires_clairvoyance
+    )
+    witness = adv.paper_optimal_schedule(result.instance)
+    return result.span / witness.span, adv
+
+
+def test_e4_all_schedulers(benchmark):
+    n = 100
+    theory = clairvoyant_adversary_ratio(n)
+    table = Table(
+        ["scheduler", "iters played", "stopped early", "ratio", "theory >="],
+        title=f"E4: §4.1 adversary, n={n}, φ={PHI:.4f}",
+        precision=4,
+    )
+    for name in scheduler_names():
+        if name == "random":
+            continue  # Theorem 4.1 covers deterministic schedulers
+        ratio, adv = force_ratio(name, n)
+        table.add(name, adv.iterations_played, adv.stopped_early, ratio, theory)
+        assert ratio >= theory - 1e-9, f"{name} beat the adversary"
+    print()
+    table.print()
+    benchmark(lambda: force_ratio("profit", n)[0])
+
+
+def test_e4_convergence_to_phi(benchmark):
+    """The forced ratio against a surviving scheduler rises to φ."""
+    table = Table(
+        ["n", "forced ratio (Profit)", "theory", "φ - ratio"],
+        title="E4: convergence towards φ",
+        precision=5,
+    )
+    prev = 0.0
+    for n in (1, 2, 8, 32, 128, 512):
+        ratio, _ = force_ratio("profit", n)
+        table.add(n, ratio, clairvoyant_adversary_ratio(n), PHI - ratio)
+        assert ratio >= prev - 1e-12
+        prev = ratio
+    print()
+    table.print()
+    assert PHI - prev < 0.005
+    benchmark(lambda: force_ratio("batch+", 128)[0])

@@ -1,0 +1,87 @@
+"""E5 — Theorem 4.4 / Figure 5: Classify-by-Duration Batch+ α-sweep.
+
+Two claims reproduced:
+
+* the theory bound ``3α + 4 + 2/(α-1)`` is minimised at α* = 1+√(2/3)
+  with value 7+2√6 ≈ 11.90, and the measured worst ratio never crosses
+  the bound at any α (verified against the exact optimum);
+* across an α sweep the measured ratios stay far below the bound on
+  random workloads (the bound is a worst-case envelope).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table, cdb_ratio, optimal_cdb_alpha, optimal_cdb_ratio
+from repro.core import simulate
+from repro.offline import exact_optimal_span
+from repro.schedulers import ClassifyByDurationBatchPlus
+from repro.workloads import bimodal_instance, small_integral_instance
+
+ALPHAS = [1.2, 1.5, optimal_cdb_alpha(), 2.0, 3.0, 4.0]
+
+
+def test_e5_alpha_sweep_vs_exact_opt(benchmark):
+    seeds = range(25)
+    instances = [small_integral_instance(6, seed=s, max_length=6) for s in seeds]
+    opts = [exact_optimal_span(inst) for inst in instances]
+
+    table = Table(
+        ["α", "theory bound", "measured mean", "measured worst", "bound held"],
+        title="E5: CDB α sweep vs exact optimum (25 random instances)",
+        precision=3,
+    )
+    for alpha in ALPHAS:
+        ratios = []
+        for inst, opt in zip(instances, opts):
+            result = simulate(
+                ClassifyByDurationBatchPlus(alpha=alpha), inst, clairvoyant=True
+            )
+            ratios.append(result.span / opt)
+        bound = cdb_ratio(alpha)
+        held = max(ratios) <= bound + 1e-9
+        assert held
+        table.add(alpha, bound, float(np.mean(ratios)), max(ratios), held)
+    print()
+    table.print()
+
+    inst = instances[0]
+    benchmark(
+        lambda: simulate(
+            ClassifyByDurationBatchPlus(), inst, clairvoyant=True
+        ).span
+    )
+
+
+def test_e5_theory_minimum_at_alpha_star(benchmark):
+    """The bound curve's minimum sits at α* (paper: 7+2√6 ≈ 11.90)."""
+    grid = np.linspace(1.05, 6.0, 400)
+    values = [cdb_ratio(a) for a in grid]
+    arg = grid[int(np.argmin(values))]
+    assert abs(arg - optimal_cdb_alpha()) < 0.05
+    assert min(values) == pytest.approx(optimal_cdb_ratio(), rel=1e-4)
+    print(
+        f"\nE5: bound minimised at α={arg:.4f} "
+        f"(paper α*={optimal_cdb_alpha():.4f}), value "
+        f"{min(values):.4f} (paper 7+2√6={optimal_cdb_ratio():.4f})"
+    )
+    benchmark(lambda: [cdb_ratio(a) for a in grid])
+
+
+def test_e5_category_count_matches_log_mu(benchmark):
+    """The classification produces ceil(log_α μ)+1-ish categories."""
+    inst = bimodal_instance(200, seed=0, mu=16.0)
+    alpha = 2.0
+    result = simulate(
+        ClassifyByDurationBatchPlus(alpha=alpha), inst, clairvoyant=True
+    )
+    n_cats = result.scheduler.num_categories
+    assert n_cats <= int(np.ceil(np.log(16.0) / np.log(alpha))) + 1
+    print(f"\nE5: μ=16, α=2 → {n_cats} non-empty categories (cap {int(np.ceil(np.log(16.0)/np.log(alpha)))+1})")
+    benchmark(
+        lambda: simulate(
+            ClassifyByDurationBatchPlus(alpha=alpha), inst, clairvoyant=True
+        ).span
+    )

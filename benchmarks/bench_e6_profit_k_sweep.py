@@ -1,0 +1,104 @@
+"""E6 — Theorem 4.11 / Figures 6-7: Profit k-sweep and flag forest.
+
+Reproduces:
+
+* the theory bound ``2k + 2 + 1/(k-1)`` minimised at k* = 1+√2/2 with
+  value 4+2√2 ≈ 6.83; the measured worst ratio respects it at every k
+  (against exact optima);
+* the Lemma 4.7 structure: the flag graph is a forest on every run, and
+  Lemma 4.6's completion ordering holds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Table,
+    build_flag_forest,
+    check_forest_property,
+    check_lemma_4_6,
+    optimal_profit_k,
+    optimal_profit_ratio,
+    profit_ratio,
+)
+from repro.core import simulate
+from repro.offline import exact_optimal_span
+from repro.schedulers import Profit
+from repro.workloads import poisson_instance, small_integral_instance
+
+KS = [1.2, 1.5, optimal_profit_k(), 2.0, 2.5, 3.0]
+
+
+def test_e6_k_sweep_vs_exact_opt(benchmark):
+    seeds = range(25)
+    instances = [small_integral_instance(6, seed=s, max_length=6) for s in seeds]
+    opts = [exact_optimal_span(inst) for inst in instances]
+
+    table = Table(
+        ["k", "theory bound", "measured mean", "measured worst", "bound held"],
+        title="E6: Profit k sweep vs exact optimum (25 random instances)",
+        precision=3,
+    )
+    for k in KS:
+        ratios = []
+        for inst, opt in zip(instances, opts):
+            result = simulate(Profit(k=k), inst, clairvoyant=True)
+            ratios.append(result.span / opt)
+        bound = profit_ratio(k)
+        held = max(ratios) <= bound + 1e-9
+        assert held
+        table.add(k, bound, float(np.mean(ratios)), max(ratios), held)
+    print()
+    table.print()
+
+    inst = instances[0]
+    benchmark(lambda: simulate(Profit(), inst, clairvoyant=True).span)
+
+
+def test_e6_theory_minimum_at_k_star(benchmark):
+    grid = np.linspace(1.05, 4.0, 400)
+    values = [profit_ratio(k) for k in grid]
+    arg = grid[int(np.argmin(values))]
+    assert abs(arg - optimal_profit_k()) < 0.05
+    assert min(values) == pytest.approx(optimal_profit_ratio(), rel=1e-4)
+    print(
+        f"\nE6: bound minimised at k={arg:.4f} "
+        f"(paper k*={optimal_profit_k():.4f}), value {min(values):.4f} "
+        f"(paper 4+2√2={optimal_profit_ratio():.4f})"
+    )
+    benchmark(lambda: [profit_ratio(k) for k in grid])
+
+
+def test_e6_flag_forest_structure(benchmark):
+    """Lemmas 4.6 and 4.7 verified over 30 random runs; statistics on
+    forest shape printed (Figure 6's object)."""
+    tree_counts = []
+    heights = []
+    for seed in range(30):
+        inst = poisson_instance(50, seed=seed, laxity_scale=1.5)
+        result = simulate(Profit(), inst, clairvoyant=True)
+        flags = result.scheduler.flag_job_ids
+        assert check_lemma_4_6(result.instance, flags)
+        forest = build_flag_forest(result.instance, flags)
+        assert check_forest_property(forest)
+        tree_counts.append(len(forest.roots))
+        heights.extend(forest.height(r) for r in forest.roots)
+    print(
+        f"\nE6: flag forests over 30 runs — mean trees/run "
+        f"{np.mean(tree_counts):.1f}, max tree height {max(heights)}, "
+        "all forests valid (Lemma 4.7), all completion orders valid "
+        "(Lemma 4.6)"
+    )
+
+    inst = poisson_instance(50, seed=0, laxity_scale=1.5)
+
+    def run():
+        result = simulate(Profit(), inst, clairvoyant=True)
+        forest = build_flag_forest(
+            result.instance, result.scheduler.flag_job_ids
+        )
+        return len(forest.roots)
+
+    benchmark(run)

@@ -1,0 +1,77 @@
+"""E7 — §3.2's opening remark: Eager and Lazy have unbounded ratios.
+
+Even at *fixed* μ = 1, scaling families drive both baselines' span ratio
+to infinity, while Batch+ stays pinned at its μ+1 = 2 bound:
+
+* **anti-Eager family** — n unit jobs arriving 1 apart with huge laxity:
+  Eager serialises (span n), the optimum batches at a common time
+  (span 1);
+* **anti-Lazy family** — n unit jobs arriving together with deadlines
+  spread n apart: Lazy serialises, the optimum starts all at arrival.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Table
+from repro.core import Instance, Job, simulate
+from repro.offline import best_offline_span
+from repro.schedulers import BatchPlus, Eager, Lazy
+
+
+def anti_eager(n: int) -> Instance:
+    return Instance(
+        [Job(i, float(i), float(n + 1), 1.0) for i in range(n)],
+        name=f"anti-eager({n})",
+    )
+
+
+def anti_lazy(n: int) -> Instance:
+    return Instance(
+        [Job(i, 0.0, float(2 * i), 1.0) for i in range(n)],
+        name=f"anti-lazy({n})",
+    )
+
+
+def test_e7_unbounded_growth(benchmark):
+    table = Table(
+        ["n", "Eager ratio", "Lazy ratio", "Batch+ ratio (anti-eager)"],
+        title="E7: ratio growth at fixed μ=1 (reference: offline heuristic)",
+        precision=2,
+    )
+    eager_ratios = []
+    lazy_ratios = []
+    for n in (4, 16, 64, 256):
+        ae, al = anti_eager(n), anti_lazy(n)
+        opt_ae = best_offline_span(ae)
+        opt_al = best_offline_span(al)
+        r_eager = simulate(Eager(), ae).span / opt_ae
+        r_lazy = simulate(Lazy(), al).span / opt_al
+        r_bp = simulate(BatchPlus(), ae).span / opt_ae
+        eager_ratios.append(r_eager)
+        lazy_ratios.append(r_lazy)
+        # Batch+ respects its μ+1 = 2 bound on both families.
+        assert r_bp <= 2.0 + 1e-9
+        assert simulate(BatchPlus(), al).span / opt_al <= 2.0 + 1e-9
+        table.add(n, r_eager, r_lazy, r_bp)
+    print()
+    table.print()
+
+    # unbounded: the ratio scales linearly with n for both baselines.
+    assert eager_ratios[-1] >= 0.9 * 256
+    assert lazy_ratios[-1] >= 0.9 * 256
+    assert all(b > 3 * a for a, b in zip(eager_ratios, eager_ratios[1:]))
+
+    inst = anti_eager(64)
+    benchmark(lambda: simulate(Eager(), inst).span)
+
+
+def test_e7_optimum_is_constant(benchmark):
+    """The witness optimum stays O(1) as the families scale — confirming
+    the ratio growth comes from the schedulers, not the instances."""
+    for n in (4, 32, 256):
+        assert best_offline_span(anti_eager(n)) <= 2.0 + 1e-9
+        assert best_offline_span(anti_lazy(n)) == pytest.approx(1.0)
+    print("\nE7: witness optima are O(1) across the scaling families")
+    benchmark(lambda: best_offline_span(anti_eager(64)))

@@ -1,0 +1,76 @@
+"""E8 — Paper §5: generalized MinUsageTime Dynamic Bin Packing.
+
+Runs the scheduler ∘ packer pipelines the concluding remarks propose
+(Batch+ ∘ FirstFit, Profit ∘ CD-FirstFit) against the rigid Eager
+baseline across a capacity sweep, reporting total usage time over the
+certified lower bound ``max(span LB, Σ size·p / C)``.
+
+Reproduced shape: at tight capacity the work term dominates and all
+pipelines are within a small factor of the LB; once capacity is
+generous the span term dominates and the flexible pipelines beat the
+rigid baseline (whose usage is pinned to the *unscheduled* span).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Table
+from repro.dbp import (
+    ClassifyByDurationFirstFit,
+    FirstFit,
+    run_pipeline,
+    usage_lower_bound,
+)
+from repro.schedulers import BatchPlus, Eager, Profit
+from repro.workloads import batch_window_instance
+
+
+def test_e8_capacity_sweep(benchmark):
+    inst = batch_window_instance(200, seed=2)
+    table = Table(
+        [
+            "capacity",
+            "usage LB",
+            "Eager∘FF",
+            "Batch+∘FF",
+            "Profit∘CD-FF",
+            "flexible wins",
+        ],
+        title="E8: total usage time vs certified LB (batch-window workload)",
+        precision=2,
+    )
+    flexible_won_at_high_capacity = False
+    for cap in (1.0, 4.0, 16.0, 64.0):
+        lb = usage_lower_bound(inst, cap)
+        rigid = run_pipeline(Eager(), FirstFit(cap), inst).total_usage_time
+        bp = run_pipeline(BatchPlus(), FirstFit(cap), inst).total_usage_time
+        pr = run_pipeline(
+            Profit(), ClassifyByDurationFirstFit(cap), inst
+        ).total_usage_time
+        for usage in (rigid, bp, pr):
+            assert usage >= lb - 1e-9  # LB soundness
+        wins = min(bp, pr) < rigid
+        if cap >= 64.0:
+            flexible_won_at_high_capacity = wins
+        table.add(cap, lb, rigid / lb, bp / lb, pr / lb, wins)
+    print()
+    table.print()
+    # the paper's §5 promise materialises once the span term dominates
+    assert flexible_won_at_high_capacity
+
+    benchmark(
+        lambda: run_pipeline(BatchPlus(), FirstFit(4.0), inst).total_usage_time
+    )
+
+
+def test_e8_usage_between_span_and_work(benchmark):
+    """Structural sanity across workload seeds: span <= usage <= Σp."""
+    for seed in range(5):
+        inst = batch_window_instance(120, seed=seed)
+        result = run_pipeline(BatchPlus(), FirstFit(2.0), inst)
+        assert result.span - 1e-9 <= result.total_usage_time
+        assert result.total_usage_time <= inst.total_work + 1e-9
+    print("\nE8: span <= usage <= total work held on all seeds")
+    inst = batch_window_instance(120, seed=0)
+    benchmark(
+        lambda: run_pipeline(BatchPlus(), FirstFit(2.0), inst).total_usage_time
+    )

@@ -1,0 +1,95 @@
+"""E9 — §5's Koehler–Khuller remark: Doubler vs the paper's schedulers.
+
+Head-to-head of the reconstructed Doubler baseline (concurrent work
+[12], 5-competitive for the equivalent problem) against Profit and CDB
+on clairvoyant workloads, plus the §4.1 adversary.
+
+Reproduced shape: all three are O(1)-competitive (ratios stay bounded
+across workload scale, unlike Eager/Lazy in E7); Profit's tuned bound
+(≈6.83) is the best of the three and its measured ratios are
+consistently at or below Doubler's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversaries import ClairvoyantLowerBoundAdversary
+from repro.analysis import Table
+from repro.core import simulate
+from repro.offline import best_offline_span
+from repro.schedulers import ClassifyByDurationBatchPlus, Doubler, Profit
+from repro.workloads import bimodal_instance, heavy_tail_instance, poisson_instance
+
+FAMILIES = {
+    "poisson": lambda s: poisson_instance(80, seed=s),
+    "bimodal(μ=10)": lambda s: bimodal_instance(80, seed=s, mu=10.0),
+    "heavy-tail": lambda s: heavy_tail_instance(80, seed=s),
+}
+
+
+def test_e9_workload_comparison(benchmark):
+    table = Table(
+        ["family", "Profit", "CDB", "Doubler"],
+        title="E9: mean span ratio vs offline heuristic (5 seeds/family)",
+        precision=3,
+    )
+    means = {}
+    for fam_name, make in FAMILIES.items():
+        ratios = {"profit": [], "cdb": [], "doubler": []}
+        for seed in range(5):
+            inst = make(seed)
+            ref = best_offline_span(inst)
+            for key, sched in (
+                ("profit", Profit()),
+                ("cdb", ClassifyByDurationBatchPlus()),
+                ("doubler", Doubler()),
+            ):
+                r = simulate(sched, inst, clairvoyant=True)
+                ratios[key].append(r.span / ref)
+        row = {k: float(np.mean(v)) for k, v in ratios.items()}
+        means[fam_name] = row
+        table.add(fam_name, row["profit"], row["cdb"], row["doubler"])
+        # all three stay O(1) — far below the E7 baselines' linear blowup
+        assert max(max(v) for v in ratios.values()) < 12.0
+    print()
+    table.print()
+    # Profit at worst ties Doubler on every family average (small slack
+    # for stochastic workloads).
+    for fam_name, row in means.items():
+        assert row["profit"] <= row["doubler"] * 1.05, fam_name
+
+    inst = poisson_instance(80, seed=0)
+    benchmark(lambda: simulate(Doubler(), inst, clairvoyant=True).span)
+
+
+def test_e9_adversarial_comparison(benchmark):
+    """On the §4.1 construction all three are forced to ≈φ; none escapes
+    (Theorem 4.1 applies to every deterministic scheduler)."""
+    n = 50
+    table = Table(
+        ["scheduler", "iters played", "ratio"],
+        title=f"E9: §4.1 adversary (n={n})",
+        precision=4,
+    )
+    for name, sched in (
+        ("profit", Profit()),
+        ("cdb", ClassifyByDurationBatchPlus()),
+        ("doubler", Doubler()),
+    ):
+        adv = ClairvoyantLowerBoundAdversary(n)
+        result = simulate(sched, adversary=adv, clairvoyant=True)
+        witness = adv.paper_optimal_schedule(result.instance)
+        ratio = result.span / witness.span
+        assert ratio >= 1.6 - 0.05
+        table.add(name, adv.iterations_played, ratio)
+    print()
+    table.print()
+
+    benchmark(
+        lambda: simulate(
+            Profit(),
+            adversary=ClairvoyantLowerBoundAdversary(n),
+            clairvoyant=True,
+        ).span
+    )

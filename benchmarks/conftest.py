@@ -1,0 +1,19 @@
+"""Benchmark harness configuration.
+
+Each ``bench_e*.py`` module reproduces one experiment row of DESIGN.md's
+per-experiment index: it regenerates the quantity the paper's theorem or
+figure derives, prints the paper-style table (run with ``-s`` to see it),
+asserts the reproduction claims, and times the central computation via
+pytest-benchmark.
+
+Run everything:   pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+collect_ignore_glob: list[str] = []
+
+
+def pytest_configure(config):
+    # Benches print result tables; make terminal output predictable.
+    config.option.verbose = max(config.option.verbose, 0)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Adversary showdown: replay the paper's lower-bound constructions.
+
+Pits every scheduler against the two adaptive adversaries and prints the
+forced span ratios next to the theory:
+
+* §3.1 non-clairvoyant adversary — forces any deterministic scheduler
+  towards ratio μ (Theorem 3.3);
+* §4.1 clairvoyant adversary — forces any deterministic scheduler
+  towards the golden ratio φ ≈ 1.618 (Theorem 4.1).
+
+Run:  python examples/adversary_showdown.py
+"""
+
+from __future__ import annotations
+
+from repro.adversaries import (
+    ClairvoyantLowerBoundAdversary,
+    NonClairvoyantLowerBoundAdversary,
+    geometric_profile,
+)
+from repro.adversaries import PHI
+from repro.analysis import Table, clairvoyant_adversary_ratio, nonclairvoyant_lower_bound
+from repro.core import simulate
+from repro.schedulers import make_scheduler, scheduler_names
+
+
+def nonclairvoyant_showdown(mu: float, k: int, m: int) -> None:
+    profile = geometric_profile(k, m)
+    counts = [it.count for it in profile.iterations]
+    theory = nonclairvoyant_lower_bound(k, mu, counts)
+    table = Table(
+        ["scheduler", "iters", "jobs", "online span", "witness span", "ratio"],
+        title=(
+            f"§3.1 adversary: μ={mu:g}, k={k}, {m*m} jobs/iteration — "
+            f"theory forces >= {theory:.3f} (→ μ as k→∞)"
+        ),
+        precision=3,
+    )
+    for name in scheduler_names():
+        sched = make_scheduler(name)
+        if type(sched).requires_clairvoyance:
+            continue  # the adversary assigns lengths adaptively
+        adv = NonClairvoyantLowerBoundAdversary(mu, profile)
+        result = simulate(sched, adversary=adv, clairvoyant=False)
+        witness = adv.paper_optimal_schedule(result.instance)
+        table.add(
+            name,
+            adv.iterations_released,
+            len(result.instance),
+            result.span,
+            witness.span,
+            result.span / witness.span,
+        )
+    table.print()
+    print()
+
+
+def clairvoyant_showdown(n: int) -> None:
+    theory = clairvoyant_adversary_ratio(n)
+    table = Table(
+        ["scheduler", "iters played", "stopped early", "ratio"],
+        title=(
+            f"§4.1 adversary: n={n} — theory forces >= {theory:.3f} "
+            f"(φ = {PHI:.3f})"
+        ),
+        precision=3,
+    )
+    for name in scheduler_names():
+        sched = make_scheduler(name)
+        adv = ClairvoyantLowerBoundAdversary(n)
+        result = simulate(
+            sched, adversary=adv, clairvoyant=type(sched).requires_clairvoyance
+        )
+        witness = adv.paper_optimal_schedule(result.instance)
+        table.add(
+            name,
+            adv.iterations_played,
+            adv.stopped_early,
+            result.span / witness.span,
+        )
+    table.print()
+
+
+def main() -> None:
+    nonclairvoyant_showdown(mu=8.0, k=6, m=16)
+    clairvoyant_showdown(n=60)
+
+
+if __name__ == "__main__":
+    main()

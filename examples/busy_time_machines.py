@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Busy-time scheduling on capacity-g machines (Koehler–Khuller setting).
+
+The paper's concluding remarks note that the online busy-time problem of
+Koehler and Khuller — machines running up to ``g`` jobs concurrently,
+minimise total machine busy time — contains Clairvoyant FJS as its
+``g = ∞`` case.  The finite-``g`` case maps exactly onto our
+MinUsageTime DBP substrate with **unit job sizes and bin capacity g**:
+each bin is a machine, bin usage time is machine busy time.
+
+This example runs the full pipeline matrix (span scheduler × g) and
+shows the two regimes:
+
+* ``g = ∞`` (here: g >= n): busy time == span, so the paper's span
+  schedulers are optimal-competitive;
+* small ``g``: the work bound ``Σ p / g`` takes over and scheduling
+  matters less than packing.
+
+Run:  python examples/busy_time_machines.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Table
+from repro.core import Instance, Job
+from repro.dbp import FirstFit, run_pipeline
+from repro.offline import span_lower_bound
+from repro.schedulers import BatchPlus, Eager, Profit
+from repro.workloads import poisson_instance
+
+
+def with_unit_sizes(instance: Instance) -> Instance:
+    """Copy an instance with every job's resource demand set to 1
+    (busy-time scheduling counts *jobs per machine*, not sizes)."""
+    return Instance(
+        (
+            Job(
+                id=j.id,
+                arrival=j.arrival,
+                deadline=j.deadline,
+                length=j.known_length,
+                size=1.0,
+            )
+            for j in instance
+        ),
+        name=f"{instance.name}/unit-size",
+    )
+
+
+def main() -> None:
+    inst = with_unit_sizes(poisson_instance(120, seed=11, laxity_scale=3.0))
+    total_work = inst.total_work
+    span_lb = span_lower_bound(inst)
+    print(
+        f"busy-time instance: {len(inst)} unit-size jobs, "
+        f"Σp = {total_work:.0f}, span LB = {span_lb:.1f}\n"
+    )
+
+    for g in (2, 8, 32, len(inst)):
+        g_label = "∞ (=n)" if g == len(inst) else str(g)
+        # certified busy-time LB: max(span LB, Σp / g)
+        lb = max(span_lb, total_work / g)
+        table = Table(
+            ["scheduler", "busy time", "machines", "vs LB"],
+            title=f"machine capacity g = {g_label} — busy-time LB {lb:.1f}",
+            precision=2,
+        )
+        for sched in (Eager(), BatchPlus(), Profit()):
+            result = run_pipeline(sched, FirstFit(float(g)), inst)
+            table.add(
+                sched.describe(),
+                result.total_usage_time,
+                result.bins_used,
+                result.total_usage_time / lb,
+            )
+        table.print()
+        print()
+
+    print(
+        "At g = ∞ the busy time equals the span, so Batch+/Profit's "
+        "competitive guarantees for FJS carry over verbatim — exactly the "
+        "reduction the concluding remarks describe."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Trace pipeline: from an SWF-style cluster log to scheduling decisions.
+
+The workflow for a user with a real workload trace:
+
+1. parse an SWF-style file into an FJS instance, choosing a *laxity
+   policy* (traces record when jobs ran, not how long they could wait);
+2. compare schedulers under increasingly generous laxity assumptions;
+3. certify what the laxity would have been worth in span (≈ server-on
+   hours).
+
+The trace here is synthesised on the fly (no bundled data files), but
+any SWF-like file works the same way.
+
+Run:  python examples/trace_pipeline.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis import Table
+from repro.core import simulate
+from repro.offline import span_lower_bound
+from repro.schedulers import BatchPlus, Eager, Profit
+from repro.workloads import (
+    mmpp_instance,
+    read_swf_instance,
+    write_swf_instance,
+)
+
+
+def main() -> None:
+    # --- 1. obtain a trace file (stand-in for a real cluster log) -------
+    trace_path = Path(tempfile.mkdtemp(prefix="fjs-")) / "cluster.swf"
+    write_swf_instance(mmpp_instance(250, seed=13), trace_path)
+    print(f"trace: {trace_path} ({len(trace_path.read_text().splitlines())} lines)\n")
+
+    # --- 2. replay under different laxity assumptions -------------------
+    table = Table(
+        ["laxity policy", "Eager", "Batch+", "Profit", "chain LB"],
+        title="span by scheduler × laxity policy (lower is better)",
+        precision=1,
+    )
+    for label, policy in [
+        ("rigid replay (×0)", ("zero", 0.0)),
+        ("tolerate ×0.5 run time", ("proportional", 0.5)),
+        ("tolerate ×2 run time", ("proportional", 2.0)),
+        ("tolerate 8 h flat", ("constant", 8.0)),
+    ]:
+        inst = read_swf_instance(trace_path, laxity=policy)
+        spans = {}
+        for sched, clair in ((Eager(), False), (BatchPlus(), False), (Profit(), True)):
+            spans[sched.name] = simulate(sched, inst, clairvoyant=clair).span
+        table.add(
+            label,
+            spans["eager"],
+            spans["batch+"],
+            spans["profit"],
+            span_lower_bound(inst),
+        )
+    table.print()
+
+    print(
+        "\nReading: the rigid row is what actually happened (every "
+        "scheduler degenerates to the recorded starts); each laxity row "
+        "shows the span the same workload would need if users tolerated "
+        "that much start delay — the gap is the consolidation dividend "
+        "the paper's schedulers unlock."
+    )
+
+
+if __name__ == "__main__":
+    main()

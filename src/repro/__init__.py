@@ -1,0 +1,90 @@
+"""repro — reproduction of *Online Flexible Job Scheduling for Minimum
+Span* (Ren & Tang, SPAA 2017).
+
+The library implements the paper's full system:
+
+* the FJS model (jobs with arrival, starting deadline, processing length)
+  and span objective — :mod:`repro.core`;
+* every scheduler the paper defines or compares against —
+  :mod:`repro.schedulers`;
+* the adaptive lower-bound adversaries and tightness constructions —
+  :mod:`repro.adversaries`;
+* exact offline optima and certified lower bounds for competitive-ratio
+  measurement — :mod:`repro.offline`;
+* synthetic workload generators — :mod:`repro.workloads`;
+* the MinUsageTime Dynamic Bin Packing extension of the paper's
+  concluding remarks — :mod:`repro.dbp`;
+* structural analysis (flag forests, theory bounds, reports) —
+  :mod:`repro.analysis`.
+
+Quickstart
+----------
+>>> import repro
+>>> inst = repro.Instance.from_triples([(0, 5, 2), (1, 4, 3), (2, 0, 1)])
+>>> result = repro.simulate(repro.BatchPlus(), inst)
+>>> result.span <= (inst.mu + 1) * repro.exact_optimal_span(inst)
+True
+"""
+
+from .core import (
+    Instance,
+    Interval,
+    IntervalUnion,
+    Job,
+    Schedule,
+    SimulationResult,
+    Simulator,
+    simulate,
+    span_ratio,
+    union_measure,
+)
+from .offline import (
+    best_offline_span,
+    chain_lower_bound,
+    exact_optimal_span,
+    span_lower_bound,
+)
+from .schedulers import (
+    Batch,
+    BatchPlus,
+    ClassifyByDurationBatchPlus,
+    Doubler,
+    Eager,
+    Lazy,
+    OnlineScheduler,
+    Profit,
+    RandomStart,
+    make_scheduler,
+    scheduler_names,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Instance",
+    "Interval",
+    "IntervalUnion",
+    "Job",
+    "Schedule",
+    "SimulationResult",
+    "Simulator",
+    "simulate",
+    "span_ratio",
+    "union_measure",
+    "OnlineScheduler",
+    "Batch",
+    "BatchPlus",
+    "ClassifyByDurationBatchPlus",
+    "Profit",
+    "Doubler",
+    "Eager",
+    "Lazy",
+    "RandomStart",
+    "make_scheduler",
+    "scheduler_names",
+    "exact_optimal_span",
+    "chain_lower_bound",
+    "span_lower_bound",
+    "best_offline_span",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Adversaries: the paper's lower-bound and tightness constructions.
+
+* :class:`NonClairvoyantLowerBoundAdversary` — §3.1, Theorem 3.3 (ratio → μ).
+* :class:`ClairvoyantLowerBoundAdversary` — §4.1, Theorem 4.1 (ratio → φ).
+* :func:`batch_tightness_instance` — Figure 2 (Batch → 2μ).
+* :func:`batchplus_tightness_instance` — Figure 3 (Batch+ → μ+1).
+"""
+
+from .base import AdversaryResponse, BaseAdversary
+from .clairvoyant import PHI, ClairvoyantLowerBoundAdversary
+from .nonclairvoyant import (
+    AdversaryProfile,
+    IterationSpec,
+    NonClairvoyantLowerBoundAdversary,
+    geometric_profile,
+    paper_profile,
+)
+from .tightness import (
+    TightnessFamily,
+    batch_tightness_instance,
+    batchplus_tightness_instance,
+)
+
+__all__ = [
+    "BaseAdversary",
+    "AdversaryResponse",
+    "ClairvoyantLowerBoundAdversary",
+    "PHI",
+    "NonClairvoyantLowerBoundAdversary",
+    "AdversaryProfile",
+    "IterationSpec",
+    "paper_profile",
+    "geometric_profile",
+    "TightnessFamily",
+    "batch_tightness_instance",
+    "batchplus_tightness_instance",
+]

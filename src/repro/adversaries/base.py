@@ -1,0 +1,72 @@
+"""Base class for adaptive adversaries.
+
+The paper's lower bounds (Theorems 3.3 and 4.1) are forced by *adaptive*
+adversaries: the input revealed to the online scheduler depends on the
+scheduler's own actions.  The engine supports this through the
+:class:`~repro.core.engine.Adversary` protocol; this module provides a
+convenience base class with inert defaults so concrete adversaries only
+override what they need.
+
+An adversary may:
+
+* supply the initial job releases (:meth:`initial_jobs`),
+* observe every start and completion and react by releasing further jobs
+  or requesting wake-ups (:meth:`on_start`, :meth:`on_completion`,
+  :meth:`on_wakeup`),
+* control the processing length of any job it created with
+  ``length=None``: the engine asks for the commit time at the job's start
+  (:meth:`length_decision_time`, defaulting to the paper's
+  "one time unit after it is started") and for the value at that time
+  (:meth:`assign_length`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.engine import AdversaryResponse
+from ..core.job import Job
+
+__all__ = ["BaseAdversary", "AdversaryResponse"]
+
+
+class BaseAdversary:
+    """Inert adversary: releases nothing, assigns nothing.
+
+    Concrete adversaries override the relevant hooks.  The class also
+    centralises the length-commit delay used by §3.1 ("each job is
+    assigned the processing length 1 time unit after it is started").
+    """
+
+    #: Delay between a job's start and its length commitment.
+    assignment_delay: float = 1.0
+
+    def initial_jobs(self) -> Iterable[Job]:
+        """Jobs released before the simulation starts."""
+        return ()
+
+    def on_start(self, job: Job, t: float) -> AdversaryResponse | None:
+        """A job was started at time ``t``."""
+        return None
+
+    def on_completion(self, job: Job, t: float) -> AdversaryResponse | None:
+        """A job completed at time ``t``."""
+        return None
+
+    def on_wakeup(self, t: float) -> AdversaryResponse | None:
+        """A previously requested adversary wake-up fired."""
+        return None
+
+    def length_decision_time(self, job: Job, start: float) -> float:
+        """When the length of an adversary-controlled job is committed."""
+        return start + self.assignment_delay
+
+    def assign_length(self, job: Job, t: float) -> float:
+        """Commit the length of an adversary-controlled job.
+
+        Must be overridden by adversaries that release such jobs.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} released a job with an adversary-"
+            "controlled length but does not implement assign_length()"
+        )

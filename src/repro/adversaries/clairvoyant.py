@@ -1,0 +1,132 @@
+"""The clairvoyant lower-bound adversary (Section 4.1, Theorem 4.1).
+
+The construction forces every deterministic online scheduler's
+competitive ratio arbitrarily close to the golden ratio
+``φ = (√5 + 1)/2`` as the iteration budget ``n`` grows:
+
+* Iteration ``i`` (at time ``T_i = (i-1)(φ+1)``) releases a **short job**
+  (length 1, laxity 0 — it must start immediately) and a **long job**
+  (length φ, laxity ``(n-i+1)(φ+1)``, i.e. deadline ``n(φ+1)`` shared by
+  all long jobs).
+* The adversary watches whether the scheduler starts the long job during
+  the short job's active interval ``[T_i, T_i + 1)``.
+
+  - If **not**: stop releasing.  The scheduler pays span ``φ + 1`` for
+    this iteration alone while the optimum packs everything into
+    ``φ + (i-1)``; the ratio is at least φ.
+  - If **yes**: the long job's interval is pinned disjoint from every
+    other iteration's (releases are ``φ+1`` apart), costing the scheduler
+    φ per iteration; proceed to iteration ``i+1``.
+
+Either way the span ratio is at least
+``min(φ, nφ / (φ + n - 1)) → φ``.
+
+All lengths are fixed at release, so the adversary is compatible with the
+clairvoyant information model; only the *release sequence* adapts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ..core.engine import AdversaryResponse
+from ..core.job import Job
+from ..core.schedule import Schedule
+from ..core.job import Instance
+from .base import BaseAdversary
+
+__all__ = ["ClairvoyantLowerBoundAdversary", "PHI"]
+
+#: The golden ratio ``(√5 + 1)/2`` — the clairvoyant lower bound.
+PHI = (math.sqrt(5.0) + 1.0) / 2.0
+
+
+class ClairvoyantLowerBoundAdversary(BaseAdversary):
+    """The §4.1 golden-ratio adversary.
+
+    Parameters
+    ----------
+    n:
+        Maximum number of iterations (the bound approaches φ as n → ∞).
+
+    Attributes
+    ----------
+    iterations_played:
+        How many iterations were actually released.
+    stopped_early:
+        True when some iteration's long job was not started inside the
+        short job's active interval (the adversary then stops releasing).
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError(f"n must be at least 1, got {n}")
+        self.n = n
+        self.iterations_played = 0
+        self.stopped_early = False
+        self._start_times: dict[int, float] = {}
+        self._current_long_id: int | None = None
+
+    # -- job construction ---------------------------------------------------
+    def _release_time(self, i: int) -> float:
+        return (i - 1) * (PHI + 1.0)
+
+    def _iteration_jobs(self, i: int) -> list[Job]:
+        """The short job ``J_{2i-1}`` and long job ``J_{2i}``."""
+        t = self._release_time(i)
+        short = Job(id=2 * i - 1, arrival=t, deadline=t, length=1.0)
+        laxity = (self.n - i + 1) * (PHI + 1.0)
+        long = Job(id=2 * i, arrival=t, deadline=t + laxity, length=PHI)
+        return [short, long]
+
+    # -- adversary hooks -------------------------------------------------------
+    def initial_jobs(self) -> Iterable[Job]:
+        self.iterations_played = 1
+        jobs = self._iteration_jobs(1)
+        self._current_long_id = jobs[1].id
+        # Check the scheduler's choice at the end of the short job's
+        # active interval [T_1, T_1 + 1).
+        return jobs
+
+    def on_start(self, job: Job, t: float) -> AdversaryResponse | None:
+        self._start_times[job.id] = t
+        if job.id == 2 * self.iterations_played - 1:
+            # The short job of the current iteration just started (it has
+            # laxity 0, so t == T_i); revisit at the end of its run.
+            return AdversaryResponse(wakeup=t + 1.0)
+        return None
+
+    def on_wakeup(self, t: float) -> AdversaryResponse | None:
+        if self.stopped_early or self.iterations_played >= self.n:
+            return None
+        i = self.iterations_played
+        long_id = 2 * i
+        start = self._start_times.get(long_id)
+        t_i = self._release_time(i)
+        started_within = start is not None and t_i <= start < t_i + 1.0
+        if not started_within:
+            self.stopped_early = True
+            return None
+        self.iterations_played = i + 1
+        return AdversaryResponse(release=tuple(self._iteration_jobs(i + 1)))
+
+    # -- reference schedules ------------------------------------------------------
+    def paper_optimal_schedule(self, instance: Instance) -> Schedule:
+        """The paper's witness schedule for the released jobs.
+
+        All long jobs start together at the last release time
+        ``T_m = (m-1)(φ+1)`` (where ``m`` is the number of iterations
+        played — feasible since every long job's deadline is
+        ``n(φ+1) >= T_m``); every short job starts at its arrival.
+        Its span is ``φ + (m-1)``.
+        """
+        m = self.iterations_played
+        t_last = self._release_time(m)
+        starts: dict[int, float] = {}
+        for job in instance:
+            if job.id % 2 == 1:  # short
+                starts[job.id] = job.arrival
+            else:  # long
+                starts[job.id] = t_last
+        return Schedule(instance, starts)

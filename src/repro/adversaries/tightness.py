@@ -1,0 +1,159 @@
+"""Tightness instances for Batch (Figure 2) and Batch+ (Figure 3).
+
+These are *oblivious* (non-adaptive) worst-case families, so they are
+plain :class:`~repro.core.job.Instance` generators:
+
+* :func:`batch_tightness_instance` — three job groups forcing Batch's
+  ratio to ``2mμ / (m(1+ε) + μ) → 2μ`` (proof of Theorem 3.4):
+  group 1: ``m`` short jobs (length 1, laxity 0) at times ``2(i-1)μ``;
+  group 2: ``m`` short jobs (length 1, laxity ``μ-ε``) at ``2(i-1)μ+ε``;
+  group 3: ``2m`` long jobs (length μ) arriving at ``(i-1)μ`` with the
+  common starting deadline ``2mμ``.  Batch pairs each long job with a
+  short job's deadline, spreading the long jobs over a span of ``2mμ``,
+  while the optimum batches all long jobs at their shared deadline.
+
+* :func:`batchplus_tightness_instance` — two job groups forcing Batch+'s
+  ratio to ``m(μ+1-ε) / (m+μ) → μ+1`` (proof of Theorem 3.5):
+  ``m`` short jobs (length 1, laxity 0) at times ``(i-1)(μ+1)`` and
+  ``m`` long jobs (length μ, common starting deadline ``m(μ+1)``)
+  arriving at ``(i-1)(μ+1) + (1-ε)`` — each long job lands inside the
+  concurrently running short job's interval, so Batch+ starts it
+  immediately and pays ``μ+1-ε`` per iteration.
+
+Each generator also ships the paper's witness ``optimal`` schedule for
+the family, so benches can report the *exact* forced ratio without
+invoking a solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.job import Instance, Job
+from ..core.schedule import Schedule
+
+__all__ = [
+    "TightnessFamily",
+    "batch_tightness_instance",
+    "batchplus_tightness_instance",
+]
+
+
+@dataclass(frozen=True)
+class TightnessFamily:
+    """An instance plus the paper's witness (near-)optimal schedule."""
+
+    instance: Instance
+    optimal_schedule: Schedule
+    #: The ratio the construction forces in the limit (2μ or μ+1).
+    limit_ratio: float
+
+    @property
+    def optimal_span(self) -> float:
+        return self.optimal_schedule.span
+
+
+def batch_tightness_instance(
+    m: int, mu: float, epsilon: float = 1e-3
+) -> TightnessFamily:
+    """The Figure 2 family forcing Batch towards ratio ``2μ``.
+
+    Parameters
+    ----------
+    m:
+        Repetitions; the forced ratio is ``2mμ / (m(1+ε) + μ)``.
+    mu:
+        Long/short length ratio ``μ > 1``.
+    epsilon:
+        The ε of the construction; must satisfy ``0 < ε < min(1, μ-1)``
+        so that arrival orderings match the paper's figure.
+    """
+    if m < 1:
+        raise ValueError("m must be at least 1")
+    if mu <= 1:
+        raise ValueError("mu must exceed 1")
+    if not 0 < epsilon < min(1.0, mu - 1.0):
+        raise ValueError(f"epsilon must lie in (0, min(1, mu-1)), got {epsilon}")
+
+    jobs: list[Job] = []
+    starts_opt: dict[int, float] = {}
+    next_id = 0
+
+    # Group 1: m zero-laxity short jobs at 2(i-1)μ.
+    for i in range(1, m + 1):
+        t = 2 * (i - 1) * mu
+        jobs.append(Job(id=next_id, arrival=t, deadline=t, length=1.0))
+        starts_opt[next_id] = t  # optimum: start at arrival
+        next_id += 1
+
+    # Group 2: m short jobs with laxity (μ-ε) at 2(i-1)μ + ε.
+    for i in range(1, m + 1):
+        t = 2 * (i - 1) * mu + epsilon
+        jobs.append(Job(id=next_id, arrival=t, deadline=t + (mu - epsilon), length=1.0))
+        starts_opt[next_id] = t  # optimum: start at arrival
+        next_id += 1
+
+    # Group 3: 2m long jobs, i-th arriving at (i-1)μ, all with starting
+    # deadline 2mμ.
+    common_deadline = 2 * m * mu
+    for i in range(1, 2 * m + 1):
+        t = (i - 1) * mu
+        jobs.append(Job(id=next_id, arrival=t, deadline=common_deadline, length=mu))
+        starts_opt[next_id] = common_deadline  # optimum: batch at the deadline
+        next_id += 1
+
+    instance = Instance(jobs, name=f"batch-tightness(m={m}, mu={mu:g})")
+    return TightnessFamily(
+        instance=instance,
+        optimal_schedule=Schedule(instance, starts_opt),
+        limit_ratio=2 * mu,
+    )
+
+
+def batchplus_tightness_instance(
+    m: int, mu: float, epsilon: float = 1e-3
+) -> TightnessFamily:
+    """The Figure 3 family forcing Batch+ towards ratio ``μ + 1``.
+
+    Parameters
+    ----------
+    m:
+        Repetitions; the forced ratio is ``m(μ+1-ε) / (m+μ)``.
+    mu:
+        Long/short length ratio ``μ > 1``.
+    epsilon:
+        The ε of the construction, in ``(0, 1)``.
+    """
+    if m < 1:
+        raise ValueError("m must be at least 1")
+    if mu <= 1:
+        raise ValueError("mu must exceed 1")
+    if not 0 < epsilon < 1:
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+
+    jobs: list[Job] = []
+    starts_opt: dict[int, float] = {}
+    next_id = 0
+
+    # Short jobs: length 1, laxity 0, at (i-1)(μ+1).
+    for i in range(1, m + 1):
+        t = (i - 1) * (mu + 1)
+        jobs.append(Job(id=next_id, arrival=t, deadline=t, length=1.0))
+        starts_opt[next_id] = t
+        next_id += 1
+
+    # Long jobs: length μ, arriving at (i-1)(μ+1) + (1-ε), all with the
+    # common starting deadline m(μ+1).
+    common_deadline = m * (mu + 1)
+    for i in range(1, m + 1):
+        t = (i - 1) * (mu + 1) + (1 - epsilon)
+        jobs.append(Job(id=next_id, arrival=t, deadline=common_deadline, length=mu))
+        starts_opt[next_id] = common_deadline
+        next_id += 1
+
+    instance = Instance(jobs, name=f"batch+-tightness(m={m}, mu={mu:g})")
+    return TightnessFamily(
+        instance=instance,
+        optimal_schedule=Schedule(instance, starts_opt),
+        limit_ratio=mu + 1,
+    )

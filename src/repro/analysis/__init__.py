@@ -1,0 +1,84 @@
+"""Analysis: theory bounds, flag-forest structure, reports, Gantt charts."""
+
+from .certify import OptBracket, RatioBracket, bracket_optimum, measure_ratio
+from .compare import ComparisonMatrix, compare_schedulers
+from .convergence import LimitFit, fit_limit
+from .curves import render_curve, render_curves
+from .decompose import SpanComponent, decompose_span, iteration_attribution
+from .flags import (
+    FlagForest,
+    build_flag_forest,
+    check_forest_property,
+    check_lemma_4_6,
+    flags_pairwise_disjoint,
+    select_disjoint_flags,
+)
+from .gantt import render_gantt
+from .montecarlo import TrialSummary, estimate_adversarial_ratio, estimate_expected_ratio
+from .report import Table, format_markdown, format_table
+from .summary import RunSummary, summarize_run
+from .verify import TheoremCheck, TheoremReport, verify_theorems
+from .whatif import JobRegret, placement_regrets, total_regret
+from .theory import (
+    CLAIRVOYANT_LOWER_BOUND,
+    batch_lower_bound,
+    batch_upper_bound,
+    batchplus_ratio,
+    cdb_ratio,
+    clairvoyant_adversary_ratio,
+    nonclairvoyant_lower_bound,
+    optimal_cdb_alpha,
+    optimal_cdb_ratio,
+    optimal_profit_k,
+    optimal_profit_ratio,
+    profit_ratio,
+)
+
+__all__ = [
+    "OptBracket",
+    "RatioBracket",
+    "bracket_optimum",
+    "measure_ratio",
+    "ComparisonMatrix",
+    "compare_schedulers",
+    "LimitFit",
+    "fit_limit",
+    "render_curve",
+    "render_curves",
+    "SpanComponent",
+    "decompose_span",
+    "iteration_attribution",
+    "FlagForest",
+    "build_flag_forest",
+    "check_forest_property",
+    "check_lemma_4_6",
+    "select_disjoint_flags",
+    "flags_pairwise_disjoint",
+    "render_gantt",
+    "TrialSummary",
+    "estimate_expected_ratio",
+    "estimate_adversarial_ratio",
+    "Table",
+    "format_table",
+    "format_markdown",
+    "RunSummary",
+    "summarize_run",
+    "JobRegret",
+    "placement_regrets",
+    "total_regret",
+    "TheoremCheck",
+    "TheoremReport",
+    "verify_theorems",
+    "CLAIRVOYANT_LOWER_BOUND",
+    "batch_lower_bound",
+    "batch_upper_bound",
+    "batchplus_ratio",
+    "cdb_ratio",
+    "clairvoyant_adversary_ratio",
+    "nonclairvoyant_lower_bound",
+    "optimal_cdb_alpha",
+    "optimal_cdb_ratio",
+    "optimal_profit_k",
+    "optimal_profit_ratio",
+    "profit_ratio",
+]

@@ -1,0 +1,97 @@
+"""Head-to-head scheduler comparison: win/loss matrices.
+
+Mean ratios (E10) hide *dominance structure*: scheduler A can have a
+better mean than B while losing to it on a third of instances.  The
+comparison matrix counts per-instance wins, giving the pairwise picture
+a practitioner choosing a scheduler actually wants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.engine import simulate
+from ..core.job import Instance
+from ..schedulers.base import OnlineScheduler
+from .report import Table
+
+__all__ = ["ComparisonMatrix", "compare_schedulers"]
+
+#: Span differences below this relative tolerance count as ties.
+_TIE_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class ComparisonMatrix:
+    """Pairwise win counts over a common instance set.
+
+    ``wins[a][b]`` counts instances where scheduler ``a``'s span is
+    strictly smaller than ``b``'s; ties are counted separately.
+    """
+
+    names: tuple[str, ...]
+    wins: dict[str, dict[str, int]]
+    ties: dict[str, dict[str, int]]
+    instances: int
+
+    def dominance(self, a: str, b: str) -> str:
+        """``"a"``, ``"b"``, or ``"mixed"``: who never loses to whom."""
+        if self.wins[b][a] == 0 and self.wins[a][b] > 0:
+            return a
+        if self.wins[a][b] == 0 and self.wins[b][a] > 0:
+            return b
+        if self.wins[a][b] == 0 and self.wins[b][a] == 0:
+            return "tie"
+        return "mixed"
+
+    def render(self) -> str:
+        table = Table(
+            ["wins ↓ over →", *self.names],
+            title=f"head-to-head wins over {self.instances} instances "
+            "(row beats column)",
+            precision=0,
+        )
+        for a in self.names:
+            table.add(
+                a,
+                *[
+                    "—" if a == b else self.wins[a][b]
+                    for b in self.names
+                ],
+            )
+        return table.render()
+
+
+def compare_schedulers(
+    schedulers: Sequence[OnlineScheduler],
+    instances: Sequence[Instance],
+) -> ComparisonMatrix:
+    """Run every scheduler on every instance and tabulate pairwise wins."""
+    names = tuple(s.name for s in schedulers)
+    if len(set(names)) != len(names):
+        raise ValueError("scheduler names must be unique")
+    spans: dict[str, list[float]] = {n: [] for n in names}
+    for inst in instances:
+        for proto in schedulers:
+            result = simulate(
+                proto.clone(),
+                inst,
+                clairvoyant=type(proto).requires_clairvoyance,
+            )
+            spans[proto.name].append(result.span)
+    wins = {a: {b: 0 for b in names} for a in names}
+    ties = {a: {b: 0 for b in names} for a in names}
+    for i in range(len(instances)):
+        for a in names:
+            for b in names:
+                if a == b:
+                    continue
+                sa, sb = spans[a][i], spans[b][i]
+                if abs(sa - sb) <= _TIE_RTOL * max(sa, sb, 1.0):
+                    ties[a][b] += 1
+                elif sa < sb:
+                    wins[a][b] += 1
+    return ComparisonMatrix(
+        names=names, wins=wins, ties=ties, instances=len(instances)
+    )

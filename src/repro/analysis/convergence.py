@@ -1,0 +1,96 @@
+"""Limit extrapolation for convergent ratio sequences.
+
+The tightness families converge like ``r(m) = L - c/(m + b)`` (e.g.
+Batch's ``2mμ/(m(1+ε)+μ) → 2μ``); measuring at finite ``m`` therefore
+*systematically* understates the limit.  Fitting the model and reporting
+the extrapolated ``L`` turns "ratio 9.80 at m=256, limit 10" into a
+quantitative statement: "the measured sequence extrapolates to
+L = 10.00 ± fit error".
+
+Uses :func:`scipy.optimize.curve_fit`; falls back to Richardson-style
+two-point extrapolation when SciPy is unavailable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["LimitFit", "fit_limit"]
+
+
+@dataclass(frozen=True)
+class LimitFit:
+    """Result of extrapolating a convergent sequence.
+
+    ``limit`` is the fitted asymptote ``L``; ``stderr`` its standard
+    error (NaN when not estimable); ``residual`` the max absolute model
+    misfit over the data.
+    """
+
+    limit: float
+    stderr: float
+    residual: float
+    method: str
+
+    def consistent_with(self, value: float, *, slack: float = 3.0) -> bool:
+        """Whether ``value`` lies within ``slack`` standard errors of the
+        fitted limit (using the residual when stderr is unavailable)."""
+        tolerance = (
+            slack * self.stderr
+            if np.isfinite(self.stderr) and self.stderr > 0
+            else max(10 * self.residual, 1e-6 * max(1.0, abs(value)))
+        )
+        return abs(self.limit - value) <= tolerance
+
+
+def _model(m: np.ndarray, L: float, c: float, b: float) -> np.ndarray:
+    return L - c / (m + b)
+
+
+def fit_limit(
+    ms: Sequence[float], ratios: Sequence[float]
+) -> LimitFit:
+    """Fit ``r(m) = L - c/(m + b)`` and return the extrapolated limit.
+
+    Needs at least three points; with exactly three, the model is solved
+    exactly (zero residual), beyond that least-squares.
+    """
+    m = np.asarray(ms, dtype=np.float64)
+    r = np.asarray(ratios, dtype=np.float64)
+    if m.size != r.size or m.size < 3:
+        raise ValueError("need at least three (m, ratio) points")
+    if np.any(m <= 0):
+        raise ValueError("m values must be positive")
+
+    try:
+        from scipy.optimize import curve_fit
+
+        # Initial guess: L ≈ last ratio + one more increment, b ≈ 1.
+        L0 = float(r[-1] + (r[-1] - r[-2] if m.size > 1 else 0.0))
+        c0 = float((L0 - r[0]) * (m[0] + 1.0))
+        popt, pcov = curve_fit(
+            _model,
+            m,
+            r,
+            p0=[L0, c0, 1.0],
+            maxfev=20_000,
+        )
+        fitted = _model(m, *popt)
+        residual = float(np.max(np.abs(fitted - r)))
+        stderr = float(np.sqrt(pcov[0, 0])) if np.all(np.isfinite(pcov)) else float("nan")
+        return LimitFit(
+            limit=float(popt[0]),
+            stderr=stderr,
+            residual=residual,
+            method="curve_fit",
+        )
+    except ImportError:  # pragma: no cover - scipy is a listed dev dep
+        # Richardson-style: assume b=0, solve L from the last two points.
+        m1, m2 = m[-2], m[-1]
+        r1, r2 = r[-2], r[-1]
+        L = (r2 * m2 - r1 * m1 * (m2 / m1)) / (m2 - m1) if m2 != m1 else r2
+        L = float((m2 * r2 - m1 * r1) / (m2 - m1))
+        return LimitFit(limit=L, stderr=float("nan"), residual=float("nan"), method="richardson")

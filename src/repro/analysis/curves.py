@@ -1,0 +1,101 @@
+"""ASCII line charts for parameter sweeps.
+
+The sweeps (α for CDB, k for Profit, β/θ for the heuristics, laxity for
+E14) produce ``x → y`` curves; this renders them in the terminal so the
+examples and the CLI can *show* the bound shapes without a plotting
+dependency.  Multiple named series share the canvas; each uses its own
+marker character.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_curve", "render_curves"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def render_curves(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+    y_label: str = "",
+) -> str:
+    """Render named ``(x, y)`` series as an ASCII chart.
+
+    Points are plotted on a shared linear canvas; the legend maps marker
+    characters to series names.  Raises on empty input.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    x_extent = max(x1 - x0, 1e-12)
+    y_extent = max(y1 - y0, 1e-12)
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        cx = min(width - 1, max(0, round((x - x0) / x_extent * (width - 1))))
+        cy = min(height - 1, max(0, round((y - y0) / y_extent * (height - 1))))
+        return height - 1 - cy, cx
+
+    for idx, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        ordered = sorted(pts)
+        # connect consecutive points with linear interpolation
+        for (xa, ya), (xb, yb) in zip(ordered, ordered[1:]):
+            steps = max(
+                2,
+                int(abs((xb - xa) / x_extent * (width - 1))) + 1,
+            )
+            for t in range(steps + 1):
+                frac = t / steps
+                r, c = cell(xa + frac * (xb - xa), ya + frac * (yb - ya))
+                if canvas[r][c] == " ":
+                    canvas[r][c] = "·"
+        for x, y in ordered:
+            r, c = cell(x, y)
+            canvas[r][c] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y1:g}"
+    bottom_label = f"{y0:g}"
+    label_w = max(len(top_label), len(bottom_label), len(y_label))
+    for r, row in enumerate(canvas):
+        if r == 0:
+            label = top_label
+        elif r == height - 1:
+            label = bottom_label
+        elif r == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_w)} |{''.join(row)}|")
+    lines.append(" " * label_w + f"  {x0:<{width // 2 - 2}g}{x1:>{width // 2}g}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * label_w + "  " + legend)
+    return "\n".join(lines)
+
+
+def render_curve(
+    points: Sequence[tuple[float, float]],
+    *,
+    name: str = "y",
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Single-series convenience wrapper around :func:`render_curves`."""
+    return render_curves({name: points}, width=width, height=height, title=title)

@@ -1,0 +1,61 @@
+"""ASCII Gantt rendering of schedules.
+
+Quick visual inspection of what a scheduler did — used by the examples
+and handy in a REPL.  Each job renders as one row of ``█`` over its
+active interval, with ``·`` marking the (unused) flexibility window
+``[arrival, deadline]`` around it.
+"""
+
+from __future__ import annotations
+
+from ..core.schedule import Schedule
+
+__all__ = ["render_gantt"]
+
+
+def render_gantt(
+    schedule: Schedule,
+    *,
+    width: int = 78,
+    max_jobs: int = 40,
+    show_window: bool = True,
+) -> str:
+    """Render the schedule as an ASCII Gantt chart.
+
+    Parameters
+    ----------
+    width:
+        Character width of the time axis.
+    max_jobs:
+        Rows are truncated beyond this many jobs (with a note).
+    show_window:
+        Also shade each job's start-flexibility window.
+    """
+    rows = sorted(schedule.rows(), key=lambda r: (r.start, r.job.id))
+    if not rows:
+        return "(empty schedule)"
+    t0 = min(min(r.job.arrival for r in rows), min(r.start for r in rows))
+    t1 = max(r.end for r in rows)
+    extent = max(t1 - t0, 1e-9)
+
+    def col(t: float) -> int:
+        return min(width - 1, max(0, int((t - t0) / extent * (width - 1))))
+
+    lines = [
+        f"time [{t0:g}, {t1:g}]   span={schedule.span:g}   "
+        f"jobs={len(rows)}"
+    ]
+    shown = rows[:max_jobs]
+    id_w = max(len(str(r.job.id)) for r in shown)
+    for r in shown:
+        canvas = [" "] * width
+        if show_window:
+            for c in range(col(r.job.arrival), col(r.job.deadline) + 1):
+                canvas[c] = "·"
+        lo, hi = col(r.start), col(r.end)
+        for c in range(lo, max(lo + 1, hi)):
+            canvas[c] = "█"
+        lines.append(f"J{str(r.job.id).rjust(id_w)} |{''.join(canvas)}|")
+    if len(rows) > max_jobs:
+        lines.append(f"… {len(rows) - max_jobs} more jobs not shown")
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Monte-Carlo estimation for randomized schedulers.
+
+Theorems 3.3 and 4.1 bound *deterministic* schedulers; whether
+randomization helps against these adversaries is a natural follow-up
+(the paper's lower-bound instances are adaptive, so the standard
+oblivious-adversary advantage need not apply).  This module provides the
+estimation machinery experiment E15 uses:
+
+* :func:`estimate_expected_ratio` — run a randomized scheduler many
+  times (fresh seeds) on a fixed instance or adversary factory and
+  report mean ratio with a normal-approximation confidence interval;
+* :class:`TrialSummary` — the per-experiment record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.engine import simulate
+from ..core.job import Instance
+from ..schedulers.base import OnlineScheduler
+
+__all__ = ["TrialSummary", "estimate_expected_ratio", "estimate_adversarial_ratio"]
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Aggregated Monte-Carlo trials of a (randomized) scheduler."""
+
+    ratios: tuple[float, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.ratios)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.ratios))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.ratios, ddof=1)) if self.n > 1 else 0.0
+
+    @property
+    def stderr(self) -> float:
+        return self.std / np.sqrt(self.n) if self.n > 0 else 0.0
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI for the mean ratio."""
+        half = z * self.stderr
+        return (self.mean - half, self.mean + half)
+
+    @property
+    def worst(self) -> float:
+        return float(max(self.ratios)) if self.ratios else float("nan")
+
+    @property
+    def best(self) -> float:
+        return float(min(self.ratios)) if self.ratios else float("nan")
+
+
+def estimate_expected_ratio(
+    make_scheduler: Callable[[int], OnlineScheduler],
+    instance: Instance,
+    reference: float,
+    *,
+    trials: int = 50,
+    clairvoyant: bool | None = None,
+) -> TrialSummary:
+    """Expected span ratio of a seeded randomized scheduler on a fixed
+    instance.
+
+    Parameters
+    ----------
+    make_scheduler:
+        ``seed -> scheduler`` factory (fresh randomness per trial).
+    reference:
+        The denominator (exact OPT or a certified bound).
+    """
+    if reference <= 0:
+        raise ValueError("reference span must be positive")
+    ratios = []
+    for seed in range(trials):
+        sched = make_scheduler(seed)
+        mode = (
+            type(sched).requires_clairvoyance
+            if clairvoyant is None
+            else clairvoyant
+        )
+        result = simulate(sched, instance, clairvoyant=mode)
+        ratios.append(result.span / reference)
+    return TrialSummary(ratios=tuple(ratios))
+
+
+def estimate_adversarial_ratio(
+    make_scheduler: Callable[[int], OnlineScheduler],
+    make_adversary: Callable[[], object],
+    *,
+    trials: int = 50,
+    clairvoyant: bool = False,
+) -> TrialSummary:
+    """Expected forced ratio of a randomized scheduler against a fresh
+    *adaptive* adversary per trial.
+
+    The adversary must expose ``paper_optimal_schedule(instance)``; the
+    per-trial denominator is that witness's span (a feasible schedule,
+    so each trial's ratio is a sound upper-estimate of span/OPT).
+    """
+    ratios = []
+    for seed in range(trials):
+        adv = make_adversary()
+        result = simulate(
+            make_scheduler(seed), adversary=adv, clairvoyant=clairvoyant
+        )
+        witness = adv.paper_optimal_schedule(result.instance)  # type: ignore[attr-defined]
+        ratios.append(result.span / witness.span)
+    return TrialSummary(ratios=tuple(ratios))

@@ -1,0 +1,106 @@
+"""Fixed-width result tables for benches and the CLI.
+
+The paper has no numeric tables, so our experiment outputs define the
+house style: a compact monospaced table with a title, aligned columns,
+and consistent float formatting — the same renderer is reused by every
+bench so EXPERIMENTS.md rows are directly copy-pasteable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_markdown", "Table"]
+
+
+def _fmt(value: Any, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "∞"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render a fixed-width table.
+
+    Floats are formatted to ``precision`` decimals; booleans as yes/no.
+    """
+    str_rows = [[_fmt(v, precision) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+class Table:
+    """Incremental table builder with the same rendering."""
+
+    def __init__(self, headers: Sequence[str], title: str | None = None, precision: int = 4) -> None:
+        self.headers = list(headers)
+        self.title = title
+        self.precision = precision
+        self.rows: list[list[Any]] = []
+
+    def add(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        return format_table(
+            self.headers, self.rows, title=self.title, precision=self.precision
+        )
+
+    def render_markdown(self) -> str:
+        return format_markdown(self.headers, self.rows, precision=self.precision)
+
+    def print(self) -> None:
+        print(self.render())
+
+
+def format_markdown(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    precision: int = 4,
+) -> str:
+    """Render the same table as GitHub-flavoured markdown.
+
+    Used to paste regenerated results straight into EXPERIMENTS.md.
+    """
+    str_rows = [[_fmt(v, precision) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in str_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Closed-form competitive bounds from the paper's theorems.
+
+Every theorem's bound is exposed as a function so that benches and tests
+compare measured ratios against the exact expressions rather than
+hard-coded constants:
+
+=============================  ==========================================
+Theorem 3.3 (lower bound)      :func:`nonclairvoyant_lower_bound`
+Theorem 3.4 (Batch)            :func:`batch_upper_bound`, ``batch_lower_bound``
+Theorem 3.5 (Batch+)           :func:`batchplus_ratio` (tight)
+Theorem 4.1 (lower bound)      :data:`CLAIRVOYANT_LOWER_BOUND` (φ)
+Theorem 4.4 (CDB)              :func:`cdb_ratio`, :func:`optimal_cdb_alpha`
+Theorem 4.11 (Profit)          :func:`profit_ratio`, :func:`optimal_profit_k`
+=============================  ==========================================
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "CLAIRVOYANT_LOWER_BOUND",
+    "batch_upper_bound",
+    "batch_lower_bound",
+    "batchplus_ratio",
+    "cdb_ratio",
+    "optimal_cdb_alpha",
+    "optimal_cdb_ratio",
+    "profit_ratio",
+    "optimal_profit_k",
+    "optimal_profit_ratio",
+    "nonclairvoyant_lower_bound",
+    "clairvoyant_adversary_ratio",
+]
+
+#: Theorem 4.1: the golden ratio φ = (√5+1)/2 ≈ 1.618.
+CLAIRVOYANT_LOWER_BOUND = (math.sqrt(5.0) + 1.0) / 2.0
+
+
+def batch_upper_bound(mu: float) -> float:
+    """Theorem 3.4 upper bound: Batch is at most ``(2μ+1)``-competitive."""
+    _require_mu(mu)
+    return 2.0 * mu + 1.0
+
+
+def batch_lower_bound(mu: float) -> float:
+    """Theorem 3.4 lower bound: Batch is at least ``2μ``-competitive."""
+    _require_mu(mu)
+    return 2.0 * mu
+
+
+def batchplus_ratio(mu: float) -> float:
+    """Theorem 3.5: Batch+'s tight competitive ratio ``μ + 1``."""
+    _require_mu(mu)
+    return mu + 1.0
+
+
+def cdb_ratio(alpha: float) -> float:
+    """Theorem 4.4: CDB's bound ``3α + 4 + 2/(α-1)`` for category ratio α."""
+    if alpha <= 1:
+        raise ValueError(f"alpha must exceed 1, got {alpha}")
+    return 3.0 * alpha + 4.0 + 2.0 / (alpha - 1.0)
+
+
+def optimal_cdb_alpha() -> float:
+    """The α minimising :func:`cdb_ratio`: ``1 + √(2/3)``."""
+    return 1.0 + math.sqrt(2.0 / 3.0)
+
+
+def optimal_cdb_ratio() -> float:
+    """The minimised CDB bound ``7 + 2√6 ≈ 11.899``."""
+    return 7.0 + 2.0 * math.sqrt(6.0)
+
+
+def profit_ratio(k: float) -> float:
+    """Theorem 4.11: Profit's bound ``2k + 2 + 1/(k-1)`` for parameter k."""
+    if k <= 1:
+        raise ValueError(f"k must exceed 1, got {k}")
+    return 2.0 * k + 2.0 + 1.0 / (k - 1.0)
+
+
+def optimal_profit_k() -> float:
+    """The k minimising :func:`profit_ratio`: ``1 + √2/2``."""
+    return 1.0 + math.sqrt(2.0) / 2.0
+
+
+def optimal_profit_ratio() -> float:
+    """The minimised Profit bound ``4 + 2√2 ≈ 6.828``."""
+    return 4.0 + 2.0 * math.sqrt(2.0)
+
+
+def nonclairvoyant_lower_bound(k: int, mu: float, counts: list[int] | None = None) -> float:
+    """Theorem 3.3's forced ratio for iteration budget ``k``:
+
+    ``min{ √N₁, min_{2<=i<=k} ((i-1)μ + √N_{i}) / (μ + i - 1),
+           (kμ + 1) / (μ + k) }``
+
+    With the paper's doubly-exponential counts (``counts=None``) this
+    approaches μ as ``k → ∞``; pass explicit per-iteration job counts to
+    evaluate the same expression for a scaled profile.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    _require_mu(mu)
+    if counts is None:
+        # √N_i = 2^(2^(2k-i)); overflows quickly, so work in logs and cap.
+        def sqrt_count(i: int) -> float:
+            exponent = 2 ** (2 * k - i)
+            return float("inf") if exponent > 1000 else float(2**exponent)
+    else:
+        if len(counts) != k:
+            raise ValueError(f"need {k} iteration counts, got {len(counts)}")
+
+        def sqrt_count(i: int) -> float:
+            return math.sqrt(counts[i - 1])
+
+    candidates = [sqrt_count(1)]
+    for i in range(2, k + 1):
+        candidates.append(((i - 1) * mu + sqrt_count(i)) / (mu + i - 1))
+    candidates.append((k * mu + 1.0) / (mu + k))
+    return min(candidates)
+
+
+def clairvoyant_adversary_ratio(n: int) -> float:
+    """Theorem 4.1's forced ratio with iteration budget ``n``:
+    ``min(φ, nφ / (φ + n - 1))`` — i.e. the final-iteration branch, the
+    binding one; early stops force exactly φ."""
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    phi = CLAIRVOYANT_LOWER_BOUND
+    return min(phi, n * phi / (phi + n - 1.0))
+
+
+def _require_mu(mu: float) -> None:
+    if mu < 1:
+        raise ValueError(f"mu must be at least 1, got {mu}")

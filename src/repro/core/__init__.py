@@ -1,0 +1,97 @@
+"""Core model: jobs, intervals, schedules, metrics and the event engine."""
+
+from .errors import (
+    CapacityExceededError,
+    ClairvoyanceError,
+    DeadlineMissedError,
+    FJSError,
+    InvalidInstanceError,
+    InvalidJobError,
+    InvalidScheduleError,
+    SchedulingViolationError,
+    SimulationError,
+    SolverError,
+)
+from .intervals import Interval, IntervalUnion, merge_intervals, union_measure
+from .audit import AuditReport, Finding, audit
+from .intervalset import MutableIntervalSet
+from .job import Instance, Job, make_jobs
+from .schedule import Schedule, StartedJob
+from .metrics import (
+    ConcurrencyProfile,
+    concurrency_profile,
+    max_concurrency,
+    overlap_fraction,
+    parallelism,
+    span_ratio,
+)
+from .io import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_schedule,
+    save_instance,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from .trace import Trace, TraceKind, TraceRecord
+from .engine import (
+    Adversary,
+    AdversaryResponse,
+    JobView,
+    SchedulerContext,
+    SimulationResult,
+    Simulator,
+    simulate,
+)
+
+__all__ = [
+    "CapacityExceededError",
+    "ClairvoyanceError",
+    "DeadlineMissedError",
+    "FJSError",
+    "InvalidInstanceError",
+    "InvalidJobError",
+    "InvalidScheduleError",
+    "SchedulingViolationError",
+    "SimulationError",
+    "SolverError",
+    "Interval",
+    "IntervalUnion",
+    "MutableIntervalSet",
+    "AuditReport",
+    "Finding",
+    "audit",
+    "merge_intervals",
+    "union_measure",
+    "Instance",
+    "Job",
+    "make_jobs",
+    "Schedule",
+    "StartedJob",
+    "ConcurrencyProfile",
+    "concurrency_profile",
+    "max_concurrency",
+    "overlap_fraction",
+    "parallelism",
+    "span_ratio",
+    "Adversary",
+    "AdversaryResponse",
+    "JobView",
+    "SchedulerContext",
+    "SimulationResult",
+    "Simulator",
+    "simulate",
+    "Trace",
+    "TraceKind",
+    "TraceRecord",
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
+]

@@ -1,0 +1,158 @@
+"""Schedule auditing: structured validity reports.
+
+`Schedule.validate` raises on the first violation — right for internal
+invariants, unhelpful when *diagnosing* a schedule produced elsewhere
+(a loaded JSON file, a hand-written baseline, an external tool).  The
+auditor runs every check, collects all findings, and summarises:
+
+* **violations** — feasibility failures (job outside its window, missing
+  or duplicated jobs, inconsistent lengths);
+* **observations** — non-fatal structure facts (idle gaps inside the
+  busy hull, jobs started strictly at deadlines, peak concurrency).
+
+``audit(instance, starts)`` never raises on bad data; it reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .intervals import IntervalUnion
+from .job import Instance
+from .metrics import concurrency_profile
+
+__all__ = ["Finding", "AuditReport", "audit"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One audit finding."""
+
+    severity: str  # "violation" | "observation"
+    code: str
+    message: str
+    job_id: int | None = None
+
+
+@dataclass
+class AuditReport:
+    """All findings for one (instance, starts) pair plus summary stats."""
+
+    findings: list[Finding] = field(default_factory=list)
+    span: float | None = None
+    peak_concurrency: int | None = None
+    idle_within_hull: float | None = None
+
+    @property
+    def violations(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "violation"]
+
+    @property
+    def observations(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "observation"]
+
+    @property
+    def feasible(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        """Human-readable summary."""
+        lines = [
+            f"feasible: {'yes' if self.feasible else 'NO'}"
+            + (f"   span={self.span:g}" if self.span is not None else "")
+            + (
+                f"   peak concurrency={self.peak_concurrency}"
+                if self.peak_concurrency is not None
+                else ""
+            )
+        ]
+        for f in self.findings:
+            tag = "!!" if f.severity == "violation" else "--"
+            job = f" [J{f.job_id}]" if f.job_id is not None else ""
+            lines.append(f"{tag} {f.code}{job}: {f.message}")
+        return "\n".join(lines)
+
+
+def audit(instance: Instance, starts: Mapping[int, float]) -> AuditReport:
+    """Audit a start-time assignment against an instance.
+
+    Performs every check regardless of earlier failures and computes
+    summary statistics over the valid subset of jobs.
+    """
+    report = AuditReport()
+    inst_ids = set(instance.job_ids)
+    sched_ids = set(starts)
+
+    for missing in sorted(inst_ids - sched_ids):
+        report.findings.append(
+            Finding("violation", "missing-job", "job has no start time", missing)
+        )
+    for extra in sorted(sched_ids - inst_ids):
+        report.findings.append(
+            Finding("violation", "unknown-job", "start refers to no job", extra)
+        )
+
+    placed: list[tuple[float, float]] = []
+    for jid in sorted(inst_ids & sched_ids):
+        job = instance[jid]
+        s = starts[jid]
+        if job.length is None:
+            report.findings.append(
+                Finding(
+                    "violation",
+                    "unresolved-length",
+                    "job's processing length was never committed",
+                    jid,
+                )
+            )
+            continue
+        if s < job.arrival:
+            report.findings.append(
+                Finding(
+                    "violation",
+                    "starts-before-arrival",
+                    f"start {s:g} precedes arrival {job.arrival:g}",
+                    jid,
+                )
+            )
+        elif s > job.deadline:
+            report.findings.append(
+                Finding(
+                    "violation",
+                    "misses-deadline",
+                    f"start {s:g} exceeds starting deadline {job.deadline:g}",
+                    jid,
+                )
+            )
+        else:
+            placed.append((s, job.length))
+            if s == job.deadline and job.laxity > 0:
+                report.findings.append(
+                    Finding(
+                        "observation",
+                        "deadline-start",
+                        "job started exactly at its deadline",
+                        jid,
+                    )
+                )
+
+    if placed:
+        union = IntervalUnion.from_starts_lengths(
+            [p[0] for p in placed], [p[1] for p in placed]
+        )
+        report.span = union.measure
+        hull = union.right - union.left
+        report.idle_within_hull = hull - union.measure
+        if report.idle_within_hull > 1e-12:
+            report.findings.append(
+                Finding(
+                    "observation",
+                    "idle-gaps",
+                    f"{report.idle_within_hull:g} time units idle inside "
+                    f"the busy hull ({len(union)} busy components)",
+                )
+            )
+        prof = concurrency_profile([p[0] for p in placed], [p[1] for p in placed])
+        report.peak_concurrency = prof.peak
+    return report

@@ -1,0 +1,597 @@
+"""Discrete-event simulator for online FJS.
+
+The simulator runs an *online scheduler* against either a static
+:class:`~repro.core.job.Instance` or an *adaptive adversary* (which may
+inject jobs and commit processing lengths during the run, as the paper's
+lower-bound constructions in §3.1 and §4.1 require).
+
+Information models
+------------------
+* **Clairvoyant** — the scheduler sees ``p(J)`` from the moment ``J``
+  arrives (``JobView.length`` is always available).
+* **Non-clairvoyant** — ``p(J)`` is hidden until the job completes;
+  accessing it earlier raises :class:`ClairvoyanceError`.  This is
+  enforced structurally: the scheduler only ever handles
+  :class:`JobView` objects, never raw jobs.
+
+Scheduler protocol
+------------------
+A scheduler implements any subset of the hooks
+
+``on_arrival(ctx, job)`` · ``on_deadline(ctx, job)`` ·
+``on_completion(ctx, job)`` · ``on_timer(ctx, tag)``
+
+and acts through the :class:`SchedulerContext`: ``ctx.start(job_id)``
+starts a pending job *now*; ``ctx.set_timer(t, tag)`` requests a wake-up.
+The engine guarantees ``on_deadline`` fires exactly when an unstarted
+job's starting deadline is reached — if the scheduler returns without
+starting it, the run aborts with :class:`DeadlineMissedError`, because an
+FJS scheduler must start every job within its window.
+
+Adversary protocol
+------------------
+An adversary (see ``repro.adversaries.base``) supplies initial jobs,
+observes starts/completions, may release more jobs (with arrivals at or
+after the current time), request wake-ups, and commit the length of any
+job it created with ``length=None``.  Lengths are committed at an
+``ASSIGN`` event whose time the adversary chooses when the job starts
+(the §3.1 construction assigns lengths one time unit after start).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Protocol, runtime_checkable
+
+from .errors import (
+    ClairvoyanceError,
+    DeadlineMissedError,
+    SchedulingViolationError,
+    SimulationError,
+)
+from .events import Event, EventKind, EventQueue
+from .job import Instance, Job
+from .schedule import Schedule
+from .trace import Trace, TraceKind
+
+__all__ = [
+    "JobView",
+    "SchedulerContext",
+    "AdversaryResponse",
+    "Adversary",
+    "SimulationResult",
+    "Simulator",
+    "simulate",
+]
+
+#: Hard cap on processed events, guarding against runaway scheduler/adversary
+#: interactions (e.g. a timer loop that never advances time).
+MAX_EVENTS_DEFAULT = 10_000_000
+
+
+class JobView:
+    """The scheduler-facing view of a job.
+
+    Exposes arrival, starting deadline and laxity unconditionally; the
+    processing length only when the information model permits (always in
+    clairvoyant mode, after completion otherwise).
+    """
+
+    __slots__ = ("_job", "_state")
+
+    def __init__(self, job: Job, state: "_JobState") -> None:
+        self._job = job
+        self._state = state
+
+    @property
+    def id(self) -> int:
+        return self._job.id
+
+    @property
+    def arrival(self) -> float:
+        return self._job.arrival
+
+    @property
+    def deadline(self) -> float:
+        """The starting deadline ``d(J)`` (latest permissible start)."""
+        return self._job.deadline
+
+    @property
+    def laxity(self) -> float:
+        return self._job.deadline - self._job.arrival
+
+    @property
+    def size(self) -> float:
+        """Resource demand (DBP extension); always visible."""
+        return self._job.size
+
+    @property
+    def length(self) -> float:
+        """``p(J)``; raises :class:`ClairvoyanceError` when still hidden."""
+        st = self._state
+        if not st.length_visible:
+            raise ClairvoyanceError(
+                f"job {self._job.id}: processing length is hidden in the "
+                "non-clairvoyant setting until the job completes"
+            )
+        assert st.length is not None
+        return st.length
+
+    @property
+    def length_if_known(self) -> float | None:
+        """``p(J)`` when visible, else ``None`` (no exception)."""
+        return self._state.length if self._state.length_visible else None
+
+    @property
+    def started(self) -> bool:
+        return self._state.start is not None
+
+    @property
+    def start_time(self) -> float | None:
+        return self._state.start
+
+    @property
+    def completed(self) -> bool:
+        return self._state.completed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        p = self._state.length if self._state.length_visible else "?"
+        return (
+            f"JobView(id={self.id}, a={self.arrival:g}, d={self.deadline:g}, "
+            f"p={p})"
+        )
+
+
+@dataclass
+class _JobState:
+    """Engine-internal per-job bookkeeping."""
+
+    job: Job
+    length: float | None = None  # committed processing length
+    length_visible: bool = False  # may the scheduler read it?
+    arrived: bool = False
+    start: float | None = None
+    completion: float | None = None
+    completed: bool = False
+    view: JobView = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.view = JobView(self.job, self)
+
+
+@dataclass(frozen=True)
+class AdversaryResponse:
+    """What an adversary hook may request from the engine.
+
+    Attributes
+    ----------
+    release:
+        New jobs to inject.  Each job's arrival must be at or after the
+        current simulation time.
+    wakeup:
+        An absolute time at which ``on_wakeup`` should be invoked, or
+        ``None``.
+    """
+
+    release: tuple[Job, ...] = ()
+    wakeup: float | None = None
+
+
+@runtime_checkable
+class Adversary(Protocol):
+    """Structural protocol for adaptive adversaries (see adversaries.base)."""
+
+    def initial_jobs(self) -> Iterable[Job]: ...
+
+    def on_start(self, job: Job, t: float) -> AdversaryResponse | None: ...
+
+    def on_completion(self, job: Job, t: float) -> AdversaryResponse | None: ...
+
+    def on_wakeup(self, t: float) -> AdversaryResponse | None: ...
+
+    def length_decision_time(self, job: Job, start: float) -> float: ...
+
+    def assign_length(self, job: Job, t: float) -> float: ...
+
+
+class SchedulerContext:
+    """The scheduler's handle on the running simulation."""
+
+    __slots__ = ("_sim",)
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._sim._now
+
+    @property
+    def clairvoyant(self) -> bool:
+        """Whether processing lengths are visible at arrival."""
+        return self._sim._clairvoyant
+
+    def start(self, job_id: int) -> None:
+        """Start a pending job at the current time.
+
+        Raises :class:`SchedulingViolationError` on any illegal start
+        (unknown/unarrived/already-started job, or past the deadline).
+        """
+        self._sim._start_job(job_id)
+
+    def set_timer(self, time: float, tag: Any = None) -> None:
+        """Request an ``on_timer(ctx, tag)`` callback at absolute ``time``."""
+        sim = self._sim
+        if time < sim._now:
+            raise SchedulingViolationError(
+                f"timer at {time} is in the past (now={sim._now})"
+            )
+        sim._queue.push(time, EventKind.TIMER, tag)
+
+    def pending(self) -> list[JobView]:
+        """Arrived-but-unstarted jobs, sorted by (deadline, arrival, id)."""
+        sim = self._sim
+        views = [
+            st.view
+            for st in sim._states.values()
+            if st.arrived and st.start is None
+        ]
+        views.sort(key=lambda v: (v.deadline, v.arrival, v.id))
+        return views
+
+    def is_started(self, job_id: int) -> bool:
+        st = self._sim._states.get(job_id)
+        return st is not None and st.start is not None
+
+    def is_completed(self, job_id: int) -> bool:
+        st = self._sim._states.get(job_id)
+        return st is not None and st.completed
+
+    def running(self) -> list[JobView]:
+        """Started-but-uncompleted jobs, sorted by (start, id)."""
+        sim = self._sim
+        views = [
+            st.view
+            for st in sim._states.values()
+            if st.start is not None and not st.completed
+        ]
+        views.sort(key=lambda v: (v.start_time, v.id))
+        return views
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of a completed simulation.
+
+    Attributes
+    ----------
+    schedule:
+        The validated schedule over the *resolved* instance (all
+        adversary-controlled lengths committed).
+    instance:
+        The resolved instance actually executed.
+    span:
+        Convenience alias of ``schedule.span``.
+    events_processed:
+        Number of events dispatched — a proxy for simulation work.
+    scheduler:
+        The scheduler object (exposes algorithm-specific statistics such
+        as flag jobs).
+    """
+
+    schedule: Schedule
+    instance: Instance
+    events_processed: int
+    scheduler: Any
+    trace: Trace | None = None
+
+    @property
+    def span(self) -> float:
+        return self.schedule.span
+
+
+class Simulator:
+    """Runs one online scheduler against one instance or adversary.
+
+    Parameters
+    ----------
+    scheduler:
+        An object implementing (a subset of) the scheduler hooks.  Its
+        ``setup(ctx)`` method, if present, is invoked before any event.
+    instance:
+        A static instance; mutually exclusive with ``adversary``.
+    adversary:
+        An adaptive adversary; mutually exclusive with ``instance``.
+    clairvoyant:
+        The information model.  Adversary-controlled lengths require
+        ``clairvoyant=False`` (a clairvoyant scheduler must know lengths
+        at arrival).
+    max_events:
+        Safety cap on dispatched events.
+    trace:
+        When true, record a :class:`~repro.core.trace.Trace` of every
+        event and scheduler action (exposed on the result).
+    """
+
+    def __init__(
+        self,
+        scheduler: Any,
+        *,
+        instance: Instance | None = None,
+        adversary: Adversary | None = None,
+        clairvoyant: bool = False,
+        max_events: int = MAX_EVENTS_DEFAULT,
+        trace: bool = False,
+    ) -> None:
+        if (instance is None) == (adversary is None):
+            raise SimulationError(
+                "provide exactly one of instance= or adversary="
+            )
+        self._scheduler = scheduler
+        self._instance = instance
+        self._adversary = adversary
+        self._clairvoyant = clairvoyant
+        self._max_events = max_events
+
+        self._trace: Trace | None = Trace() if trace else None
+        self._queue = EventQueue()
+        self._states: dict[int, _JobState] = {}
+        self._now = 0.0
+        self._events_processed = 0
+        self._ctx = SchedulerContext(self)
+        self._started = False
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> SimulationResult:
+        """Execute the simulation to completion and return the result."""
+        if self._started:
+            raise SimulationError("a Simulator instance can only run once")
+        self._started = True
+
+        if self._instance is not None:
+            initial = list(self._instance.jobs)
+        else:
+            assert self._adversary is not None
+            initial = list(self._adversary.initial_jobs())
+
+        for job in initial:
+            self._admit_job(job)
+
+        setup = getattr(self._scheduler, "setup", None)
+        if callable(setup):
+            setup(self._ctx)
+
+        while self._queue:
+            ev = self._queue.pop()
+            self._events_processed += 1
+            if self._events_processed > self._max_events:
+                raise SimulationError(
+                    f"event budget exceeded ({self._max_events}); "
+                    "likely a scheduler/adversary live-lock"
+                )
+            if ev.time < self._now:
+                raise SimulationError(
+                    f"time went backwards: {ev.time} < {self._now}"
+                )
+            self._now = ev.time
+            self._dispatch(ev)
+
+        return self._finish()
+
+    # -------------------------------------------------------------- internal
+    def _record(
+        self, kind: TraceKind, job_id: int | None = None, detail: str = ""
+    ) -> None:
+        if self._trace is not None:
+            self._trace.append(self._now, kind, job_id, detail)
+
+    def _admit_job(self, job: Job) -> None:
+        """Register a job and schedule its arrival (and deadline) events."""
+        if job.id in self._states:
+            raise SimulationError(f"duplicate job id {job.id} admitted")
+        if job.arrival < self._now:
+            raise SimulationError(
+                f"job {job.id} released with arrival {job.arrival} in the "
+                f"past (now={self._now})"
+            )
+        if job.length is None:
+            if self._adversary is None:
+                raise SimulationError(
+                    f"job {job.id} has no length and no adversary to assign one"
+                )
+            if self._clairvoyant:
+                raise SimulationError(
+                    "adversary-controlled lengths are incompatible with the "
+                    "clairvoyant information model"
+                )
+        st = _JobState(job=job)
+        if job.length is not None:
+            st.length = job.length
+            st.length_visible = self._clairvoyant
+        self._states[job.id] = st
+        self._record(TraceKind.RELEASE, job.id, f"arrival={job.arrival:g}")
+        self._queue.push(job.arrival, EventKind.ARRIVAL, job.id)
+
+    def _dispatch(self, ev: Event) -> None:
+        kind = ev.kind
+        if kind == EventKind.ARRIVAL:
+            self._handle_arrival(ev.payload)
+        elif kind == EventKind.DEADLINE:
+            self._handle_deadline(ev.payload)
+        elif kind == EventKind.COMPLETION:
+            self._handle_completion(ev.payload)
+        elif kind == EventKind.ASSIGN:
+            self._handle_assign(ev.payload)
+        elif kind == EventKind.TIMER:
+            self._record(TraceKind.TIMER, None, repr(ev.payload))
+            self._call_hook("on_timer", ev.payload)
+        elif kind == EventKind.ADVERSARY:
+            assert self._adversary is not None
+            self._record(TraceKind.ADVERSARY_WAKEUP)
+            self._apply_adversary_response(self._adversary.on_wakeup(self._now))
+        else:  # pragma: no cover - exhaustive
+            raise SimulationError(f"unknown event kind {kind!r}")
+
+    def _handle_arrival(self, job_id: int) -> None:
+        st = self._states[job_id]
+        st.arrived = True
+        self._record(TraceKind.ARRIVAL, job_id)
+        self._queue.push(st.job.deadline, EventKind.DEADLINE, job_id)
+        self._call_hook("on_arrival", st.view)
+
+    def _handle_deadline(self, job_id: int) -> None:
+        st = self._states[job_id]
+        if st.start is not None:
+            return  # job already started; the deadline event is moot
+        self._record(TraceKind.DEADLINE, job_id)
+        self._call_hook("on_deadline", st.view)
+        if st.start is None:
+            raise DeadlineMissedError(
+                f"scheduler {type(self._scheduler).__name__} failed to start "
+                f"job {job_id} by its starting deadline {st.job.deadline}"
+            )
+
+    def _handle_completion(self, job_id: int) -> None:
+        st = self._states[job_id]
+        if st.completed:  # pragma: no cover - defensive
+            raise SimulationError(f"job {job_id} completed twice")
+        st.completed = True
+        st.length_visible = True  # completion reveals the length
+        self._record(TraceKind.COMPLETION, job_id)
+        self._call_hook("on_completion", st.view)
+        if self._adversary is not None:
+            self._apply_adversary_response(
+                self._adversary.on_completion(st.job, self._now)
+            )
+
+    def _handle_assign(self, job_id: int) -> None:
+        assert self._adversary is not None
+        st = self._states[job_id]
+        if st.length is not None:  # pragma: no cover - defensive
+            raise SimulationError(f"job {job_id} length assigned twice")
+        length = self._adversary.assign_length(st.job, self._now)
+        if length <= 0:
+            raise SimulationError(
+                f"adversary assigned non-positive length {length} to job {job_id}"
+            )
+        assert st.start is not None
+        completion = st.start + length
+        if completion < self._now:
+            raise SimulationError(
+                f"adversary assigned length {length} to job {job_id} putting "
+                f"its completion {completion} in the past (now={self._now})"
+            )
+        st.length = length
+        st.completion = completion
+        self._record(TraceKind.ASSIGN, job_id, f"length={length:g}")
+        self._queue.push(completion, EventKind.COMPLETION, job_id)
+
+    def _start_job(self, job_id: int) -> None:
+        st = self._states.get(job_id)
+        if st is None:
+            raise SchedulingViolationError(f"unknown job id {job_id}")
+        if not st.arrived:
+            raise SchedulingViolationError(
+                f"job {job_id} has not arrived yet (now={self._now})"
+            )
+        if st.start is not None:
+            raise SchedulingViolationError(f"job {job_id} was already started")
+        if self._now > st.job.deadline:
+            raise SchedulingViolationError(
+                f"job {job_id} started at {self._now}, after its starting "
+                f"deadline {st.job.deadline}"
+            )
+        st.start = self._now
+        self._record(TraceKind.START, job_id)
+        if st.length is not None:
+            st.completion = self._now + st.length
+            self._queue.push(st.completion, EventKind.COMPLETION, job_id)
+        else:
+            assert self._adversary is not None
+            when = self._adversary.length_decision_time(st.job, self._now)
+            if when < self._now:
+                raise SimulationError(
+                    f"length decision time {when} precedes start {self._now}"
+                )
+            self._queue.push(when, EventKind.ASSIGN, job_id)
+        if self._adversary is not None:
+            self._apply_adversary_response(
+                self._adversary.on_start(st.job, self._now)
+            )
+
+    def _apply_adversary_response(self, resp: AdversaryResponse | None) -> None:
+        if resp is None:
+            return
+        for job in resp.release:
+            self._admit_job(job)
+        if resp.wakeup is not None:
+            if resp.wakeup < self._now:
+                raise SimulationError(
+                    f"adversary wakeup {resp.wakeup} is in the past "
+                    f"(now={self._now})"
+                )
+            self._queue.push(resp.wakeup, EventKind.ADVERSARY, None)
+
+    def _call_hook(self, name: str, arg: Any) -> None:
+        hook = getattr(self._scheduler, name, None)
+        if callable(hook):
+            hook(self._ctx, arg)
+
+    def _finish(self) -> SimulationResult:
+        jobs: list[Job] = []
+        starts: dict[int, float] = {}
+        for st in self._states.values():
+            if st.start is None:  # pragma: no cover - deadline enforcement
+                raise SimulationError(f"job {st.job.id} never started")
+            if not st.completed:  # pragma: no cover - queue drained
+                raise SimulationError(f"job {st.job.id} never completed")
+            assert st.length is not None
+            jobs.append(
+                st.job if st.job.length is not None else st.job.with_length(st.length)
+            )
+            starts[st.job.id] = st.start
+        name = (
+            self._instance.name
+            if self._instance is not None
+            else f"adversarial/{type(self._adversary).__name__}"
+        )
+        resolved = Instance(jobs, name=name)
+        schedule = Schedule(resolved, starts)
+        return SimulationResult(
+            schedule=schedule,
+            instance=resolved,
+            events_processed=self._events_processed,
+            scheduler=self._scheduler,
+            trace=self._trace,
+        )
+
+
+def simulate(
+    scheduler: Any,
+    instance: Instance | None = None,
+    *,
+    adversary: Adversary | None = None,
+    clairvoyant: bool = False,
+    max_events: int = MAX_EVENTS_DEFAULT,
+    trace: bool = False,
+) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`Simulator`.
+
+    Examples
+    --------
+    >>> from repro.core.job import Instance
+    >>> from repro.schedulers import BatchPlus
+    >>> inst = Instance.from_triples([(0, 2, 1), (0.5, 1, 3)])
+    >>> result = simulate(BatchPlus(), inst)
+    >>> result.span > 0
+    True
+    """
+    return Simulator(
+        scheduler,
+        instance=instance,
+        adversary=adversary,
+        clairvoyant=clairvoyant,
+        max_events=max_events,
+        trace=trace,
+    ).run()

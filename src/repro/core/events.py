@@ -1,0 +1,96 @@
+"""Event types and the deterministic event queue of the simulator.
+
+Correct reproduction of the paper's constructions hinges on *exact*
+same-time event semantics, because active intervals are half-open: a job
+running on ``[s, s+p)`` is **not** running at time ``s+p``.  The queue
+therefore imposes a total order ``(time, priority class, sequence)``:
+
+==========  =====================================================
+priority    event class
+==========  =====================================================
+0           ``COMPLETION``   — a job finishes (state freed first)
+1           ``ASSIGN``       — an adversary commits a job's length
+2           ``ARRIVAL``      — a new job becomes known
+3           ``DEADLINE``     — a pending job reaches its starting deadline
+4           ``TIMER``        — a scheduler wake-up
+5           ``ADVERSARY``    — an adversary wake-up
+==========  =====================================================
+
+Completions precede arrivals at equal times so that, e.g., a Batch+
+iteration whose flag job completes at ``t`` is closed *before* an arrival
+at ``t`` is observed — matching the half-open interval convention.
+Deadlines follow arrivals so a zero-laxity job is first shown to the
+scheduler, which may start it voluntarily, before the deadline event
+forces the issue.  The monotonically increasing sequence number makes the
+whole simulation deterministic regardless of heap internals.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(enum.IntEnum):
+    """Event classes in same-time processing order (lower runs first)."""
+
+    COMPLETION = 0
+    ASSIGN = 1
+    ARRIVAL = 2
+    DEADLINE = 3
+    TIMER = 4
+    ADVERSARY = 5
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Event:
+    """A scheduled simulation event.
+
+    Ordering is ``(time, kind, seq)``; ``payload`` never participates in
+    comparisons.
+    """
+
+    time: float
+    kind: EventKind
+    seq: int
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` with stable ordering.
+
+    Events may be cancelled lazily (e.g. the deadline event of a job that
+    has already been started) by the caller checking relevance on pop; the
+    queue itself only guarantees deterministic total order.
+    """
+
+    __slots__ = ("_heap", "_counter")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        """Schedule an event; returns the event (useful for bookkeeping)."""
+        ev = Event(time=time, kind=kind, seq=next(self._counter), payload=payload)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Event:
+        """The earliest event without removing it."""
+        return self._heap[0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

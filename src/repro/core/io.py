@@ -1,0 +1,154 @@
+"""Instance and schedule serialization (JSON).
+
+A downstream user needs to save generated workloads, exchange instances
+between tools, and archive schedules next to measured spans.  The format
+is deliberately plain JSON:
+
+.. code-block:: json
+
+    {
+      "format": "fjs-instance",
+      "version": 1,
+      "name": "my-workload",
+      "jobs": [
+        {"id": 0, "arrival": 0.0, "deadline": 5.0, "length": 2.0, "size": 1.0}
+      ]
+    }
+
+Schedules reference their instance inline so a single file round-trips
+``(instance, starts, span)`` and can be re-validated on load.
+Adversary-controlled lengths (``null``) are preserved.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .errors import InvalidInstanceError, InvalidScheduleError
+from .job import Instance, Job
+from .schedule import Schedule
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
+]
+
+_INSTANCE_FORMAT = "fjs-instance"
+_SCHEDULE_FORMAT = "fjs-schedule"
+_VERSION = 1
+
+
+def instance_to_dict(instance: Instance) -> dict[str, Any]:
+    """A JSON-ready dict for an instance."""
+    return {
+        "format": _INSTANCE_FORMAT,
+        "version": _VERSION,
+        "name": instance.name,
+        "jobs": [
+            {
+                "id": j.id,
+                "arrival": j.arrival,
+                "deadline": j.deadline,
+                "length": j.length,
+                "size": j.size,
+            }
+            for j in instance
+        ],
+    }
+
+
+def instance_from_dict(data: dict[str, Any]) -> Instance:
+    """Rebuild an instance from :func:`instance_to_dict` output.
+
+    Raises :class:`InvalidInstanceError` on format mismatches; job-level
+    validation re-runs in the :class:`Job` constructor.
+    """
+    if data.get("format") != _INSTANCE_FORMAT:
+        raise InvalidInstanceError(
+            f"not an FJS instance document (format={data.get('format')!r})"
+        )
+    if data.get("version") != _VERSION:
+        raise InvalidInstanceError(
+            f"unsupported instance format version {data.get('version')!r}"
+        )
+    try:
+        jobs = [
+            Job(
+                id=int(spec["id"]),
+                arrival=float(spec["arrival"]),
+                deadline=float(spec["deadline"]),
+                length=None if spec.get("length") is None else float(spec["length"]),
+                size=float(spec.get("size", 1.0)),
+            )
+            for spec in data["jobs"]
+        ]
+    except (KeyError, TypeError) as exc:
+        raise InvalidInstanceError(f"malformed job record: {exc}") from exc
+    return Instance(jobs, name=str(data.get("name", "instance")))
+
+
+def save_instance(instance: Instance, path: str | Path) -> None:
+    """Write an instance as JSON."""
+    Path(path).write_text(json.dumps(instance_to_dict(instance), indent=2))
+
+
+def load_instance(path: str | Path) -> Instance:
+    """Read an instance written by :func:`save_instance`."""
+    return instance_from_dict(json.loads(Path(path).read_text()))
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    """A JSON-ready dict for a schedule (instance embedded)."""
+    return {
+        "format": _SCHEDULE_FORMAT,
+        "version": _VERSION,
+        "instance": instance_to_dict(schedule.instance),
+        "starts": {str(jid): s for jid, s in sorted(schedule.starts().items())},
+        "span": schedule.span,
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> Schedule:
+    """Rebuild (and re-validate) a schedule from its dict form.
+
+    The recorded ``span`` is cross-checked against the recomputed value;
+    a mismatch raises :class:`InvalidScheduleError` (corrupt document).
+    """
+    if data.get("format") != _SCHEDULE_FORMAT:
+        raise InvalidScheduleError(
+            f"not an FJS schedule document (format={data.get('format')!r})"
+        )
+    if data.get("version") != _VERSION:
+        raise InvalidScheduleError(
+            f"unsupported schedule format version {data.get('version')!r}"
+        )
+    instance = instance_from_dict(data["instance"])
+    starts = {int(jid): float(s) for jid, s in data["starts"].items()}
+    schedule = Schedule(instance, starts)
+    recorded = data.get("span")
+    if recorded is not None and abs(schedule.span - float(recorded)) > 1e-9 * max(
+        1.0, schedule.span
+    ):
+        raise InvalidScheduleError(
+            f"recorded span {recorded} disagrees with recomputed "
+            f"{schedule.span} — corrupt document?"
+        )
+    return schedule
+
+
+def save_schedule(schedule: Schedule, path: str | Path) -> None:
+    """Write a schedule (with its instance) as JSON."""
+    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=2))
+
+
+def load_schedule(path: str | Path) -> Schedule:
+    """Read and re-validate a schedule written by :func:`save_schedule`."""
+    return schedule_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,299 @@
+"""Job and instance model for Flexible Job Scheduling.
+
+Following Section 2 of the paper, a job ``J`` carries
+
+* ``arrival``  — ``a(J)``, the time the job becomes known/startable,
+* ``deadline`` — ``d(J)``, the *starting deadline*: the latest time the
+  job may be started (not a completion deadline),
+* ``length``   — ``p(J)``, the processing length; once started the job
+  runs ``p(J)`` time units without interruption.
+
+``laxity = d(J) - a(J)`` is the job's flexibility in starting.
+
+An :class:`Instance` is an immutable collection of jobs, the unit that
+workload generators produce, online simulations consume, and offline
+solvers optimise.  It also exposes ``mu`` — the max/min processing-length
+ratio that governs the non-clairvoyant competitive bounds.
+
+Jobs whose length is decided adaptively by an adversary (Section 3.1's
+lower-bound construction) are modelled with ``length=None``; such jobs can
+only be run through the simulator together with an adversary that commits
+the lengths at run time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .errors import InvalidInstanceError, InvalidJobError
+from .intervals import Interval
+
+__all__ = ["Job", "Instance", "make_jobs"]
+
+
+@dataclass(frozen=True, slots=True)
+class Job:
+    """An FJS job.  Immutable; compare/hash by identity of all fields.
+
+    Parameters
+    ----------
+    id:
+        A non-negative integer identifier, unique within an instance.
+    arrival:
+        ``a(J) >= 0``.
+    deadline:
+        ``d(J) >= a(J)`` — the latest permissible *start* time.
+    length:
+        ``p(J) > 0``, or ``None`` for adversary-controlled lengths that
+        are committed during a simulation.
+    size:
+        Optional resource demand used by the MinUsageTime DBP extension
+        (Section 5 of the paper); ignored by pure span scheduling.
+    """
+
+    id: int
+    arrival: float
+    deadline: float
+    length: float | None = None
+    size: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.id < 0:
+            raise InvalidJobError(f"job id must be non-negative, got {self.id}")
+        for name, value in (("arrival", self.arrival), ("deadline", self.deadline)):
+            if not math.isfinite(value):
+                raise InvalidJobError(f"job {self.id}: {name} must be finite")
+        if self.arrival < 0:
+            raise InvalidJobError(
+                f"job {self.id}: arrival must be non-negative, got {self.arrival}"
+            )
+        if self.deadline < self.arrival:
+            raise InvalidJobError(
+                f"job {self.id}: starting deadline {self.deadline} precedes "
+                f"arrival {self.arrival}"
+            )
+        if self.length is not None:
+            if not math.isfinite(self.length) or self.length <= 0:
+                raise InvalidJobError(
+                    f"job {self.id}: length must be positive and finite, "
+                    f"got {self.length}"
+                )
+        if not math.isfinite(self.size) or self.size <= 0:
+            raise InvalidJobError(
+                f"job {self.id}: size must be positive and finite, got {self.size}"
+            )
+
+    @property
+    def laxity(self) -> float:
+        """``d(J) - a(J)``: how long the start may be delayed."""
+        return self.deadline - self.arrival
+
+    @property
+    def known_length(self) -> float:
+        """The length, raising if it is adversary-controlled (``None``)."""
+        if self.length is None:
+            raise InvalidJobError(
+                f"job {self.id} has an adversary-controlled length; it can "
+                "only be executed through a simulation with an adversary"
+            )
+        return self.length
+
+    @property
+    def latest_completion(self) -> float:
+        """``d(J) + p(J)`` — latest possible completion under any scheduler."""
+        return self.deadline + self.known_length
+
+    def active_interval(self, start: float) -> Interval:
+        """The half-open interval ``[start, start + p(J))``."""
+        return Interval(start, start + self.known_length)
+
+    def feasible_start(self, start: float) -> bool:
+        """Whether ``start`` lies in the permissible window ``[a, d]``.
+
+        Note the window for *starts* is closed: starting exactly at the
+        deadline is allowed (the deadline is the latest possible start).
+        """
+        return self.arrival <= start <= self.deadline
+
+    def with_length(self, length: float) -> "Job":
+        """A copy of this job with a committed processing length."""
+        return replace(self, length=length)
+
+
+def make_jobs(
+    specs: Iterable[tuple[float, float, float]],
+    *,
+    start_id: int = 0,
+) -> list[Job]:
+    """Convenience constructor: build jobs from ``(arrival, laxity, length)``
+    triples with sequential ids.
+
+    The triple uses *laxity* rather than the absolute deadline because the
+    paper's constructions are most naturally expressed that way.
+    """
+    jobs = []
+    for i, (arrival, laxity, length) in enumerate(specs, start=start_id):
+        jobs.append(Job(id=i, arrival=arrival, deadline=arrival + laxity, length=length))
+    return jobs
+
+
+@dataclass(frozen=True)
+class Instance:
+    """An immutable FJS problem instance: a finite set of jobs.
+
+    Provides the aggregate quantities the paper's analysis is phrased in
+    (``mu``, total work, job windows) plus NumPy views used by the
+    vectorised metric and solver code.
+    """
+
+    jobs: tuple[Job, ...]
+    name: str = "instance"
+    _by_id: dict[int, Job] = field(init=False, repr=False, compare=False, hash=False)
+
+    def __init__(self, jobs: Iterable[Job], name: str = "instance") -> None:
+        object.__setattr__(self, "jobs", tuple(jobs))
+        object.__setattr__(self, "name", name)
+        by_id: dict[int, Job] = {}
+        for job in self.jobs:
+            if job.id in by_id:
+                raise InvalidInstanceError(f"duplicate job id {job.id}")
+            by_id[job.id] = job
+        object.__setattr__(self, "_by_id", by_id)
+
+    # -- container protocol ----------------------------------------------
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    def __getitem__(self, job_id: int) -> Job:
+        try:
+            return self._by_id[job_id]
+        except KeyError:
+            raise KeyError(f"no job with id {job_id} in instance {self.name!r}") from None
+
+    def __contains__(self, job_id: int) -> bool:
+        return job_id in self._by_id
+
+    @property
+    def job_ids(self) -> tuple[int, ...]:
+        return tuple(j.id for j in self.jobs)
+
+    # -- aggregate properties ---------------------------------------------
+    @property
+    def has_unknown_lengths(self) -> bool:
+        """True when any job's length is adversary-controlled."""
+        return any(j.length is None for j in self.jobs)
+
+    def _lengths(self) -> list[float]:
+        if self.has_unknown_lengths:
+            raise InvalidInstanceError(
+                f"instance {self.name!r} contains adversary-controlled lengths"
+            )
+        return [j.length for j in self.jobs]  # type: ignore[misc]
+
+    @property
+    def mu(self) -> float:
+        """Max/min processing-length ratio ``μ`` (1.0 for empty instances)."""
+        lengths = self._lengths()
+        if not lengths:
+            return 1.0
+        return max(lengths) / min(lengths)
+
+    @property
+    def total_work(self) -> float:
+        """Sum of processing lengths."""
+        return sum(self._lengths())
+
+    @property
+    def max_length(self) -> float:
+        lengths = self._lengths()
+        if not lengths:
+            raise InvalidInstanceError("empty instance has no max length")
+        return max(lengths)
+
+    @property
+    def min_length(self) -> float:
+        lengths = self._lengths()
+        if not lengths:
+            raise InvalidInstanceError("empty instance has no min length")
+        return min(lengths)
+
+    @property
+    def horizon(self) -> float:
+        """An upper bound on any feasible schedule's completion time."""
+        if not self.jobs:
+            return 0.0
+        return max(j.deadline + (j.length or 0.0) for j in self.jobs)
+
+    @property
+    def is_integral(self) -> bool:
+        """Whether all arrivals, deadlines and lengths are integers.
+
+        Integral instances admit an integral optimal schedule (see
+        ``repro.offline.exact``), enabling exact optimisation.
+        """
+        def ok(x: float | None) -> bool:
+            return x is not None and float(x).is_integer()
+
+        return all(
+            ok(j.arrival) and ok(j.deadline) and ok(j.length) for j in self.jobs
+        )
+
+    # -- views --------------------------------------------------------------
+    def sorted_by_arrival(self) -> list[Job]:
+        """Jobs sorted by (arrival, deadline, id) — deterministic."""
+        return sorted(self.jobs, key=lambda j: (j.arrival, j.deadline, j.id))
+
+    def sorted_by_deadline(self) -> list[Job]:
+        """Jobs sorted by (deadline, arrival, id) — deterministic."""
+        return sorted(self.jobs, key=lambda j: (j.deadline, j.arrival, j.id))
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """NumPy views ``{'arrival', 'deadline', 'length', 'id'}`` in job order."""
+        return {
+            "id": np.array([j.id for j in self.jobs], dtype=np.int64),
+            "arrival": np.array([j.arrival for j in self.jobs], dtype=np.float64),
+            "deadline": np.array([j.deadline for j in self.jobs], dtype=np.float64),
+            "length": np.array(self._lengths(), dtype=np.float64),
+        }
+
+    def subset(self, job_ids: Iterable[int], name: str | None = None) -> "Instance":
+        """A new instance restricted to the given job ids (order preserved)."""
+        wanted = set(job_ids)
+        return Instance(
+            (j for j in self.jobs if j.id in wanted),
+            name=name or f"{self.name}/subset",
+        )
+
+    def scaled(self, time_factor: float, name: str | None = None) -> "Instance":
+        """A copy with all times (arrival, deadline, length) multiplied."""
+        if time_factor <= 0:
+            raise InvalidInstanceError("time_factor must be positive")
+        return Instance(
+            (
+                Job(
+                    id=j.id,
+                    arrival=j.arrival * time_factor,
+                    deadline=j.deadline * time_factor,
+                    length=None if j.length is None else j.length * time_factor,
+                    size=j.size,
+                )
+                for j in self.jobs
+            ),
+            name=name or f"{self.name}/x{time_factor:g}",
+        )
+
+    @classmethod
+    def from_triples(
+        cls,
+        specs: Sequence[tuple[float, float, float]],
+        name: str = "instance",
+    ) -> "Instance":
+        """Build from ``(arrival, laxity, length)`` triples."""
+        return cls(make_jobs(specs), name=name)

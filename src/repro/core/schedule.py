@@ -1,0 +1,165 @@
+"""Schedules: assignments of start times to jobs.
+
+A :class:`Schedule` is the output of every scheduler (online via the
+simulator, or offline via the solvers): a mapping ``job id -> start time``
+together with the instance it schedules.  It knows how to
+
+* validate itself (every job started within its ``[a, d]`` window,
+  every job present exactly once),
+* compute its span (measure of the union of active intervals — the
+  paper's objective),
+* expose active intervals and per-job records for analysis and rendering.
+
+Lengths must be concrete by the time a schedule is built; for adversarial
+runs the simulator commits the adversary-chosen lengths into a resolved
+instance first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from .errors import InvalidScheduleError
+from .intervals import Interval, IntervalUnion, union_measure
+from .job import Instance, Job
+
+__all__ = ["Schedule", "StartedJob"]
+
+
+@dataclass(frozen=True, slots=True)
+class StartedJob:
+    """A job together with its scheduled start (a row of a schedule)."""
+
+    job: Job
+    start: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.job.known_length
+
+    @property
+    def interval(self) -> Interval:
+        return Interval(self.start, self.end)
+
+
+class Schedule:
+    """An immutable assignment of start times for an instance's jobs.
+
+    Parameters
+    ----------
+    instance:
+        The instance being scheduled.  All lengths must be concrete.
+    starts:
+        Mapping from job id to start time.  Must cover exactly the
+        instance's job ids.
+    validate:
+        When true (default) feasibility is checked eagerly and an
+        :class:`InvalidScheduleError` raised on any violation.
+    """
+
+    __slots__ = ("_instance", "_starts", "_span_cache")
+
+    def __init__(
+        self,
+        instance: Instance,
+        starts: Mapping[int, float],
+        *,
+        validate: bool = True,
+    ) -> None:
+        self._instance = instance
+        self._starts = dict(starts)
+        self._span_cache: float | None = None
+        if validate:
+            self.validate()
+
+    # -- validation -------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`InvalidScheduleError` unless the schedule is feasible."""
+        inst_ids = set(self._instance.job_ids)
+        sched_ids = set(self._starts)
+        if inst_ids != sched_ids:
+            missing = sorted(inst_ids - sched_ids)
+            extra = sorted(sched_ids - inst_ids)
+            raise InvalidScheduleError(
+                f"schedule does not cover instance exactly "
+                f"(missing={missing[:5]}, extra={extra[:5]})"
+            )
+        for job in self._instance:
+            s = self._starts[job.id]
+            if not job.feasible_start(s):
+                raise InvalidScheduleError(
+                    f"job {job.id} started at {s}, outside its window "
+                    f"[{job.arrival}, {job.deadline}]"
+                )
+            job.known_length  # raises if the length was never committed
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def instance(self) -> Instance:
+        return self._instance
+
+    def start_of(self, job_id: int) -> float:
+        return self._starts[job_id]
+
+    def end_of(self, job_id: int) -> float:
+        return self._starts[job_id] + self._instance[job_id].known_length
+
+    def interval_of(self, job_id: int) -> Interval:
+        """The active interval ``[s, s + p)`` of a job."""
+        return Interval(self.start_of(job_id), self.end_of(job_id))
+
+    def rows(self) -> Iterator[StartedJob]:
+        """Per-job records in instance order."""
+        for job in self._instance:
+            yield StartedJob(job, self._starts[job.id])
+
+    def starts(self) -> dict[int, float]:
+        """A copy of the ``job id -> start`` mapping."""
+        return dict(self._starts)
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return self._instance is other._instance and self._starts == other._starts
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely needed
+        return hash((id(self._instance), tuple(sorted(self._starts.items()))))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Schedule({self._instance.name!r}, {len(self)} jobs, "
+            f"span={self.span:g})"
+        )
+
+    # -- metrics -------------------------------------------------------------
+    @property
+    def span(self) -> float:
+        """Measure of the union of active intervals (the paper's objective).
+
+        Computed once with the vectorised union sweep and cached.
+        """
+        if self._span_cache is None:
+            starts = np.array(
+                [self._starts[j.id] for j in self._instance], dtype=np.float64
+            )
+            lengths = np.array(
+                [j.known_length for j in self._instance], dtype=np.float64
+            )
+            self._span_cache = union_measure(starts, lengths)
+        return self._span_cache
+
+    def active_union(self) -> IntervalUnion:
+        """The union of all active intervals as an :class:`IntervalUnion`."""
+        return IntervalUnion(row.interval for row in self.rows())
+
+    def makespan(self) -> float:
+        """Latest completion time (0 for an empty schedule)."""
+        if not self._starts:
+            return 0.0
+        return max(self.end_of(jid) for jid in self._starts)

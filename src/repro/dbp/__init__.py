@@ -1,0 +1,29 @@
+"""MinUsageTime Dynamic Bin Packing extension (paper §5).
+
+Flexible jobs are scheduled for span (stage 1) and packed onto
+capacity-limited servers (stage 2); the objective is the total server
+usage time.  Provides :class:`FirstFit`, the classify-by-duration
+variant, and the scheduler ∘ packer pipelines of the paper's concluding
+remarks.
+"""
+
+from .bestfit import BestFit, NextFit
+from .bins import Bin, PlacedItem
+from .cdff import ClassifyByDurationFirstFit
+from .firstfit import FirstFit
+from .pipeline import PackingResult, pack_schedule, run_pipeline, usage_lower_bound
+from .render import render_bins
+
+__all__ = [
+    "Bin",
+    "PlacedItem",
+    "FirstFit",
+    "BestFit",
+    "NextFit",
+    "ClassifyByDurationFirstFit",
+    "PackingResult",
+    "pack_schedule",
+    "run_pipeline",
+    "usage_lower_bound",
+    "render_bins",
+]

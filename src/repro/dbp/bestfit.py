@@ -1,0 +1,94 @@
+"""Best Fit and Next Fit packers — ablation baselines for First Fit.
+
+MinUsageTime DBP results in the paper's lineage ([15, 16, 19, 20, 23])
+centre on First Fit because Any-Fit cousins can be Ω(√μ)-worse for
+usage time; experiment E12 measures those gaps empirically:
+
+* **Best Fit** — place each item in the *fullest* bin (at the placement
+  instant) that still has room; classically strong for space, known to
+  be weak for usage time.
+* **Next Fit** — keep a single open bin; if the item doesn't fit, close
+  it (it may still drain) and open a new one.  The weakest reasonable
+  baseline.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import CapacityExceededError
+from .bins import Bin, PlacedItem
+
+__all__ = ["BestFit", "NextFit"]
+
+
+class BestFit:
+    """Best Fit: the fullest bin that can still hold the item."""
+
+    def __init__(self, capacity: float) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.bins: list[Bin] = []
+
+    def place(self, item_id: int, start: float, end: float, size: float) -> int:
+        if size > self.capacity + 1e-12:
+            raise CapacityExceededError(
+                f"item {item_id} of size {size} exceeds capacity {self.capacity}"
+            )
+        item = PlacedItem(item_id=item_id, start=start, end=end, size=size)
+        best: Bin | None = None
+        best_load = -1.0
+        for b in self.bins:
+            load = b.load_at(start)
+            if load + size <= self.capacity + 1e-12 and load > best_load:
+                best = b
+                best_load = load
+        if best is None:
+            best = Bin(index=len(self.bins), capacity=self.capacity)
+            self.bins.append(best)
+        best.place(item)
+        return best.index
+
+    @property
+    def total_usage_time(self) -> float:
+        return sum(b.usage_time for b in self.bins)
+
+    @property
+    def bins_used(self) -> int:
+        return sum(1 for b in self.bins if b.ever_used)
+
+    def describe(self) -> str:
+        return f"BestFit(capacity={self.capacity:g})"
+
+
+class NextFit:
+    """Next Fit: one open bin; open a new one when the item doesn't fit."""
+
+    def __init__(self, capacity: float) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.bins: list[Bin] = []
+        self._open: Bin | None = None
+
+    def place(self, item_id: int, start: float, end: float, size: float) -> int:
+        if size > self.capacity + 1e-12:
+            raise CapacityExceededError(
+                f"item {item_id} of size {size} exceeds capacity {self.capacity}"
+            )
+        item = PlacedItem(item_id=item_id, start=start, end=end, size=size)
+        if self._open is None or not self._open.fits(start, size):
+            self._open = Bin(index=len(self.bins), capacity=self.capacity)
+            self.bins.append(self._open)
+        self._open.place(item)
+        return self._open.index
+
+    @property
+    def total_usage_time(self) -> float:
+        return sum(b.usage_time for b in self.bins)
+
+    @property
+    def bins_used(self) -> int:
+        return sum(1 for b in self.bins if b.ever_used)
+
+    def describe(self) -> str:
+        return f"NextFit(capacity={self.capacity:g})"

@@ -1,0 +1,92 @@
+"""Bins for MinUsageTime Dynamic Bin Packing.
+
+A bin models one cloud server of fixed ``capacity``.  Items (jobs with a
+resource ``size``) occupy it over their active intervals; the bin's
+**usage time** is the measure of the union of those intervals — exactly
+the per-server span, which under pay-as-you-go billing is what the
+provider charges for ([15, 16, 19] in the paper).
+
+Placements must arrive in chronological order of item start times (the
+online packing order); each placement verifies the capacity constraint,
+which only needs checking at placement instants because a bin's load
+changes only at item starts and departures.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..core.errors import CapacityExceededError
+from ..core.intervals import IntervalUnion, union_measure
+
+__all__ = ["PlacedItem", "Bin"]
+
+
+@dataclass(frozen=True, slots=True)
+class PlacedItem:
+    """An item resident in a bin over ``[start, end)`` with a size."""
+
+    item_id: int
+    start: float
+    end: float
+    size: float
+
+
+@dataclass
+class Bin:
+    """One server: capacity, resident items, usage-time accounting."""
+
+    index: int
+    capacity: float
+    items: list[PlacedItem] = field(default_factory=list)
+    _active: list[tuple[float, float]] = field(default_factory=list)  # (end, size) heap
+    _load: float = 0.0
+    _clock: float = float("-inf")
+
+    def _expire(self, t: float) -> None:
+        """Release items departed by time ``t`` (half-open intervals)."""
+        while self._active and self._active[0][0] <= t:
+            _, size = heapq.heappop(self._active)
+            self._load -= size
+
+    def load_at(self, t: float) -> float:
+        """Instantaneous load at ``t`` (must be >= previous queries)."""
+        if t < self._clock:
+            raise ValueError("bin queries must be chronologically ordered")
+        self._clock = t
+        self._expire(t)
+        return self._load
+
+    def fits(self, t: float, size: float) -> bool:
+        """Whether an item of ``size`` starting at ``t`` respects capacity."""
+        return self.load_at(t) + size <= self.capacity + 1e-12
+
+    def place(self, item: PlacedItem) -> None:
+        """Admit an item starting now; raises on capacity violation."""
+        if not self.fits(item.start, item.size):
+            raise CapacityExceededError(
+                f"bin {self.index}: item {item.item_id} of size {item.size} "
+                f"does not fit at t={item.start} "
+                f"(load={self._load}, capacity={self.capacity})"
+            )
+        self.items.append(item)
+        heapq.heappush(self._active, (item.end, item.size))
+        self._load += item.size
+
+    @property
+    def usage_time(self) -> float:
+        """Measure of the union of resident items' intervals."""
+        if not self.items:
+            return 0.0
+        return union_measure(
+            [it.start for it in self.items], [it.end - it.start for it in self.items]
+        )
+
+    def busy_union(self) -> IntervalUnion:
+        """The bin's busy periods as an interval union."""
+        return IntervalUnion.from_pairs((it.start, it.end) for it in self.items)
+
+    @property
+    def ever_used(self) -> bool:
+        return bool(self.items)

@@ -1,0 +1,60 @@
+"""ASCII rendering of packing results: one row per bin/server.
+
+Complements :func:`repro.analysis.gantt.render_gantt` (one row per job)
+with the server-side view a capacity-planning user wants: when each bin
+was on, how full it ran, and the usage-time/idle split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pipeline import PackingResult
+
+__all__ = ["render_bins"]
+
+_SHADES = " ░▒▓█"
+
+
+def render_bins(result: PackingResult, *, width: int = 72, max_bins: int = 24) -> str:
+    """Render each bin as a load-shaded timeline row.
+
+    Each column shows the bin's mean load over that time slice as a
+    shade (`` ``=off, ``░``→``█`` increasing utilisation).
+    """
+    bins = [b for b in result.bins if b.ever_used]
+    if not bins:
+        return "(no bins used)"
+    t0 = min(it.start for b in bins for it in b.items)
+    t1 = max(it.end for b in bins for it in b.items)
+    extent = max(t1 - t0, 1e-9)
+    edges = np.linspace(t0, t1, width + 1)
+
+    lines = [
+        f"{len(bins)} bins over [{t0:g}, {t1:g}]   "
+        f"total usage {result.total_usage_time:g}   "
+        f"peak open {result.peak_open_bins}"
+    ]
+    for b in bins[:max_bins]:
+        # mean load per column
+        load = np.zeros(width)
+        for it in b.items:
+            lo = np.clip((it.start - t0) / extent * width, 0, width)
+            hi = np.clip((it.end - t0) / extent * width, 0, width)
+            first, last = int(lo), min(int(np.ceil(hi)), width)
+            for c in range(first, last):
+                seg_lo = max(lo, c)
+                seg_hi = min(hi, c + 1)
+                if seg_hi > seg_lo:
+                    load[c] += it.size * (seg_hi - seg_lo)
+        frac = np.clip(load / b.capacity, 0.0, 1.0)
+        row = "".join(
+            _SHADES[min(len(_SHADES) - 1, int(np.ceil(f * (len(_SHADES) - 1))))]
+            for f in frac
+        )
+        lines.append(
+            f"bin {b.index:>3} |{row}| on {b.usage_time:g}"
+        )
+    if len(bins) > max_bins:
+        lines.append(f"… {len(bins) - max_bins} more bins not shown")
+    return "\n".join(lines)

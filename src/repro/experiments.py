@@ -1,0 +1,297 @@
+"""Programmatic experiment runners: ``python -m repro experiment E4``.
+
+The benchmark suite (``benchmarks/bench_e*.py``) is the authoritative,
+asserted reproduction of every experiment; these runners expose compact
+versions of the same computations for interactive use — each returns the
+rendered result table so a user can regenerate any EXPERIMENTS.md row
+without invoking pytest.
+
+Each runner accepts a ``quick`` flag: ``True`` (default) uses smaller
+sweeps for sub-second latency; ``False`` matches the bench parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .adversaries import (
+    PHI,
+    ClairvoyantLowerBoundAdversary,
+    NonClairvoyantLowerBoundAdversary,
+    batch_tightness_instance,
+    batchplus_tightness_instance,
+    geometric_profile,
+)
+from .analysis import (
+    Table,
+    cdb_ratio,
+    clairvoyant_adversary_ratio,
+    nonclairvoyant_lower_bound,
+    optimal_cdb_alpha,
+    optimal_profit_k,
+    profit_ratio,
+)
+
+from .core import simulate
+from .offline import exact_optimal_span, span_lower_bound
+from .schedulers import (
+    Batch,
+    BatchPlus,
+    ClassifyByDurationBatchPlus,
+    Eager,
+    Lazy,
+    Profit,
+    make_scheduler,
+    scheduler_names,
+)
+from .workloads import (
+    poisson_instance,
+    ratio_stats,
+    run_grid,
+    small_integral_instance,
+)
+
+__all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
+
+
+def _e1(quick: bool) -> str:
+    mu, m = 5.0, 8 if quick else 16
+    ks = (1, 2, 4) if quick else (1, 2, 4, 8)
+    table = Table(
+        ["k", "theory >=", "Batch forced ratio"],
+        title=f"E1: §3.1 adversary (μ={mu:g}, m={m})",
+        precision=3,
+    )
+    for k in ks:
+        profile = geometric_profile(k, m)
+        adv = NonClairvoyantLowerBoundAdversary(mu, profile)
+        result = simulate(Batch(), adversary=adv, clairvoyant=False)
+        witness = adv.paper_optimal_schedule(result.instance)
+        theory = nonclairvoyant_lower_bound(
+            k, mu, [it.count for it in profile.iterations]
+        )
+        table.add(k, theory, result.span / witness.span)
+    return table.render()
+
+
+def _e2(quick: bool) -> str:
+    mu = 5.0
+    ms = (1, 8, 32) if quick else (1, 4, 16, 64, 256)
+    table = Table(
+        ["m", "ratio", "limit 2μ"],
+        title=f"E2: Batch tightness (Figure 2, μ={mu:g})",
+        precision=3,
+    )
+    for m in ms:
+        fam = batch_tightness_instance(m=m, mu=mu)
+        result = simulate(Batch(), fam.instance)
+        table.add(m, result.span / fam.optimal_span, 2 * mu)
+    return table.render()
+
+
+def _e3(quick: bool) -> str:
+    mu = 5.0
+    ms = (1, 8, 32) if quick else (1, 4, 16, 64, 256)
+    table = Table(
+        ["m", "ratio", "tight bound μ+1"],
+        title=f"E3: Batch+ tightness (Figure 3, μ={mu:g})",
+        precision=3,
+    )
+    for m in ms:
+        fam = batchplus_tightness_instance(m=m, mu=mu)
+        result = simulate(BatchPlus(), fam.instance)
+        table.add(m, result.span / fam.optimal_span, mu + 1)
+    return table.render()
+
+
+def _e4(quick: bool) -> str:
+    ns = (2, 8, 32) if quick else (2, 8, 32, 128, 512)
+    table = Table(
+        ["n", "forced ratio (Profit)", "theory", "φ"],
+        title="E4: §4.1 adversary convergence to φ",
+        precision=5,
+    )
+    for n in ns:
+        adv = ClairvoyantLowerBoundAdversary(n)
+        result = simulate(Profit(), adversary=adv, clairvoyant=True)
+        witness = adv.paper_optimal_schedule(result.instance)
+        table.add(n, result.span / witness.span, clairvoyant_adversary_ratio(n), PHI)
+    return table.render()
+
+
+def _parametric_sweep(
+    title: str,
+    params: list[float],
+    bound: Callable[[float], float],
+    make: Callable[[float], object],
+    quick: bool,
+) -> str:
+    seeds = range(8 if quick else 25)
+    instances = [small_integral_instance(6, seed=s, max_length=6) for s in seeds]
+    opts = [exact_optimal_span(inst) for inst in instances]
+    table = Table(
+        ["param", "theory bound", "measured mean", "measured worst"],
+        title=title,
+        precision=3,
+    )
+    for value in params:
+        ratios = [
+            simulate(make(value), inst, clairvoyant=True).span / opt
+            for inst, opt in zip(instances, opts)
+        ]
+        table.add(value, bound(value), float(np.mean(ratios)), max(ratios))
+    return table.render()
+
+
+def _e5(quick: bool) -> str:
+    return _parametric_sweep(
+        "E5: CDB α sweep vs exact optimum",
+        [1.2, 1.5, optimal_cdb_alpha(), 2.0, 3.0],
+        cdb_ratio,
+        lambda a: ClassifyByDurationBatchPlus(alpha=a),
+        quick,
+    )
+
+
+def _e6(quick: bool) -> str:
+    return _parametric_sweep(
+        "E6: Profit k sweep vs exact optimum",
+        [1.2, 1.5, optimal_profit_k(), 2.0, 3.0],
+        profit_ratio,
+        lambda k: Profit(k=k),
+        quick,
+    )
+
+
+def _e7(quick: bool) -> str:
+    from repro.core import Instance, Job
+    from repro.offline import best_offline_span
+
+    table = Table(
+        ["n", "Eager ratio", "Lazy ratio"],
+        title="E7: unbounded baselines at fixed μ=1",
+        precision=1,
+    )
+    for n in (4, 16, 64) if quick else (4, 16, 64, 256):
+        anti_eager = Instance(
+            [Job(i, float(i), float(n + 1), 1.0) for i in range(n)], name="ae"
+        )
+        anti_lazy = Instance(
+            [Job(i, 0.0, float(2 * i), 1.0) for i in range(n)], name="al"
+        )
+        r_e = simulate(Eager(), anti_eager).span / best_offline_span(anti_eager)
+        r_l = simulate(Lazy(), anti_lazy).span / best_offline_span(anti_lazy)
+        table.add(n, r_e, r_l)
+    return table.render()
+
+
+def _e10(quick: bool) -> str:
+    seeds = range(2 if quick else 4)
+    instances = [poisson_instance(40 if quick else 60, seed=s) for s in seeds]
+    protos = [make_scheduler(name) for name in scheduler_names()]
+    stats = ratio_stats(run_grid(protos, instances, span_lower_bound))
+    table = Table(
+        ["scheduler", "mean ratio", "max ratio"],
+        title="E10: scheduler comparison vs chain LB (poisson family)",
+        precision=3,
+    )
+    for name in sorted(stats, key=lambda n: stats[n]["mean"]):
+        table.add(name, stats[name]["mean"], stats[name]["max"])
+    return table.render()
+
+
+def _e13(quick: bool) -> str:
+    from .offline import best_offline_span
+    from .schedulers import GreedyCover, WaitScale
+
+    seeds = range(3 if quick else 8)
+    instances = [poisson_instance(50 if quick else 70, seed=s) for s in seeds]
+    refs = [best_offline_span(inst) for inst in instances]
+
+    def mean_ratio(make):
+        vals = [
+            simulate(make(), inst, clairvoyant=True).span / ref
+            for inst, ref in zip(instances, refs)
+        ]
+        return float(np.mean(vals))
+
+    table = Table(
+        ["rule", "param", "mean ratio"],
+        title="E13: waiting-rule ablation (vs offline heuristic)",
+        precision=3,
+    )
+    for beta in (0.0, 0.5, 1.0, 2.0):
+        table.add("wait-scale", beta, mean_ratio(lambda b=beta: WaitScale(beta=b)))
+    for theta in (0.0, 0.5, 0.75, 1.0):
+        table.add(
+            "greedy-cover", theta, mean_ratio(lambda t=theta: GreedyCover(theta=t))
+        )
+    table.add("profit", optimal_profit_k(), mean_ratio(lambda: Profit()))
+    return table.render()
+
+
+def _e14(quick: bool) -> str:
+    from .workloads import WorkloadSpec, generate
+
+    seeds = range(2 if quick else 4)
+    scales = (0.0, 1.0, 4.0) if quick else (0.0, 0.5, 1.0, 2.0, 4.0, 8.0)
+    table = Table(
+        ["laxity ×p", "eager", "batch+", "profit"],
+        title="E14: span / total work vs laxity budget",
+        precision=3,
+    )
+    for scale in scales:
+        rows = {"eager": [], "batch+": [], "profit": []}
+        for seed in seeds:
+            inst = generate(
+                WorkloadSpec(n=60, laxity="proportional", laxity_scale=scale),
+                seed=seed,
+            )
+            rows["eager"].append(simulate(Eager(), inst).span / inst.total_work)
+            rows["batch+"].append(
+                simulate(BatchPlus(), inst).span / inst.total_work
+            )
+            rows["profit"].append(
+                simulate(Profit(), inst, clairvoyant=True).span / inst.total_work
+            )
+        table.add(scale, *[float(np.mean(rows[k])) for k in ("eager", "batch+", "profit")])
+    return table.render()
+
+
+EXPERIMENTS: dict[str, Callable[[bool], str]] = {
+    "E1": _e1,
+    "E2": _e2,
+    "E3": _e3,
+    "E4": _e4,
+    "E5": _e5,
+    "E6": _e6,
+    "E7": _e7,
+    "E10": _e10,
+    "E13": _e13,
+    "E14": _e14,
+}
+
+
+def experiment_ids() -> list[str]:
+    """Runner-backed experiment ids (the full set lives in benchmarks/)."""
+    return sorted(EXPERIMENTS, key=lambda e: int(e[1:]))
+
+
+def run_experiment(exp_id: str, quick: bool = True) -> str:
+    """Run one experiment and return its rendered table.
+
+    Raises ``KeyError`` for ids only available as benchmarks (E8, E9,
+    E11–E15 need pytest-benchmark's timing machinery or long sweeps).
+    """
+    key = exp_id.upper()
+    try:
+        runner = EXPERIMENTS[key]
+    except KeyError:
+        raise KeyError(
+            f"no interactive runner for {exp_id!r}; available: "
+            f"{experiment_ids()} (the rest run via "
+            "`pytest benchmarks/ --benchmark-only`)"
+        ) from None
+    return runner(quick)

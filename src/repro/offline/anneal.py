@@ -1,0 +1,109 @@
+"""Simulated-annealing span improver.
+
+Local search (:func:`repro.offline.heuristics.local_search`) stops at
+coordinate-wise optima; annealing escapes them by occasionally accepting
+uphill moves.  The move set matches the structure of the problem:
+
+* **re-place** — move one job to a random breakpoint candidate of the
+  union of the others (the same candidate set local search uses);
+* **jump** — move one job to a uniform random feasible start (rarely,
+  for diversification).
+
+Cooling is geometric; the incumbent (best-ever) schedule is returned, so
+the result is never worse than the initial schedule.  Deterministic
+given the seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.intervals import Interval, IntervalUnion
+from ..core.schedule import Schedule
+from .heuristics import candidate_starts
+
+__all__ = ["anneal"]
+
+
+def anneal(
+    schedule: Schedule,
+    *,
+    iterations: int = 2000,
+    initial_temperature: float | None = None,
+    cooling: float = 0.995,
+    jump_probability: float = 0.1,
+    seed: int = 0,
+) -> Schedule:
+    """Anneal a feasible schedule; returns the best schedule found.
+
+    Parameters
+    ----------
+    schedule:
+        A feasible starting point (e.g. from ``greedy_overlap``).
+    iterations:
+        Proposal count.
+    initial_temperature:
+        Defaults to 5% of the initial span.
+    cooling:
+        Geometric decay factor per iteration (``0 < cooling < 1``).
+    jump_probability:
+        Fraction of proposals drawn uniformly from the window instead of
+        the breakpoint candidates.
+    """
+    if iterations < 0:
+        raise ValueError("iterations must be non-negative")
+    if not 0.0 < cooling < 1.0:
+        raise ValueError("cooling must lie in (0, 1)")
+    instance = schedule.instance
+    jobs = list(instance.jobs)
+    if len(jobs) < 2 or iterations == 0:
+        return schedule
+
+    rng = np.random.default_rng(seed)
+    starts = schedule.starts()
+
+    def span_of(assign: dict[int, float]) -> float:
+        return IntervalUnion(
+            Interval(assign[j.id], assign[j.id] + j.known_length) for j in jobs
+        ).measure
+
+    current_span = span_of(starts)
+    best_span = current_span
+    best_starts = dict(starts)
+    temperature = (
+        initial_temperature
+        if initial_temperature is not None
+        else max(1e-9, 0.05 * current_span)
+    )
+
+    for _ in range(iterations):
+        job = jobs[int(rng.integers(len(jobs)))]
+        if job.laxity == 0:
+            temperature *= cooling
+            continue
+        old = starts[job.id]
+        if rng.random() < jump_probability:
+            proposal = float(rng.uniform(job.arrival, job.deadline))
+        else:
+            others = IntervalUnion(
+                Interval(starts[j.id], starts[j.id] + j.known_length)
+                for j in jobs
+                if j.id != job.id
+            )
+            cands = candidate_starts(job, others)
+            proposal = float(cands[int(rng.integers(len(cands)))])
+        starts[job.id] = proposal
+        new_span = span_of(starts)
+        delta = new_span - current_span
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12)):
+            current_span = new_span
+            if new_span < best_span - 1e-12:
+                best_span = new_span
+                best_starts = dict(starts)
+        else:
+            starts[job.id] = old
+        temperature *= cooling
+
+    return Schedule(instance, best_starts)

@@ -1,0 +1,64 @@
+"""Plain brute-force optimum for tiny integral instances.
+
+Enumerates the full Cartesian product of integer start windows — no
+pruning, no memoisation — serving as an independent cross-check of the
+branch-and-bound solver in :mod:`repro.offline.exact` (they must agree
+exactly; the property suite verifies this on random tiny instances).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..core.errors import SolverError
+from ..core.intervals import union_measure
+from ..core.job import Instance
+from ..core.schedule import Schedule
+
+__all__ = ["bruteforce_optimal_span", "bruteforce_optimal_schedule"]
+
+#: Refuse searches larger than this many start combinations.
+MAX_COMBINATIONS = 20_000_000
+
+
+def bruteforce_optimal_schedule(instance: Instance) -> Schedule:
+    """Exhaustive search over all integral start vectors.
+
+    Raises
+    ------
+    SolverError
+        If the instance is not integral or the window product exceeds
+        :data:`MAX_COMBINATIONS`.
+    """
+    if not instance.is_integral:
+        raise SolverError("brute force requires an integral instance")
+    if len(instance) == 0:
+        return Schedule(instance, {})
+
+    jobs = list(instance.jobs)
+    windows = [range(int(j.arrival), int(j.deadline) + 1) for j in jobs]
+    total = 1
+    for w in windows:
+        total *= len(w)
+        if total > MAX_COMBINATIONS:
+            raise SolverError(
+                f"brute-force search space exceeds {MAX_COMBINATIONS} "
+                "combinations; use the exact branch-and-bound solver"
+            )
+
+    lengths = [j.known_length for j in jobs]
+    best_span = float("inf")
+    best_combo: tuple[int, ...] | None = None
+    for combo in itertools.product(*windows):
+        span = union_measure(list(map(float, combo)), lengths)
+        if span < best_span:
+            best_span = span
+            best_combo = combo
+    assert best_combo is not None
+    starts = {j.id: float(s) for j, s in zip(jobs, best_combo)}
+    return Schedule(instance, starts)
+
+
+def bruteforce_optimal_span(instance: Instance) -> float:
+    """Span of the brute-force optimum."""
+    return bruteforce_optimal_schedule(instance).span

@@ -1,0 +1,103 @@
+"""Instance decomposition: split into non-interacting components.
+
+Job ``J``'s active interval always lies inside its **reach window**
+``[a(J), d(J) + p(J))`` — no scheduler can place any part of ``J``
+outside it.  Two jobs whose reach windows are disjoint therefore can
+never overlap, under *any* scheduler; the connected components of the
+reach-window intersection graph partition the instance into
+sub-instances that are completely independent:
+
+    ``span_min(𝒥) = Σ_components span_min(𝒥_c)``,
+
+and any per-component optimal schedules concatenate into a global
+optimum.  This turns the exponential exact solver into one whose cost is
+driven by the *largest component*, not the instance size — sparse
+workloads with hundreds of jobs become exactly solvable.
+
+Components are found with a single sweep over windows sorted by left
+endpoint (O(n log n)).
+"""
+
+from __future__ import annotations
+
+from ..core.errors import SolverError
+from ..core.job import Instance
+from ..core.schedule import Schedule
+from .exact import exact_optimal_schedule
+
+__all__ = [
+    "split_independent",
+    "exact_optimal_span_decomposed",
+    "exact_optimal_schedule_decomposed",
+]
+
+
+def split_independent(instance: Instance) -> list[Instance]:
+    """Partition into sub-instances whose reach windows don't intersect.
+
+    Returned components are ordered by their earliest arrival; each is a
+    plain :class:`Instance` over the original job objects (ids kept).
+    """
+    if len(instance) == 0:
+        return []
+    jobs = sorted(
+        instance.jobs, key=lambda j: (j.arrival, j.deadline + j.known_length, j.id)
+    )
+    components: list[list] = []
+    current: list = [jobs[0]]
+    reach_end = jobs[0].deadline + jobs[0].known_length
+    for job in jobs[1:]:
+        if job.arrival < reach_end:
+            current.append(job)
+            reach_end = max(reach_end, job.deadline + job.known_length)
+        else:
+            components.append(current)
+            current = [job]
+            reach_end = job.deadline + job.known_length
+    components.append(current)
+    return [
+        Instance(comp, name=f"{instance.name}/component{i}")
+        for i, comp in enumerate(components)
+    ]
+
+
+def exact_optimal_schedule_decomposed(
+    instance: Instance,
+    *,
+    max_component: int = 12,
+    node_budget: int = 2_000_000,
+) -> Schedule:
+    """Exact optimum via per-component exact solving.
+
+    Raises
+    ------
+    SolverError
+        If some component exceeds ``max_component`` jobs (the exact
+        solver would be infeasible on it) or a component's solve blows
+        its node budget.
+    """
+    if len(instance) == 0:
+        return Schedule(instance, {})
+    starts: dict[int, float] = {}
+    for comp in split_independent(instance):
+        if len(comp) > max_component:
+            raise SolverError(
+                f"component {comp.name!r} has {len(comp)} jobs "
+                f"(> max_component={max_component}); exact decomposed "
+                "solving is infeasible for this instance"
+            )
+        result = exact_optimal_schedule(comp, node_budget=node_budget)
+        starts.update(result.schedule.starts())
+    return Schedule(instance, starts)
+
+
+def exact_optimal_span_decomposed(
+    instance: Instance,
+    *,
+    max_component: int = 12,
+    node_budget: int = 2_000_000,
+) -> float:
+    """``span_min`` via decomposition (see module docstring)."""
+    return exact_optimal_schedule_decomposed(
+        instance, max_component=max_component, node_budget=node_budget
+    ).span

@@ -1,0 +1,53 @@
+"""Online schedulers for Flexible Job Scheduling.
+
+Non-clairvoyant (Section 3): :class:`Batch`, :class:`BatchPlus`, and the
+unbounded baselines :class:`Eager`, :class:`Lazy`, :class:`RandomStart`.
+
+Clairvoyant (Section 4): :class:`ClassifyByDurationBatchPlus`,
+:class:`Profit`, plus the reconstructed :class:`Doubler` baseline.
+"""
+
+from .base import OnlineScheduler
+from .batch import Batch
+from .batch_plus import BatchPlus
+from .cdb import OPTIMAL_CDB_ALPHA, ClassifyByDurationBatchPlus, duration_category
+from .doubler import Doubler
+from .eager import Eager
+from .epoch_batch import EpochBatch
+from .greedy_cover import GreedyCover
+from .lazy import Lazy
+from .profit import OPTIMAL_PROFIT_K, Profit
+from .random_start import RandomStart
+from .stats import IterationRecord
+from .wait_scale import WaitScale
+from .registry import (
+    SCHEDULERS,
+    clairvoyant_schedulers,
+    make_scheduler,
+    nonclairvoyant_schedulers,
+    scheduler_names,
+)
+
+__all__ = [
+    "OnlineScheduler",
+    "Batch",
+    "BatchPlus",
+    "ClassifyByDurationBatchPlus",
+    "duration_category",
+    "OPTIMAL_CDB_ALPHA",
+    "Profit",
+    "OPTIMAL_PROFIT_K",
+    "Doubler",
+    "Eager",
+    "Lazy",
+    "RandomStart",
+    "IterationRecord",
+    "WaitScale",
+    "GreedyCover",
+    "EpochBatch",
+    "SCHEDULERS",
+    "make_scheduler",
+    "scheduler_names",
+    "clairvoyant_schedulers",
+    "nonclairvoyant_schedulers",
+]

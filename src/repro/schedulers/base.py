@@ -1,0 +1,82 @@
+"""Scheduler base class and shared behaviour.
+
+Every online scheduler in the library derives from
+:class:`OnlineScheduler`, which provides no-op default hooks, a fresh
+:meth:`clone` for reuse across simulations (schedulers are stateful — one
+object per run), and declarative metadata (name, information-model
+requirement) used by the registry, the CLI, and the benchmark harness.
+
+Schedulers that designate *flag jobs* (Batch, Batch+, CDB, Profit) record
+them in ``self.flag_job_ids`` in designation order; the analysis module
+consumes this to verify the paper's structural lemmas.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, ClassVar
+
+from ..core.engine import JobView, SchedulerContext
+
+__all__ = ["OnlineScheduler"]
+
+
+class OnlineScheduler:
+    """Base class for online FJS schedulers.
+
+    Class attributes
+    ----------------
+    name:
+        Short registry identifier (e.g. ``"batch+"``).
+    requires_clairvoyance:
+        ``True`` for schedulers that read ``job.length`` at arrival (CDB,
+        Profit, Doubler); the simulator must then run with
+        ``clairvoyant=True``.
+    """
+
+    name: ClassVar[str] = "base"
+    requires_clairvoyance: ClassVar[bool] = False
+
+    def __init__(self) -> None:
+        #: Flag jobs in designation order (meaningful for batch-style
+        #: schedulers; empty otherwise).
+        self.flag_job_ids: list[int] = []
+
+    # -- lifecycle ---------------------------------------------------------
+    def setup(self, ctx: SchedulerContext) -> None:
+        """Called once before the first event."""
+
+    def clone(self) -> "OnlineScheduler":
+        """A fresh scheduler with the same configuration, no run state.
+
+        The default implementation deep-copies the object as constructed;
+        subclasses with non-trivial constructor arguments override this.
+        """
+        fresh = copy.copy(self)
+        fresh.reset()
+        return fresh
+
+    def reset(self) -> None:
+        """Clear per-run state.  Subclasses must call ``super().reset()``."""
+        self.flag_job_ids = []
+
+    # -- hooks (no-op defaults) ---------------------------------------------
+    def on_arrival(self, ctx: SchedulerContext, job: JobView) -> None:
+        """A job became known (and startable)."""
+
+    def on_deadline(self, ctx: SchedulerContext, job: JobView) -> None:
+        """An unstarted job reached its starting deadline (last chance)."""
+
+    def on_completion(self, ctx: SchedulerContext, job: JobView) -> None:
+        """A running job finished; its length is now visible."""
+
+    def on_timer(self, ctx: SchedulerContext, tag: Any) -> None:
+        """A previously requested timer fired."""
+
+    # -- cosmetics -----------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable one-line description (parameters included)."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.describe()}>"

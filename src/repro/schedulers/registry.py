@@ -1,0 +1,78 @@
+"""Scheduler registry: name-based lookup for the CLI and harnesses.
+
+The registry maps short names (``"batch+"``, ``"profit"``, …) to factory
+callables producing *fresh* scheduler instances, optionally parameterised
+(e.g. ``make_scheduler("profit", k=2.0)``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .base import OnlineScheduler
+from .batch import Batch
+from .batch_plus import BatchPlus
+from .cdb import ClassifyByDurationBatchPlus
+from .doubler import Doubler
+from .eager import Eager
+from .epoch_batch import EpochBatch
+from .greedy_cover import GreedyCover
+from .lazy import Lazy
+from .profit import Profit
+from .random_start import RandomStart
+from .wait_scale import WaitScale
+
+__all__ = [
+    "SCHEDULERS",
+    "make_scheduler",
+    "scheduler_names",
+    "nonclairvoyant_schedulers",
+    "clairvoyant_schedulers",
+]
+
+SCHEDULERS: dict[str, Callable[..., OnlineScheduler]] = {
+    Eager.name: Eager,
+    Lazy.name: Lazy,
+    RandomStart.name: RandomStart,
+    Batch.name: Batch,
+    BatchPlus.name: BatchPlus,
+    ClassifyByDurationBatchPlus.name: ClassifyByDurationBatchPlus,
+    Profit.name: Profit,
+    Doubler.name: Doubler,
+    WaitScale.name: WaitScale,
+    GreedyCover.name: GreedyCover,
+    EpochBatch.name: EpochBatch,
+}
+
+
+def make_scheduler(name: str, **kwargs: Any) -> OnlineScheduler:
+    """Instantiate a registered scheduler by name.
+
+    Raises ``KeyError`` with the available names on an unknown name.
+    """
+    try:
+        factory = SCHEDULERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: {sorted(SCHEDULERS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def scheduler_names() -> list[str]:
+    """All registered scheduler names, sorted."""
+    return sorted(SCHEDULERS)
+
+
+def nonclairvoyant_schedulers() -> list[str]:
+    """Names of schedulers usable without length information."""
+    return sorted(
+        name for name, f in SCHEDULERS.items() if not f.requires_clairvoyance  # type: ignore[union-attr]
+    )
+
+
+def clairvoyant_schedulers() -> list[str]:
+    """Names of schedulers requiring length information at arrival."""
+    return sorted(
+        name for name, f in SCHEDULERS.items() if f.requires_clairvoyance  # type: ignore[union-attr]
+    )

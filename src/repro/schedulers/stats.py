@@ -1,0 +1,45 @@
+"""Per-iteration statistics for batch-style schedulers.
+
+Batch, Batch+ (and CDB through its sub-schedulers) operate in
+flag-anchored iterations; :class:`IterationRecord` captures each one so
+analyses can inspect batch sizes, iteration spacing and open-phase
+pickups without re-deriving them from a trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["IterationRecord"]
+
+
+@dataclass
+class IterationRecord:
+    """One scheduler iteration, anchored by its flag job.
+
+    Attributes
+    ----------
+    flag_id:
+        The flag job's id.
+    start_time:
+        When the iteration started (the flag's starting deadline).
+    batch_job_ids:
+        Jobs started together with the flag (the pending set), flag
+        included.
+    open_started_job_ids:
+        Jobs started during the open phase (Batch+ only; empty for
+        Batch).
+    """
+
+    flag_id: int
+    start_time: float
+    batch_job_ids: list[int] = field(default_factory=list)
+    open_started_job_ids: list[int] = field(default_factory=list)
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.batch_job_ids)
+
+    @property
+    def total_jobs(self) -> int:
+        return len(self.batch_job_ids) + len(self.open_started_job_ids)

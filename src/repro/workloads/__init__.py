@@ -1,0 +1,48 @@
+"""Synthetic workload generators and sweep utilities."""
+
+from .cloud import CloudWorkload, batch_window_instance, cloud_instance
+from .perturb import (
+    drop_jobs,
+    jitter_arrivals,
+    scale_laxity,
+    shift_times,
+    tighten_to_rigid,
+)
+from .processes import bursty_cascade_arrivals, mmpp_arrivals, mmpp_instance
+from .sweep import GridResult, ratio_stats, run_grid
+from .traces import read_swf_instance, write_swf_instance
+from .synthetic import (
+    WorkloadSpec,
+    bimodal_instance,
+    generate,
+    heavy_tail_instance,
+    poisson_instance,
+    rigid_instance,
+    small_integral_instance,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "generate",
+    "poisson_instance",
+    "bimodal_instance",
+    "heavy_tail_instance",
+    "rigid_instance",
+    "small_integral_instance",
+    "CloudWorkload",
+    "cloud_instance",
+    "batch_window_instance",
+    "mmpp_arrivals",
+    "mmpp_instance",
+    "bursty_cascade_arrivals",
+    "scale_laxity",
+    "jitter_arrivals",
+    "drop_jobs",
+    "tighten_to_rigid",
+    "shift_times",
+    "read_swf_instance",
+    "write_swf_instance",
+    "GridResult",
+    "run_grid",
+    "ratio_stats",
+]

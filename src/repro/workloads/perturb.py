@@ -1,0 +1,100 @@
+"""Instance perturbations for robustness studies.
+
+Sensitivity questions ("what if deadlines were tighter?", "what if
+arrivals jittered?") need controlled transforms of an existing instance.
+Each function returns a new :class:`Instance`; nothing is modified in
+place.  The property suite pins the monotonicity facts these transforms
+obey — most importantly that *adding laxity can never hurt the offline
+optimum* (every feasible schedule stays feasible).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import InvalidInstanceError
+from ..core.job import Instance, Job
+
+__all__ = [
+    "scale_laxity",
+    "jitter_arrivals",
+    "drop_jobs",
+    "tighten_to_rigid",
+    "shift_times",
+]
+
+
+def scale_laxity(instance: Instance, factor: float) -> Instance:
+    """Multiply every job's laxity by ``factor`` (>= 0).
+
+    ``factor > 1`` relaxes (OPT can only improve); ``factor < 1``
+    tightens (OPT can only degrade); ``factor = 0`` is
+    :func:`tighten_to_rigid`.
+    """
+    if factor < 0:
+        raise InvalidInstanceError("laxity factor must be non-negative")
+    return Instance(
+        (
+            Job(
+                id=j.id,
+                arrival=j.arrival,
+                deadline=j.arrival + factor * j.laxity,
+                length=j.length,
+                size=j.size,
+            )
+            for j in instance
+        ),
+        name=f"{instance.name}/laxity×{factor:g}",
+    )
+
+
+def tighten_to_rigid(instance: Instance) -> Instance:
+    """Remove all laxity: every job must start at its arrival."""
+    return scale_laxity(instance, 0.0)
+
+
+def jitter_arrivals(
+    instance: Instance, magnitude: float, seed: int = 0
+) -> Instance:
+    """Add uniform ``[-magnitude, +magnitude]`` noise to arrivals.
+
+    Deadlines move with their arrivals (laxity is preserved); arrivals
+    are clamped at 0.
+    """
+    if magnitude < 0:
+        raise InvalidInstanceError("jitter magnitude must be non-negative")
+    rng = np.random.default_rng(seed)
+    jobs = []
+    for j in instance:
+        a = max(0.0, j.arrival + float(rng.uniform(-magnitude, magnitude)))
+        jobs.append(
+            Job(id=j.id, arrival=a, deadline=a + j.laxity, length=j.length, size=j.size)
+        )
+    return Instance(jobs, name=f"{instance.name}/jitter±{magnitude:g}")
+
+
+def drop_jobs(instance: Instance, fraction: float, seed: int = 0) -> Instance:
+    """Remove a uniformly random ``fraction`` of the jobs."""
+    if not 0.0 <= fraction <= 1.0:
+        raise InvalidInstanceError("fraction must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    keep = [j for j in instance if rng.random() >= fraction]
+    return Instance(keep, name=f"{instance.name}/drop{fraction:g}")
+
+
+def shift_times(instance: Instance, delta: float) -> Instance:
+    """Translate the whole instance by ``delta`` (resulting arrivals must
+    stay non-negative)."""
+    return Instance(
+        (
+            Job(
+                id=j.id,
+                arrival=j.arrival + delta,
+                deadline=j.deadline + delta,
+                length=j.length,
+                size=j.size,
+            )
+            for j in instance
+        ),
+        name=f"{instance.name}/shift{delta:+g}",
+    )

@@ -1,0 +1,108 @@
+"""Richer arrival processes: MMPP and self-similar-ish arrivals.
+
+The simple generators in :mod:`repro.workloads.synthetic` cover the
+classic cases; real cluster traces show regime switching and burst
+correlation.  These processes stress schedulers differently: batching
+schedulers shine under bursts, Profit under regime switches.
+
+* :func:`mmpp_arrivals` — a 2-state Markov-Modulated Poisson Process
+  (quiet/busy regimes with exponential sojourn times).
+* :func:`bursty_cascade_arrivals` — a crude heavy-tailed cascade: burst
+  sizes are Pareto-distributed, giving arrival counts with much heavier
+  correlation than Poisson (a stand-in for self-similar traffic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.job import Instance, Job
+
+__all__ = ["mmpp_arrivals", "bursty_cascade_arrivals", "mmpp_instance"]
+
+
+def mmpp_arrivals(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    rate_quiet: float = 0.2,
+    rate_busy: float = 4.0,
+    mean_sojourn: float = 20.0,
+) -> np.ndarray:
+    """``n`` arrival times from a two-state MMPP.
+
+    The modulating chain alternates quiet/busy with exponential sojourns
+    of mean ``mean_sojourn``; arrivals within a state are Poisson with
+    that state's rate.
+    """
+    if n == 0:
+        return np.empty(0)
+    if min(rate_quiet, rate_busy) <= 0 or mean_sojourn <= 0:
+        raise ValueError("rates and sojourn must be positive")
+    arrivals: list[float] = []
+    t = 0.0
+    busy = False
+    state_end = float(rng.exponential(mean_sojourn))
+    while len(arrivals) < n:
+        rate = rate_busy if busy else rate_quiet
+        t_next = t + float(rng.exponential(1.0 / rate))
+        if t_next >= state_end:
+            t = state_end
+            busy = not busy
+            state_end = t + float(rng.exponential(mean_sojourn))
+            continue
+        t = t_next
+        arrivals.append(t)
+    return np.asarray(arrivals)
+
+
+def bursty_cascade_arrivals(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    burst_gap_mean: float = 8.0,
+    pareto_shape: float = 1.4,
+    within_burst_gap: float = 0.02,
+) -> np.ndarray:
+    """``n`` arrival times with Pareto-sized bursts.
+
+    Burst inter-arrival times are exponential; burst sizes are
+    ``1 + Pareto(shape)`` rounded down, so a few bursts are enormous —
+    the arrival-count process is far burstier than Poisson.
+    """
+    if n == 0:
+        return np.empty(0)
+    arrivals: list[float] = []
+    t = 0.0
+    while len(arrivals) < n:
+        t += float(rng.exponential(burst_gap_mean))
+        size = 1 + int(rng.pareto(pareto_shape))
+        for j in range(size):
+            arrivals.append(t + j * within_burst_gap)
+            if len(arrivals) >= n:
+                break
+    return np.asarray(arrivals[:n])
+
+
+def mmpp_instance(
+    n: int,
+    seed: int = 0,
+    *,
+    laxity_scale: float = 2.0,
+    length_low: float = 1.0,
+    length_high: float = 10.0,
+) -> Instance:
+    """An instance with MMPP arrivals, uniform lengths, proportional laxity."""
+    rng = np.random.default_rng(seed)
+    arrivals = mmpp_arrivals(n, rng)
+    lengths = rng.uniform(length_low, length_high, size=n)
+    jobs = [
+        Job(
+            id=i,
+            arrival=float(arrivals[i]),
+            deadline=float(arrivals[i] + laxity_scale * lengths[i]),
+            length=float(lengths[i]),
+        )
+        for i in range(n)
+    ]
+    return Instance(jobs, name=f"mmpp(n={n}, seed={seed})")

@@ -1,0 +1,99 @@
+"""Sweep utilities: run scheduler × instance grids and aggregate ratios.
+
+The benchmark harness repeats one pattern everywhere: run a set of
+schedulers over a family of instances, measure spans, and compare with a
+reference (exact optimum, certified lower bound, or offline heuristic).
+:func:`run_grid` centralises that pattern with deterministic seeding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..core.engine import simulate
+from ..core.job import Instance
+from ..schedulers.base import OnlineScheduler
+
+__all__ = ["GridResult", "run_grid", "ratio_stats"]
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """One (scheduler, instance) cell of a sweep."""
+
+    scheduler_name: str
+    instance_name: str
+    span: float
+    reference: float
+    events: int
+
+    @property
+    def ratio(self) -> float:
+        """Span over the reference value (competitive-ratio estimate)."""
+        return self.span / self.reference if self.reference > 0 else float("inf")
+
+
+def run_grid(
+    schedulers: Sequence[OnlineScheduler],
+    instances: Iterable[Instance],
+    reference: Callable[[Instance], float],
+    *,
+    clairvoyant: bool | None = None,
+) -> list[GridResult]:
+    """Run every scheduler on every instance against a reference span.
+
+    Parameters
+    ----------
+    schedulers:
+        Prototype scheduler objects; each run uses a fresh ``clone()``.
+    instances:
+        The instance family (materialised once, reused per scheduler).
+    reference:
+        ``Instance -> float`` producing the denominator (e.g.
+        ``exact_optimal_span`` or ``span_lower_bound``), evaluated once
+        per instance.
+    clairvoyant:
+        Information model override; by default each scheduler runs in
+        the weakest model it supports (clairvoyant only when required).
+    """
+    inst_list = list(instances)
+    refs = [reference(inst) for inst in inst_list]
+    out: list[GridResult] = []
+    for proto in schedulers:
+        needs = getattr(type(proto), "requires_clairvoyance", False)
+        mode = needs if clairvoyant is None else clairvoyant
+        for inst, ref in zip(inst_list, refs):
+            result = simulate(proto.clone(), inst, clairvoyant=mode)
+            out.append(
+                GridResult(
+                    scheduler_name=proto.name,
+                    instance_name=inst.name,
+                    span=result.span,
+                    reference=ref,
+                    events=result.events_processed,
+                )
+            )
+    return out
+
+
+def ratio_stats(results: Iterable[GridResult]) -> dict[str, dict[str, float]]:
+    """Aggregate ratios per scheduler: mean / max / p95.
+
+    Returns ``{scheduler: {"mean": …, "max": …, "p95": …, "runs": …}}``.
+    """
+    by_sched: dict[str, list[float]] = {}
+    for r in results:
+        by_sched.setdefault(r.scheduler_name, []).append(r.ratio)
+    stats: dict[str, dict[str, float]] = {}
+    for name, ratios in by_sched.items():
+        arr = np.asarray(ratios)
+        stats[name] = {
+            "mean": float(arr.mean()),
+            "max": float(arr.max()),
+            "p95": float(np.percentile(arr, 95)),
+            "runs": float(arr.size),
+        }
+    return stats

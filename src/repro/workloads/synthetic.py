@@ -1,0 +1,223 @@
+"""Synthetic workload generators.
+
+The paper motivates FJS with cloud jobs that tolerate delayed starts
+(batch analytics, maintenance, CI, backups).  These generators produce
+seeded, reproducible instances across the axes the theory cares about:
+
+* **arrival process** — Poisson (steady), uniform, or bursty;
+* **length distribution** — uniform, lognormal (heavy-ish tail), bimodal
+  (the short/long dichotomy every lower-bound construction exploits),
+  Pareto (heavy tail), or constant;
+* **laxity model** — proportional to length (users tolerate delays
+  relative to job size), constant, uniform, or zero (rigid jobs).
+
+All generators accept ``integral=True`` to round every quantity to
+integers (lengths at least 1), producing instances the exact offline
+solver can handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from ..core.job import Instance, Job
+
+__all__ = [
+    "WorkloadSpec",
+    "generate",
+    "poisson_instance",
+    "bimodal_instance",
+    "heavy_tail_instance",
+    "rigid_instance",
+    "small_integral_instance",
+]
+
+ArrivalKind = Literal["poisson", "uniform", "bursty"]
+LengthKind = Literal["uniform", "lognormal", "bimodal", "pareto", "constant"]
+LaxityKind = Literal["proportional", "constant", "uniform", "zero"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative description of a synthetic workload.
+
+    Parameters mirror the generator axes; see the module docstring.
+    ``laxity_scale`` multiplies the base laxity (length for
+    ``proportional``, 1.0 for ``constant``/``uniform``).
+    """
+
+    n: int
+    arrival: ArrivalKind = "poisson"
+    arrival_rate: float = 1.0
+    length: LengthKind = "uniform"
+    length_low: float = 1.0
+    length_high: float = 10.0
+    laxity: LaxityKind = "proportional"
+    laxity_scale: float = 2.0
+    integral: bool = False
+    name: str | None = None
+
+    def describe(self) -> str:
+        return (
+            f"{self.arrival}-arrivals(rate={self.arrival_rate:g}) × "
+            f"{self.length}-lengths[{self.length_low:g},{self.length_high:g}] × "
+            f"{self.laxity}-laxity(×{self.laxity_scale:g}), n={self.n}"
+        )
+
+
+def _arrivals(spec: WorkloadSpec, rng: np.random.Generator) -> np.ndarray:
+    if spec.n == 0:
+        return np.empty(0)
+    if spec.arrival == "poisson":
+        gaps = rng.exponential(1.0 / spec.arrival_rate, size=spec.n)
+        return np.cumsum(gaps) - gaps[0]  # first arrival at 0
+    if spec.arrival == "uniform":
+        horizon = spec.n / spec.arrival_rate
+        return np.sort(rng.uniform(0.0, horizon, size=spec.n))
+    if spec.arrival == "bursty":
+        # Clusters of geometric size arriving as a Poisson process of
+        # bursts; jobs within a burst arrive (nearly) together.
+        arrivals: list[float] = []
+        t = 0.0
+        while len(arrivals) < spec.n:
+            burst = int(rng.geometric(0.25))
+            jitter = rng.uniform(0.0, 0.05, size=burst)
+            arrivals.extend((t + j) for j in jitter)
+            t += rng.exponential(5.0 / spec.arrival_rate)
+        return np.sort(np.array(arrivals[: spec.n]))
+    raise ValueError(f"unknown arrival kind {spec.arrival!r}")
+
+
+def _lengths(spec: WorkloadSpec, rng: np.random.Generator) -> np.ndarray:
+    lo, hi = spec.length_low, spec.length_high
+    if lo <= 0 or hi < lo:
+        raise ValueError("need 0 < length_low <= length_high")
+    if spec.length == "uniform":
+        return rng.uniform(lo, hi, size=spec.n)
+    if spec.length == "lognormal":
+        mean = np.log(np.sqrt(lo * hi))
+        sigma = max(1e-6, np.log(hi / lo) / 4.0)
+        return np.clip(rng.lognormal(mean, sigma, size=spec.n), lo, hi)
+    if spec.length == "bimodal":
+        short = rng.random(spec.n) < 0.5
+        return np.where(short, lo, hi).astype(np.float64)
+    if spec.length == "pareto":
+        raw = lo * (1.0 + rng.pareto(1.5, size=spec.n))
+        return np.clip(raw, lo, hi)
+    if spec.length == "constant":
+        return np.full(spec.n, lo)
+    raise ValueError(f"unknown length kind {spec.length!r}")
+
+
+def _laxities(
+    spec: WorkloadSpec, lengths: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    if spec.laxity_scale < 0:
+        raise ValueError("laxity_scale must be non-negative")
+    if spec.laxity == "proportional":
+        return spec.laxity_scale * lengths
+    if spec.laxity == "constant":
+        return np.full(spec.n, spec.laxity_scale)
+    if spec.laxity == "uniform":
+        return rng.uniform(0.0, 2.0 * spec.laxity_scale, size=spec.n)
+    if spec.laxity == "zero":
+        return np.zeros(spec.n)
+    raise ValueError(f"unknown laxity kind {spec.laxity!r}")
+
+
+def generate(spec: WorkloadSpec, seed: int = 0) -> Instance:
+    """Generate a reproducible instance from a :class:`WorkloadSpec`."""
+    rng = np.random.default_rng(seed)
+    arrivals = _arrivals(spec, rng)
+    lengths = _lengths(spec, rng)
+    laxities = _laxities(spec, lengths, rng)
+    if spec.integral:
+        arrivals = np.floor(arrivals)
+        lengths = np.maximum(1.0, np.round(lengths))
+        laxities = np.round(laxities)
+    jobs = [
+        Job(
+            id=i,
+            arrival=float(arrivals[i]),
+            deadline=float(arrivals[i] + laxities[i]),
+            length=float(lengths[i]),
+        )
+        for i in range(spec.n)
+    ]
+    name = spec.name or f"synthetic(seed={seed}, {spec.describe()})"
+    return Instance(jobs, name=name)
+
+
+# -- curated shortcut families -------------------------------------------------
+
+def poisson_instance(
+    n: int, seed: int = 0, *, rate: float = 1.0, laxity_scale: float = 2.0
+) -> Instance:
+    """Steady Poisson arrivals, uniform lengths, proportional laxity."""
+    return generate(
+        WorkloadSpec(n=n, arrival_rate=rate, laxity_scale=laxity_scale), seed
+    )
+
+
+def bimodal_instance(
+    n: int, seed: int = 0, *, mu: float = 10.0, laxity_scale: float = 2.0
+) -> Instance:
+    """Short/long jobs (lengths 1 and μ) — the theory's hard dichotomy."""
+    return generate(
+        WorkloadSpec(
+            n=n,
+            length="bimodal",
+            length_low=1.0,
+            length_high=mu,
+            laxity_scale=laxity_scale,
+        ),
+        seed,
+    )
+
+
+def heavy_tail_instance(n: int, seed: int = 0, *, hi: float = 100.0) -> Instance:
+    """Pareto lengths with bursty arrivals — a stressy cloud-like mix."""
+    return generate(
+        WorkloadSpec(
+            n=n,
+            arrival="bursty",
+            length="pareto",
+            length_high=hi,
+            laxity="uniform",
+            laxity_scale=10.0,
+        ),
+        seed,
+    )
+
+
+def rigid_instance(n: int, seed: int = 0) -> Instance:
+    """Zero-laxity jobs: every scheduler degenerates to Eager."""
+    return generate(WorkloadSpec(n=n, laxity="zero"), seed)
+
+
+def small_integral_instance(
+    n: int,
+    seed: int = 0,
+    *,
+    max_arrival: int = 8,
+    max_laxity: int = 4,
+    max_length: int = 4,
+) -> Instance:
+    """Tiny integral instances for exact-optimum comparisons.
+
+    All quantities are small integers so the exact branch-and-bound
+    solver finishes quickly; used pervasively by the property tests.
+    """
+    rng = np.random.default_rng(seed)
+    jobs = []
+    for i in range(n):
+        arrival = float(rng.integers(0, max_arrival + 1))
+        laxity = float(rng.integers(0, max_laxity + 1))
+        length = float(rng.integers(1, max_length + 1))
+        jobs.append(
+            Job(id=i, arrival=arrival, deadline=arrival + laxity, length=length)
+        )
+    return Instance(jobs, name=f"small-integral(n={n}, seed={seed})")

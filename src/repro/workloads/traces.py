@@ -1,0 +1,124 @@
+"""Trace bridge: SWF-style workload files → FJS instances.
+
+Users with real cluster logs usually have them in a line-per-job format
+descended from the Standard Workload Format (SWF): whitespace-separated
+fields, ``;`` comments.  This module reads the three fields FJS needs —
+**submit time** and **run time** (SWF columns 2 and 4, 1-indexed) plus
+optionally **requested processors** as the DBP size — and attaches a
+*laxity policy*, since traces record when jobs ran, not how long they
+could have waited:
+
+* ``("proportional", s)`` — laxity = s × run time (deadline-tolerant
+  batch work);
+* ``("constant", c)``     — laxity = c for every job;
+* ``("zero", 0)``         — rigid replay.
+
+Writing is supported too, so synthetic instances can round-trip through
+the same files other tools consume.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Literal
+
+from ..core.errors import InvalidInstanceError
+from ..core.job import Instance, Job
+
+__all__ = ["read_swf_instance", "write_swf_instance"]
+
+LaxityPolicy = tuple[Literal["proportional", "constant", "zero"], float]
+
+
+def _laxity(policy: LaxityPolicy, run_time: float) -> float:
+    kind, value = policy
+    if kind == "proportional":
+        if value < 0:
+            raise InvalidInstanceError("proportional laxity factor must be >= 0")
+        return value * run_time
+    if kind == "constant":
+        if value < 0:
+            raise InvalidInstanceError("constant laxity must be >= 0")
+        return value
+    if kind == "zero":
+        return 0.0
+    raise InvalidInstanceError(f"unknown laxity policy {kind!r}")
+
+
+def read_swf_instance(
+    path: str | Path,
+    *,
+    laxity: LaxityPolicy = ("proportional", 1.0),
+    max_jobs: int | None = None,
+    size_divisor: float | None = None,
+    name: str | None = None,
+) -> Instance:
+    """Parse an SWF-style file into an :class:`Instance`.
+
+    Fields used per data line (whitespace separated, 1-indexed as in the
+    SWF spec): 1 = job id, 2 = submit time, 4 = run time, 8 = requested
+    processors (optional; divided by ``size_divisor`` to produce the DBP
+    ``size``, default size 1.0).  Lines starting with ``;`` and jobs with
+    non-positive run times (SWF uses -1 for unknown) are skipped.
+    """
+    jobs: list[Job] = []
+    next_id = 0
+    base_submit: float | None = None
+    for raw in Path(path).read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith(";"):
+            continue
+        fields = line.split()
+        if len(fields) < 4:
+            raise InvalidInstanceError(
+                f"SWF line has {len(fields)} fields, need at least 4: {line!r}"
+            )
+        submit = float(fields[1])
+        run_time = float(fields[3])
+        if run_time <= 0:
+            continue  # unknown / cancelled jobs
+        if base_submit is None:
+            base_submit = submit
+        arrival = max(0.0, submit - base_submit)
+        size = 1.0
+        if size_divisor is not None and len(fields) >= 8:
+            procs = float(fields[7])
+            if procs > 0:
+                size = procs / size_divisor
+        jobs.append(
+            Job(
+                id=next_id,
+                arrival=arrival,
+                deadline=arrival + _laxity(laxity, run_time),
+                length=run_time,
+                size=size,
+            )
+        )
+        next_id += 1
+        if max_jobs is not None and next_id >= max_jobs:
+            break
+    return Instance(jobs, name=name or f"swf({Path(path).name})")
+
+
+def write_swf_instance(instance: Instance, path: str | Path) -> None:
+    """Write an instance as SWF-style lines (submit = arrival,
+    run time = length, requested processors = round(size)).
+
+    Laxity is not representable in SWF; a header comment records each
+    job's deadline so :func:`read_swf_instance` consumers outside this
+    library still see standard fields, while the comment preserves
+    round-trip information for humans.
+    """
+    lines = [
+        "; SWF-style export from repro (FJS reproduction library)",
+        "; fields: id submit wait run procs_used avg_cpu mem procs_req ...",
+        ";   note: starting deadlines are not part of SWF; laxities below",
+    ]
+    for j in instance:
+        lines.append(f";   job {j.id}: laxity {j.laxity:g}")
+    for j in instance:
+        lines.append(
+            f"{j.id} {j.arrival:.17g} 0 {j.known_length:.17g} "
+            f"{max(1, round(j.size))} -1 -1 {max(1, round(j.size))}"
+        )
+    Path(path).write_text("\n".join(lines) + "\n")

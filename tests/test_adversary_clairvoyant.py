@@ -1,0 +1,109 @@
+"""Unit tests for the §4.1 clairvoyant lower-bound adversary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries import PHI, ClairvoyantLowerBoundAdversary
+from repro.analysis import clairvoyant_adversary_ratio
+from repro.core import simulate
+from repro.schedulers import (
+    Batch,
+    BatchPlus,
+    ClassifyByDurationBatchPlus,
+    Doubler,
+    Eager,
+    Lazy,
+    Profit,
+)
+
+
+def play(scheduler, n, clairvoyant):
+    adv = ClairvoyantLowerBoundAdversary(n=n)
+    result = simulate(scheduler, adversary=adv, clairvoyant=clairvoyant)
+    witness = adv.paper_optimal_schedule(result.instance)
+    return adv, result, witness
+
+
+class TestConstruction:
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ClairvoyantLowerBoundAdversary(n=0)
+
+    def test_iteration_jobs_shape(self):
+        adv = ClairvoyantLowerBoundAdversary(n=3)
+        jobs = list(adv.initial_jobs())
+        short, long = jobs
+        assert short.length == 1.0 and short.laxity == 0.0
+        assert long.length == pytest.approx(PHI)
+        assert long.deadline == pytest.approx(3 * (PHI + 1))
+
+    def test_all_long_jobs_share_deadline(self):
+        adv, result, _ = play(Profit(), 5, True)
+        longs = [j for j in result.instance if j.id % 2 == 0]
+        deadlines = {round(j.deadline, 9) for j in longs}
+        assert len(deadlines) == 1
+
+
+class TestForcedRatios:
+    def test_eager_style_stops_first_iteration(self):
+        """A scheduler that never delays the long job into the short's
+        interval... Eager *does* start it at arrival = inside [T,T+1):
+        it survives, but pays φ per iteration."""
+        adv, result, witness = play(Eager(), 20, False)
+        assert not adv.stopped_early
+        ratio = result.span / witness.span
+        assert ratio >= clairvoyant_adversary_ratio(20) - 1e-9
+
+    def test_lazy_stops_immediately(self):
+        """Lazy starts long jobs at their (huge) deadlines — never within
+        the short's interval — so the adversary stops at iteration 1 and
+        still forces >= φ-ish ratio via the early-stop branch."""
+        adv, result, witness = play(Lazy(), 20, False)
+        assert adv.stopped_early
+        assert adv.iterations_played == 1
+        ratio = result.span / witness.span
+        assert ratio >= PHI - 1e-9
+
+    @pytest.mark.parametrize(
+        "scheduler,clair",
+        [
+            (Profit(), True),
+            (ClassifyByDurationBatchPlus(), True),
+            (Doubler(), True),
+            (Batch(), False),
+            (BatchPlus(), False),
+            (Eager(), False),
+            (Lazy(), False),
+        ],
+        ids=["profit", "cdb", "doubler", "batch", "batch+", "eager", "lazy"],
+    )
+    def test_every_scheduler_forced_to_theory_ratio(self, scheduler, clair):
+        """Theorem 4.1: every deterministic scheduler's ratio on the
+        construction is at least min(φ, nφ/(φ+n-1))."""
+        n = 30
+        adv, result, witness = play(scheduler, n, clair)
+        ratio = result.span / witness.span
+        assert ratio >= clairvoyant_adversary_ratio(n) - 1e-9
+
+    def test_ratio_approaches_phi(self):
+        """The forced ratio against a surviving scheduler (Profit) rises
+        towards φ as n grows."""
+        ratios = []
+        for n in (2, 8, 32, 128):
+            adv, result, witness = play(Profit(), n, True)
+            ratios.append(result.span / witness.span)
+        assert all(b >= a - 1e-12 for a, b in zip(ratios, ratios[1:]))
+        assert ratios[-1] >= PHI - 0.02
+
+    def test_witness_schedule_is_feasible(self):
+        adv, result, witness = play(BatchPlus(), 10, False)
+        witness.validate()
+
+    def test_witness_span_formula(self):
+        """When the scheduler survives all n iterations, the witness span
+        is φ + (n-1)."""
+        n = 12
+        adv, result, witness = play(Eager(), n, False)
+        assert not adv.stopped_early
+        assert witness.span == pytest.approx(PHI + (n - 1))

@@ -1,0 +1,102 @@
+"""Hypothesis fuzzing of the adversary interface.
+
+Random (but protocol-respecting) adversaries stress the engine's dynamic
+release, wake-up and length-assignment paths; every run must produce a
+valid schedule over the resolved instance.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversaries import BaseAdversary
+from repro.core import Job, simulate
+from repro.core.engine import AdversaryResponse
+from repro.schedulers import Batch, BatchPlus, Eager
+
+
+class FuzzAdversary(BaseAdversary):
+    """Releases waves of jobs driven by a recorded decision stream."""
+
+    def __init__(self, spec):
+        self.initial, self.waves, self.lengths = spec
+        self._next_id = len(self.initial)
+        self._li = 0
+        self._wave_i = 0
+
+    def initial_jobs(self):
+        return [
+            Job(i, a, a + lax, None if ctrl else 1.0 + p)
+            for i, (a, lax, p, ctrl) in enumerate(self.initial)
+        ]
+
+    def _next_length(self):
+        if not self.lengths:
+            return 1.0
+        v = self.lengths[self._li % len(self.lengths)]
+        self._li += 1
+        return 1.0 + v
+
+    def assign_length(self, job, t):
+        return self._next_length()
+
+    def on_completion(self, job, t):
+        if self._wave_i >= len(self.waves):
+            return None
+        wave = self.waves[self._wave_i]
+        self._wave_i += 1
+        jobs = []
+        for a_off, lax, p, ctrl in wave:
+            jobs.append(
+                Job(
+                    self._next_id,
+                    t + a_off,
+                    t + a_off + lax,
+                    None if ctrl else 1.0 + p,
+                )
+            )
+            self._next_id += 1
+        return AdversaryResponse(release=tuple(jobs))
+
+
+job_spec = st.tuples(
+    st.floats(min_value=0, max_value=10, allow_nan=False),   # arrival offset
+    st.floats(min_value=0, max_value=8, allow_nan=False),    # laxity
+    st.floats(min_value=0, max_value=4, allow_nan=False),    # length - 1
+    st.booleans(),                                            # adversary-controlled?
+)
+
+
+@st.composite
+def adversary_specs(draw):
+    initial = draw(st.lists(job_spec, min_size=1, max_size=6))
+    waves = draw(st.lists(st.lists(job_spec, min_size=1, max_size=4), max_size=4))
+    lengths = draw(st.lists(st.floats(min_value=0, max_value=5, allow_nan=False), max_size=8))
+    return initial, waves, lengths
+
+
+class TestAdversaryFuzz:
+    @given(adversary_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_batch_survives_any_adversary(self, spec):
+        result = simulate(Batch(), adversary=FuzzAdversary(spec), clairvoyant=False)
+        result.schedule.validate()
+        assert not result.instance.has_unknown_lengths
+
+    @given(adversary_specs())
+    @settings(max_examples=40, deadline=None)
+    def test_batchplus_and_eager_survive(self, spec):
+        for sched in (BatchPlus(), Eager()):
+            result = simulate(
+                sched, adversary=FuzzAdversary(spec), clairvoyant=False
+            )
+            result.schedule.validate()
+
+    @given(adversary_specs())
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_replay(self, spec):
+        r1 = simulate(Batch(), adversary=FuzzAdversary(spec), clairvoyant=False)
+        r2 = simulate(Batch(), adversary=FuzzAdversary(spec), clairvoyant=False)
+        assert r1.schedule.starts() == r2.schedule.starts()
+        assert [j.length for j in r1.instance] == [j.length for j in r2.instance]

@@ -1,0 +1,169 @@
+"""Unit tests for the §3.1 non-clairvoyant lower-bound adversary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries import (
+    AdversaryProfile,
+    IterationSpec,
+    NonClairvoyantLowerBoundAdversary,
+    geometric_profile,
+    paper_profile,
+)
+from repro.analysis import nonclairvoyant_lower_bound
+from repro.core import simulate
+from repro.schedulers import Batch, BatchPlus, Eager, Lazy
+
+
+def play(scheduler, mu, profile):
+    adv = NonClairvoyantLowerBoundAdversary(mu, profile)
+    result = simulate(scheduler, adversary=adv, clairvoyant=False)
+    witness = adv.paper_optimal_schedule(result.instance)
+    return adv, result, witness
+
+
+class TestProfiles:
+    def test_paper_profile_k1(self):
+        p = paper_profile(1)
+        assert [it.count for it in p.iterations] == [16]
+        assert [it.threshold for it in p.iterations] == [4]
+        assert p.final_count == 4
+
+    def test_paper_profile_k2(self):
+        p = paper_profile(2)
+        assert [it.count for it in p.iterations] == [2**16, 2**8]
+        assert [it.threshold for it in p.iterations] == [2**8, 2**4]
+        assert p.final_count == 16
+
+    def test_paper_profile_k3_infeasible(self):
+        with pytest.raises(ValueError):
+            paper_profile(3)
+
+    def test_geometric_profile(self):
+        p = geometric_profile(4, m=10)
+        assert all(it.count == 100 and it.threshold == 10 for it in p.iterations)
+        assert p.k == 4
+        assert p.final_count == 10
+        assert p.total_jobs_max == 410
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError):
+            IterationSpec(count=0, threshold=1)
+        with pytest.raises(ValueError):
+            IterationSpec(count=4, threshold=5)
+        with pytest.raises(ValueError):
+            AdversaryProfile(iterations=(), final_count=1)
+        with pytest.raises(ValueError):
+            geometric_profile(0)
+
+
+class TestAdversaryParams:
+    def test_mu_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            NonClairvoyantLowerBoundAdversary(mu=1.0)
+
+    def test_alpha_must_exceed_mu_plus_one(self):
+        with pytest.raises(ValueError):
+            NonClairvoyantLowerBoundAdversary(mu=3.0, alpha=3.5)
+
+    def test_laxities_increase_then_cap(self):
+        adv = NonClairvoyantLowerBoundAdversary(mu=2.0, laxity_cap=100.0)
+        lax = [adv._laxity(j) for j in range(1, 10)]
+        assert lax[0] == pytest.approx(4.0)  # α = μ+2 = 4
+        assert lax[1] == pytest.approx(16.0)
+        assert lax[2] == pytest.approx(64.0)
+        assert all(v == 100.0 for v in lax[3:])  # capped
+
+
+class TestMechanics:
+    def test_eager_gets_earmarked_every_iteration(self):
+        """Eager floods each iteration instantly: the adversary earmarks
+        every iteration and the scheduler serialises k·μ + 1."""
+        mu, k, m = 4.0, 3, 6
+        adv, result, witness = play(Eager(), mu, geometric_profile(k, m))
+        assert len(adv.earmarked_ids) == k
+        assert adv.final_released
+        assert result.span == pytest.approx(k * mu + 1.0)
+        assert witness.span == pytest.approx(mu + k)
+
+    def test_lazy_never_crosses_threshold(self):
+        """Lazy's concurrency stays at 1 below the threshold... until the
+        laxity cap pins many jobs to the same deadline; with a small m the
+        adversary still catches it, with m > capped-cluster Lazy pays the
+        Lemma 3.1 price instead.  Either way the run completes and the
+        witness is feasible."""
+        adv, result, witness = play(Lazy(), 3.0, geometric_profile(2, 8))
+        witness.validate()
+        assert result.span / witness.span > 1.0
+
+    def test_earmarked_job_has_length_mu(self):
+        mu = 5.0
+        adv, result, _ = play(Batch(), mu, geometric_profile(2, 5))
+        for jid in adv.earmarked_ids:
+            assert result.instance[jid].length == pytest.approx(mu)
+
+    def test_non_earmarked_jobs_have_length_one(self):
+        adv, result, _ = play(Batch(), 5.0, geometric_profile(2, 5))
+        earmarked = set(adv.earmarked_ids)
+        for job in result.instance:
+            if job.id not in earmarked:
+                assert job.length == pytest.approx(1.0)
+
+    def test_iterations_released_in_sequence(self):
+        adv, result, _ = play(Eager(), 2.0, geometric_profile(4, 4))
+        assert adv.iterations_released == 4
+        assert len(adv.release_times) == 5  # 4 adaptive + final
+        assert adv.release_times == sorted(adv.release_times)
+
+    def test_earmark_chosen_with_max_laxity(self):
+        """The earmarked job is the running job with the largest laxity."""
+        adv, result, _ = play(Eager(), 3.0, geometric_profile(1, 4))
+        # Eager starts all 16 jobs at t=0; the threshold (4) is crossed at
+        # the 5th start, so jobs 0..(at least 4) are running; the max
+        # laxity among them belongs to the highest-index started job.
+        earmark = adv.earmarked_ids[0]
+        assert result.instance[earmark].length == 3.0
+        # All jobs started at 0 simultaneously; the same-time wakeup must
+        # have seen the whole batch, so the earmark is the last job (15).
+        assert earmark == 15
+
+    def test_mu_of_resolved_instance(self):
+        mu = 6.0
+        adv, result, _ = play(Batch(), mu, geometric_profile(2, 5))
+        assert result.instance.mu == pytest.approx(mu)
+
+
+class TestForcedRatios:
+    @pytest.mark.parametrize("scheduler", [Eager, Batch, BatchPlus])
+    def test_ratio_meets_theory_formula(self, scheduler):
+        """When all k iterations earmark, the paper's final-branch ratio
+        (kμ+1)/(μ+k) is forced exactly."""
+        mu, k, m = 5.0, 6, 10
+        adv, result, witness = play(scheduler(), mu, geometric_profile(k, m))
+        assert len(adv.earmarked_ids) == k
+        ratio = result.span / witness.span
+        assert ratio >= (k * mu + 1) / (mu + k) - 1e-9
+
+    def test_ratio_grows_with_k(self):
+        mu, m = 8.0, 8
+        ratios = []
+        for k in (1, 3, 6, 12):
+            adv, result, witness = play(Batch(), mu, geometric_profile(k, m))
+            ratios.append(result.span / witness.span)
+        assert all(b > a for a, b in zip(ratios, ratios[1:]))
+        assert ratios[-1] > 4.0  # well on its way towards μ = 8
+
+    def test_paper_profile_k1_run(self):
+        mu = 3.0
+        adv, result, witness = play(Batch(), mu, paper_profile(1))
+        witness.validate()
+        assert result.span / witness.span >= nonclairvoyant_lower_bound(
+            1, mu, [16]
+        ) - 1e-9
+
+    def test_theory_formula_monotone(self):
+        vals = [
+            nonclairvoyant_lower_bound(k, 10.0, [400] * k) for k in (1, 2, 4, 8)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(vals, vals[1:]))

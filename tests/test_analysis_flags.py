@@ -1,0 +1,155 @@
+"""Unit tests for the flag-forest analysis (Lemmas 4.6–4.9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    build_flag_forest,
+    check_forest_property,
+    check_lemma_4_6,
+)
+from repro.core import Instance, simulate
+from repro.schedulers import Profit
+from repro.workloads import poisson_instance, small_integral_instance
+
+
+def profit_run(inst, k=1.7071):
+    result = simulate(Profit(k=k), inst, clairvoyant=True)
+    return result, result.scheduler.flag_job_ids
+
+
+class TestForestConstruction:
+    def test_single_flag_is_root(self):
+        inst = Instance.from_triples([(0, 3, 2)])
+        result, flags = profit_run(inst)
+        forest = build_flag_forest(result.instance, flags)
+        assert forest.roots == [0]
+        assert forest.parent == {}
+
+    def test_disjoint_flags_are_separate_roots(self):
+        # two flags that can never overlap: second arrives after first's
+        # latest completion.
+        inst = Instance.from_triples([(0, 1, 2), (10, 1, 2)])
+        result, flags = profit_run(inst)
+        forest = build_flag_forest(result.instance, flags)
+        assert len(forest.roots) == 2
+        assert len(forest.trees()) == 2
+
+    def test_edge_construction_matches_definition(self):
+        """X(J) membership: a(J') < d(J)+p(J) and d(J) < d(J')."""
+        # J0: d=2, p=1 → latest completion 3.  J1: a=1 (<3), d=9 (>2),
+        # p=10 (unprofitable) → J1 ∈ X(J0), edge J1 → J0.
+        inst = Instance.from_triples([(0, 2, 1), (1, 8, 10)])
+        result, flags = profit_run(inst, k=1.5)
+        assert sorted(flags) == [0, 1]
+        forest = build_flag_forest(result.instance, flags)
+        assert forest.x_sets[0] == [1]
+        assert forest.parent[0] == 1
+        assert forest.roots == [1]
+        assert forest.children(1) == [0]
+
+    def test_parent_is_earliest_deadline_in_x(self):
+        # Three flags: J0 small early; J1 and J2 both in X(J0) with J1's
+        # deadline earlier → J1 is the parent.
+        inst = Instance.from_triples(
+            [(0, 2, 1), (1, 6, 10), (1, 9, 120)]
+        )
+        result, flags = profit_run(inst, k=1.5)
+        assert sorted(flags) == [0, 1, 2]
+        forest = build_flag_forest(result.instance, flags)
+        assert forest.parent[0] == 1
+
+    def test_tree_of_and_height(self):
+        inst = Instance.from_triples([(0, 2, 1), (1, 8, 10)])
+        result, flags = profit_run(inst, k=1.5)
+        forest = build_flag_forest(result.instance, flags)
+        assert forest.tree_of(0) == {0, 1}
+        root = forest.roots[0]
+        assert forest.height(root) == 1
+
+
+class TestLemmas:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_lemma_4_6_on_random_instances(self, seed):
+        """Earlier-deadline flags complete earlier (Profit schedule)."""
+        inst = small_integral_instance(10, seed=seed, max_arrival=15)
+        result, flags = profit_run(inst)
+        assert check_lemma_4_6(result.instance, flags)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_lemma_4_7_forest_on_random_instances(self, seed):
+        """The flag graph is always a forest (acyclic, in-degree <= 1)."""
+        inst = small_integral_instance(10, seed=seed, max_arrival=15)
+        result, flags = profit_run(inst)
+        forest = build_flag_forest(result.instance, flags)
+        assert check_forest_property(forest)
+
+    def test_lemma_4_9_disjoint_trees_cannot_overlap(self):
+        """Flags in different trees satisfy the non-overlap condition
+        a(J') >= d(J) + p(J) (in deadline order)."""
+        for seed in range(10):
+            inst = poisson_instance(30, seed=seed, laxity_scale=1.0)
+            result, flags = profit_run(inst)
+            forest = build_flag_forest(result.instance, flags)
+            trees = forest.trees()
+            for i, t1 in enumerate(trees):
+                for t2 in trees[i + 1 :]:
+                    for a in t1:
+                        for b in t2:
+                            ja, jb = result.instance[a], result.instance[b]
+                            first, second = (
+                                (ja, jb) if ja.deadline < jb.deadline else (jb, ja)
+                            )
+                            assert (
+                                second.arrival
+                                >= first.deadline + first.known_length - 1e-9
+                            )
+
+    def test_trees_partition_flags(self):
+        inst = poisson_instance(40, seed=2, laxity_scale=1.0)
+        result, flags = profit_run(inst)
+        forest = build_flag_forest(result.instance, flags)
+        all_ids = sorted(i for tree in forest.trees() for i in tree)
+        assert all_ids == sorted(flags)
+
+
+class TestTheorem34Selection:
+    """The Theorem 3.4 flag-subset machinery (select_disjoint_flags)."""
+
+    def test_empty_and_single(self):
+        from repro.analysis import select_disjoint_flags
+
+        inst = Instance.from_triples([(0, 2, 1)])
+        assert select_disjoint_flags(inst, []) == []
+        assert select_disjoint_flags(inst, [0]) == [0]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_selection_certifies_batch_bound(self, seed):
+        """span(Batch) <= (2μ+1)·Σ p over the chosen flags, and the chosen
+        flags are pairwise unoverlappable (so Σ p <= OPT)."""
+        from repro.analysis import flags_pairwise_disjoint, select_disjoint_flags
+        from repro.schedulers import Batch
+
+        inst = small_integral_instance(14, seed=seed, max_arrival=40)
+        result = simulate(Batch(), inst)
+        chosen = select_disjoint_flags(result.instance, result.scheduler.flag_job_ids)
+        assert chosen
+        assert flags_pairwise_disjoint(result.instance, chosen)
+        total = sum(result.instance[j].known_length for j in chosen)
+        mu = inst.mu
+        assert result.span <= (2 * mu + 1) * total + 1e-9
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_chosen_sum_below_exact_opt(self, seed):
+        """The certified quantity Σ p(chosen flags) really lower-bounds
+        the exact optimum."""
+        from repro.analysis import select_disjoint_flags
+        from repro.offline import exact_optimal_span
+        from repro.schedulers import Batch
+
+        inst = small_integral_instance(7, seed=seed, max_arrival=25)
+        result = simulate(Batch(), inst)
+        chosen = select_disjoint_flags(result.instance, result.scheduler.flag_job_ids)
+        total = sum(result.instance[j].known_length for j in chosen)
+        assert total <= exact_optimal_span(inst) + 1e-9

@@ -1,0 +1,115 @@
+"""Unit tests for the closed-form theory bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    CLAIRVOYANT_LOWER_BOUND,
+    batch_lower_bound,
+    batch_upper_bound,
+    batchplus_ratio,
+    cdb_ratio,
+    clairvoyant_adversary_ratio,
+    nonclairvoyant_lower_bound,
+    optimal_cdb_alpha,
+    optimal_cdb_ratio,
+    optimal_profit_k,
+    optimal_profit_ratio,
+    profit_ratio,
+)
+
+
+class TestConstants:
+    def test_phi(self):
+        assert CLAIRVOYANT_LOWER_BOUND == pytest.approx((1 + math.sqrt(5)) / 2)
+        # φ satisfies φ² = φ + 1
+        phi = CLAIRVOYANT_LOWER_BOUND
+        assert phi * phi == pytest.approx(phi + 1)
+
+    def test_optimal_cdb(self):
+        assert optimal_cdb_alpha() == pytest.approx(1 + math.sqrt(2 / 3))
+        assert optimal_cdb_ratio() == pytest.approx(7 + 2 * math.sqrt(6))
+        assert cdb_ratio(optimal_cdb_alpha()) == pytest.approx(optimal_cdb_ratio())
+
+    def test_optimal_profit(self):
+        assert optimal_profit_k() == pytest.approx(1 + math.sqrt(2) / 2)
+        assert optimal_profit_ratio() == pytest.approx(4 + 2 * math.sqrt(2))
+        assert profit_ratio(optimal_profit_k()) == pytest.approx(
+            optimal_profit_ratio()
+        )
+
+
+class TestBatchBounds:
+    def test_values(self):
+        assert batch_upper_bound(3.0) == 7.0
+        assert batch_lower_bound(3.0) == 6.0
+        assert batchplus_ratio(3.0) == 4.0
+
+    def test_ordering(self):
+        """Batch+ dominates Batch for every μ > 1."""
+        for mu in (1.5, 2.0, 10.0, 100.0):
+            assert batchplus_ratio(mu) < batch_lower_bound(mu)
+
+    def test_invalid_mu(self):
+        with pytest.raises(ValueError):
+            batch_upper_bound(0.5)
+        with pytest.raises(ValueError):
+            batchplus_ratio(0.0)
+
+
+class TestParametricBounds:
+    def test_cdb_convex_around_optimum(self):
+        a = optimal_cdb_alpha()
+        assert cdb_ratio(a) < cdb_ratio(a - 0.2)
+        assert cdb_ratio(a) < cdb_ratio(a + 0.2)
+
+    def test_profit_convex_around_optimum(self):
+        k = optimal_profit_k()
+        assert profit_ratio(k) < profit_ratio(k - 0.1)
+        assert profit_ratio(k) < profit_ratio(k + 0.1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            cdb_ratio(1.0)
+        with pytest.raises(ValueError):
+            profit_ratio(1.0)
+
+
+class TestAdversaryFormulas:
+    def test_clairvoyant_ratio_approaches_phi(self):
+        assert clairvoyant_adversary_ratio(1) == pytest.approx(
+            CLAIRVOYANT_LOWER_BOUND / CLAIRVOYANT_LOWER_BOUND * 1.0
+        )
+        vals = [clairvoyant_adversary_ratio(n) for n in (1, 5, 50, 5000)]
+        assert all(b >= a for a, b in zip(vals, vals[1:]))
+        assert vals[-1] == pytest.approx(CLAIRVOYANT_LOWER_BOUND, rel=1e-3)
+        with pytest.raises(ValueError):
+            clairvoyant_adversary_ratio(0)
+
+    def test_nonclairvoyant_paper_counts(self):
+        """With doubly-exponential counts the final branch binds."""
+        mu = 5.0
+        for k in (1, 2, 3):
+            assert nonclairvoyant_lower_bound(k, mu) == pytest.approx(
+                (k * mu + 1) / (mu + k)
+            )
+
+    def test_nonclairvoyant_approaches_mu(self):
+        mu = 7.0
+        vals = [nonclairvoyant_lower_bound(k, mu) for k in (1, 10, 100, 10_000)]
+        assert all(b >= a for a, b in zip(vals, vals[1:]))
+        assert vals[-1] == pytest.approx(mu, rel=1e-2)
+
+    def test_nonclairvoyant_explicit_counts(self):
+        # with tiny counts the middle branch ((i-1)μ + √N_i)/(μ+i-1)
+        # binds: i=2 gives (10 + 2)/11.
+        assert nonclairvoyant_lower_bound(2, 10.0, [4, 4]) == pytest.approx(12 / 11)
+
+    def test_nonclairvoyant_validation(self):
+        with pytest.raises(ValueError):
+            nonclairvoyant_lower_bound(0, 2.0)
+        with pytest.raises(ValueError):
+            nonclairvoyant_lower_bound(2, 2.0, [4])

@@ -1,0 +1,68 @@
+"""Unit tests for the simulated-annealing improver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance
+from repro.offline import anneal, exact_optimal_span, greedy_overlap
+from repro.workloads import poisson_instance, small_integral_instance
+
+
+class TestAnneal:
+    def test_never_worse_than_input(self):
+        for seed in range(6):
+            inst = small_integral_instance(8, seed=seed, max_arrival=12)
+            start = greedy_overlap(inst, "arrival")
+            out = anneal(start, iterations=800, seed=seed)
+            assert out.span <= start.span + 1e-9
+            out.validate()
+
+    def test_never_below_exact_opt(self):
+        for seed in range(6):
+            inst = small_integral_instance(6, seed=seed)
+            out = anneal(greedy_overlap(inst), iterations=800, seed=seed)
+            assert out.span >= exact_optimal_span(inst) - 1e-9
+
+    def test_deterministic_given_seed(self):
+        inst = poisson_instance(25, seed=1)
+        start = greedy_overlap(inst, "arrival")
+        a = anneal(start, iterations=500, seed=9)
+        b = anneal(start, iterations=500, seed=9)
+        assert a.starts() == b.starts()
+
+    def test_sometimes_escapes_local_optimum(self):
+        """Across seeds, annealing strictly improves at least one greedy
+        schedule (it would be useless otherwise)."""
+        improved = 0
+        for seed in range(10):
+            inst = small_integral_instance(8, seed=seed, max_arrival=12)
+            start = greedy_overlap(inst, "arrival")
+            out = anneal(start, iterations=1500, seed=seed)
+            if out.span < start.span - 1e-9:
+                improved += 1
+        assert improved >= 1
+
+    def test_zero_iterations_is_identity(self):
+        inst = poisson_instance(15, seed=0)
+        start = greedy_overlap(inst)
+        assert anneal(start, iterations=0).starts() == start.starts()
+
+    def test_single_job_is_identity(self):
+        inst = Instance.from_triples([(0, 4, 2)])
+        start = greedy_overlap(inst)
+        assert anneal(start, iterations=100).span == start.span
+
+    def test_rigid_jobs_untouched(self):
+        inst = Instance.from_triples([(0, 0, 2), (1, 0, 2)])
+        start = greedy_overlap(inst)
+        out = anneal(start, iterations=200)
+        assert out.starts() == start.starts()
+
+    def test_invalid_params(self):
+        inst = poisson_instance(5, seed=0)
+        start = greedy_overlap(inst)
+        with pytest.raises(ValueError):
+            anneal(start, iterations=-1)
+        with pytest.raises(ValueError):
+            anneal(start, cooling=1.0)

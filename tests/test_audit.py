@@ -1,0 +1,90 @@
+"""Unit tests for the schedule auditor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance, Job, audit, simulate
+from repro.schedulers import BatchPlus
+from repro.workloads import poisson_instance
+
+
+class TestAuditViolations:
+    def test_clean_schedule(self, simple_instance):
+        result = simulate(BatchPlus(), simple_instance)
+        report = audit(simple_instance, result.schedule.starts())
+        assert report.feasible
+        assert report.span == pytest.approx(result.span)
+
+    def test_missing_job(self, simple_instance):
+        report = audit(simple_instance, {0: 0.0, 1: 2.0, 2: 2.0})
+        assert not report.feasible
+        assert any(f.code == "missing-job" and f.job_id == 3 for f in report.violations)
+
+    def test_unknown_job(self, simple_instance):
+        starts = {0: 0.0, 1: 2.0, 2: 2.0, 3: 7.0, 42: 1.0}
+        report = audit(simple_instance, starts)
+        assert any(f.code == "unknown-job" and f.job_id == 42 for f in report.violations)
+
+    def test_starts_before_arrival(self, simple_instance):
+        starts = {0: 0.0, 1: 0.0, 2: 2.0, 3: 7.0}  # J1 arrives at 1
+        report = audit(simple_instance, starts)
+        assert any(
+            f.code == "starts-before-arrival" and f.job_id == 1
+            for f in report.violations
+        )
+
+    def test_misses_deadline(self, simple_instance):
+        starts = {0: 0.0, 1: 2.0, 2: 3.0, 3: 7.0}  # J2's deadline is 2
+        report = audit(simple_instance, starts)
+        assert any(
+            f.code == "misses-deadline" and f.job_id == 2 for f in report.violations
+        )
+
+    def test_unresolved_length(self):
+        inst = Instance([Job(0, 0.0, 2.0, None)])
+        report = audit(inst, {0: 0.0})
+        assert any(f.code == "unresolved-length" for f in report.violations)
+
+    def test_multiple_violations_all_reported(self, simple_instance):
+        starts = {0: 99.0, 1: 0.0, 2: 2.0}  # late, early, and one missing
+        report = audit(simple_instance, starts)
+        codes = {f.code for f in report.violations}
+        assert {"misses-deadline", "starts-before-arrival", "missing-job"} <= codes
+
+    def test_never_raises_on_garbage(self):
+        inst = Instance([Job(0, 0.0, 1.0, 1.0)])
+        report = audit(inst, {5: -3.0})
+        assert not report.feasible
+
+
+class TestAuditObservations:
+    def test_idle_gap_detected(self, serial_instance):
+        result = simulate(BatchPlus(), serial_instance)
+        report = audit(serial_instance, result.schedule.starts())
+        assert report.feasible
+        assert any(f.code == "idle-gaps" for f in report.observations)
+        assert report.idle_within_hull > 0
+
+    def test_deadline_start_observation(self):
+        inst = Instance.from_triples([(0, 3, 1)])
+        report = audit(inst, {0: 3.0})
+        assert any(f.code == "deadline-start" for f in report.observations)
+
+    def test_peak_concurrency(self, batchable_instance):
+        report = audit(batchable_instance, {0: 4.0, 1: 4.0, 2: 4.0, 3: 4.0})
+        assert report.peak_concurrency == 4
+
+    def test_render_mentions_feasibility(self, simple_instance):
+        result = simulate(BatchPlus(), simple_instance)
+        out = audit(simple_instance, result.schedule.starts()).render()
+        assert "feasible: yes" in out
+        bad = audit(simple_instance, {0: 99.0, 1: 2.0, 2: 2.0, 3: 7.0}).render()
+        assert "feasible: NO" in bad and "misses-deadline" in bad
+
+    def test_random_schedules_audit_clean(self):
+        inst = poisson_instance(40, seed=6)
+        result = simulate(BatchPlus(), inst)
+        report = audit(inst, result.schedule.starts())
+        assert report.feasible
+        assert report.span == pytest.approx(result.span)

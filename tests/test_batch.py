@@ -1,0 +1,83 @@
+"""Unit tests for the Batch scheduler (Theorem 3.4 mechanics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries import batch_tightness_instance
+from repro.core import Instance, simulate
+from repro.schedulers import Batch
+
+
+class TestBatchMechanics:
+    def test_batches_at_earliest_deadline(self, batchable_instance):
+        # earliest deadline is J0's (a=0, laxity 4 → d=4): all four start at 4.
+        result = simulate(Batch(), batchable_instance)
+        for job in batchable_instance:
+            assert result.schedule.start_of(job.id) == 4.0
+        assert result.scheduler.flag_job_ids == [0]
+
+    def test_multiple_iterations(self, serial_instance):
+        # serial jobs: each becomes its own flag at its deadline.
+        result = simulate(Batch(), serial_instance)
+        assert result.scheduler.flag_job_ids == [0, 1, 2]
+        for job in serial_instance:
+            assert result.schedule.start_of(job.id) == job.deadline
+
+    def test_pending_jobs_join_the_batch(self):
+        # J1 arrives before J0's deadline and has a later deadline: it is
+        # swept into J0's batch rather than waiting for its own.
+        inst = Instance.from_triples([(0, 2, 5), (1, 8, 1)], name="join")
+        result = simulate(Batch(), inst)
+        assert result.schedule.start_of(0) == 2.0
+        assert result.schedule.start_of(1) == 2.0
+        assert result.scheduler.flag_job_ids == [0]
+
+    def test_arrival_during_flag_run_waits(self):
+        # Batch (unlike Batch+) buffers arrivals even while jobs run.
+        inst = Instance.from_triples([(0, 0, 10), (1, 3, 1)], name="buffered")
+        result = simulate(Batch(), inst)
+        assert result.schedule.start_of(0) == 0.0
+        assert result.schedule.start_of(1) == 4.0  # its own deadline
+        assert result.scheduler.flag_job_ids == [0, 1]
+
+    def test_tie_on_deadline_single_iteration(self):
+        inst = Instance.from_triples([(0, 3, 1), (1, 2, 2)], name="tie")
+        result = simulate(Batch(), inst)
+        # both deadlines are 3: one flag, both started at 3.
+        assert result.schedule.start_of(0) == 3.0
+        assert result.schedule.start_of(1) == 3.0
+        assert len(result.scheduler.flag_job_ids) == 1
+
+    def test_clone_resets_state(self):
+        proto = Batch()
+        r1 = simulate(proto.clone(), Instance.from_triples([(0, 1, 1)]))
+        r2 = simulate(proto.clone(), Instance.from_triples([(0, 1, 1)]))
+        assert r1.scheduler.flag_job_ids == r2.scheduler.flag_job_ids == [0]
+        assert proto.flag_job_ids == []
+
+
+class TestBatchTheorems:
+    @pytest.mark.parametrize("mu", [2.0, 5.0])
+    @pytest.mark.parametrize("m", [1, 8, 32])
+    def test_tightness_instance_ratio(self, m, mu):
+        """On the Figure 2 family Batch pays exactly 2mμ and the forced
+        ratio 2mμ/(m(1+ε)+μ) approaches 2μ."""
+        fam = batch_tightness_instance(m=m, mu=mu, epsilon=1e-3)
+        result = simulate(Batch(), fam.instance)
+        assert result.span == pytest.approx(2 * m * mu, rel=1e-9)
+        ratio = result.span / fam.optimal_span
+        expected = 2 * m * mu / (m * (1 + 1e-3) + mu)
+        assert ratio == pytest.approx(expected, rel=1e-9)
+        assert ratio <= 2 * mu + 1  # Theorem 3.4 upper bound
+
+    def test_upper_bound_on_flag_jobs(self, batchable_instance):
+        """Span is bounded by (2μ+1)·Σ p over chosen flag jobs — we check
+        the weaker practical form span <= (2μ+1)·Σ p over *all* flags."""
+        result = simulate(Batch(), batchable_instance)
+        mu = batchable_instance.mu
+        total_flag_len = sum(
+            batchable_instance[j].known_length
+            for j in result.scheduler.flag_job_ids
+        )
+        assert result.span <= (2 * mu + 1) * total_flag_len + 1e-9

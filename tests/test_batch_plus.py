@@ -1,0 +1,91 @@
+"""Unit tests for the Batch+ scheduler (Theorem 3.5 mechanics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries import batchplus_tightness_instance
+from repro.core import Instance, simulate
+from repro.offline import exact_optimal_span
+from repro.schedulers import BatchPlus
+from repro.workloads import small_integral_instance
+
+
+class TestBatchPlusMechanics:
+    def test_batches_at_earliest_deadline(self, batchable_instance):
+        result = simulate(BatchPlus(), batchable_instance)
+        for job in batchable_instance:
+            assert result.schedule.start_of(job.id) == 4.0
+        assert result.scheduler.flag_job_ids == [0]
+
+    def test_open_phase_starts_arrivals_immediately(self):
+        # J0 (flag) runs [0,10); J1 arrives at 3 during the open phase.
+        inst = Instance.from_triples([(0, 0, 10), (3, 5, 1)], name="open")
+        result = simulate(BatchPlus(), inst)
+        assert result.schedule.start_of(1) == 3.0  # immediate, not deadline 8
+        assert result.scheduler.flag_job_ids == [0]
+
+    def test_phase_closes_at_flag_completion(self):
+        # J0 (flag) runs [0,2); J1 arrives at 2 (phase just closed) and
+        # must wait for its own deadline to become the next flag.
+        inst = Instance.from_triples([(0, 0, 2), (2, 3, 1)], name="closed")
+        result = simulate(BatchPlus(), inst)
+        assert result.schedule.start_of(1) == 5.0
+        assert result.scheduler.flag_job_ids == [0, 1]
+
+    def test_non_flag_completion_keeps_phase_open(self):
+        # flag J0 runs [0,10); J1 starts at 1 and completes at 2 — the
+        # phase must stay open so J2 (arriving at 5) still starts at once.
+        inst = Instance.from_triples(
+            [(0, 0, 10), (1, 4, 1), (5, 4, 1)], name="keep-open"
+        )
+        result = simulate(BatchPlus(), inst)
+        assert result.schedule.start_of(1) == 1.0
+        assert result.schedule.start_of(2) == 5.0
+        assert result.scheduler.flag_job_ids == [0]
+
+    def test_flag_arrival_during_its_own_open_phase(self):
+        """A job arriving during an open phase is started immediately and
+        therefore never becomes a flag."""
+        inst = Instance.from_triples([(0, 0, 6), (1, 1, 2)], name="swallow")
+        result = simulate(BatchPlus(), inst)
+        assert result.scheduler.flag_job_ids == [0]
+
+    def test_clone_resets(self):
+        proto = BatchPlus()
+        simulate(proto.clone(), Instance.from_triples([(0, 0, 1)]))
+        fresh = proto.clone()
+        assert fresh.flag_job_ids == []
+        assert not fresh.open_phase
+
+
+class TestBatchPlusTheorems:
+    @pytest.mark.parametrize("mu", [2.0, 5.0])
+    @pytest.mark.parametrize("m", [1, 8, 64])
+    def test_tightness_instance_ratio(self, m, mu):
+        """On the Figure 3 family Batch+ pays m(μ+1-ε) and the ratio
+        approaches μ+1."""
+        eps = 1e-3
+        fam = batchplus_tightness_instance(m=m, mu=mu, epsilon=eps)
+        result = simulate(BatchPlus(), fam.instance)
+        assert result.span == pytest.approx(m * (mu + 1 - eps), rel=1e-9)
+        ratio = result.span / fam.optimal_span
+        assert ratio == pytest.approx(m * (mu + 1 - eps) / (m + mu), rel=1e-9)
+        assert ratio <= mu + 1  # Theorem 3.5 tight bound
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_mu_plus_one_bound_vs_exact_opt(self, seed):
+        """Theorem 3.5: span(Batch+) <= (μ+1)·span_min on random instances."""
+        inst = small_integral_instance(6, seed=seed)
+        result = simulate(BatchPlus(), inst)
+        opt = exact_optimal_span(inst)
+        assert result.span <= (inst.mu + 1) * opt + 1e-9
+
+    def test_flag_jobs_cannot_overlap(self):
+        """Consecutive flags satisfy a(J_{i+1}) > d(J_i) + p(J_i): their
+        intervals are unoverlappable by any scheduler (Theorem 3.5)."""
+        inst = small_integral_instance(12, seed=3, max_arrival=30)
+        result = simulate(BatchPlus(), inst)
+        flags = [result.instance[j] for j in result.scheduler.flag_job_ids]
+        for f1, f2 in zip(flags, flags[1:]):
+            assert f2.arrival > f1.deadline + f1.known_length - 1e-12

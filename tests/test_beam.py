@@ -1,0 +1,73 @@
+"""Unit tests for the beam-search offline scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance
+from repro.offline import (
+    beam_search_schedule,
+    beam_search_span,
+    exact_optimal_span,
+    greedy_overlap,
+    span_lower_bound,
+)
+from repro.workloads import poisson_instance, small_integral_instance
+
+
+class TestBeamSearch:
+    def test_empty_instance(self):
+        assert beam_search_span(Instance([])) == 0.0
+
+    def test_single_job(self):
+        inst = Instance.from_triples([(0, 4, 3)])
+        assert beam_search_span(inst) == pytest.approx(3.0)
+
+    def test_feasible_schedules(self):
+        for seed in range(5):
+            inst = poisson_instance(40, seed=seed)
+            beam_search_schedule(inst).validate()
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_never_below_exact_opt(self, seed):
+        inst = small_integral_instance(6, seed=seed)
+        assert beam_search_span(inst) >= exact_optimal_span(inst) - 1e-9
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_never_below_chain_lb(self, seed):
+        inst = small_integral_instance(8, seed=seed)
+        assert beam_search_span(inst) >= span_lower_bound(inst) - 1e-9
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_often_optimal_on_tiny_instances(self, seed):
+        """Width-8 beam finds the exact optimum on most tiny instances;
+        regression net: within 30% always."""
+        inst = small_integral_instance(6, seed=seed)
+        opt = exact_optimal_span(inst)
+        assert beam_search_span(inst, width=8) <= 1.3 * opt + 1e-9
+
+    def test_wider_beam_never_worse_much(self):
+        """Widening the beam is monotone in expectation; assert the weak
+        form (width 16 <= width 1 + tolerance) per instance."""
+        for seed in range(6):
+            inst = small_integral_instance(8, seed=seed)
+            narrow = beam_search_span(inst, width=1)
+            wide = beam_search_span(inst, width=16)
+            assert wide <= narrow + 1e-9
+
+    def test_beats_arrival_order_greedy(self):
+        """Beam search generalises arrival-order greedy (width 1, full
+        branch ≈ its decision rule), so with a wide beam it should not
+        lose to it.  (Deadline-order greedy processes in a different
+        order and can win on some seeds — that's expected.)"""
+        for seed in range(5):
+            inst = poisson_instance(200, seed=seed)
+            greedy_arrival = greedy_overlap(inst, "arrival").span
+            assert beam_search_span(inst, width=8, branch=8) <= greedy_arrival + 1e-6
+
+    def test_invalid_params(self):
+        inst = small_integral_instance(3, seed=0)
+        with pytest.raises(ValueError):
+            beam_search_span(inst, width=0)
+        with pytest.raises(ValueError):
+            beam_search_span(inst, branch=0)

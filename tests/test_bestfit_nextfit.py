@@ -1,0 +1,99 @@
+"""Unit tests for the BestFit and NextFit packers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CapacityExceededError, Instance, Job
+from repro.dbp import BestFit, FirstFit, NextFit, run_pipeline
+from repro.schedulers import Eager
+from repro.workloads import cloud_instance
+
+
+class TestBestFit:
+    def test_prefers_fullest_bin(self):
+        bf = BestFit(capacity=1.0)
+        bf.place(0, 0.0, 10.0, 0.6)   # bin 0 at load 0.6
+        bf.place(1, 0.0, 10.0, 0.3)   # doesn't fit bin 0? 0.9 <= 1 → fits bin 0
+        assert bf.bins_used == 1
+        bf.place(2, 1.0, 10.0, 0.5)   # needs a new bin (load 0.9)
+        assert bf.bins_used == 2
+        # 0.1 fits both: bin 0 (load 0.9) is fuller than bin 1 (0.5).
+        idx = bf.place(3, 2.0, 10.0, 0.1)
+        assert idx == 0
+
+    def test_oversize_rejected(self):
+        with pytest.raises(CapacityExceededError):
+            BestFit(1.0).place(0, 0.0, 1.0, 2.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BestFit(0.0)
+
+    def test_usage_time(self):
+        bf = BestFit(1.0)
+        bf.place(0, 0.0, 2.0, 1.0)
+        bf.place(1, 1.0, 4.0, 1.0)  # second bin
+        assert bf.total_usage_time == pytest.approx(5.0)
+
+
+class TestNextFit:
+    def test_single_open_bin(self):
+        nf = NextFit(capacity=1.0)
+        assert nf.place(0, 0.0, 10.0, 0.6) == 0
+        assert nf.place(1, 1.0, 10.0, 0.6) == 1  # bin 0 closed
+        # bin 0 has room again after nothing departed, but NextFit never
+        # goes back:
+        assert nf.place(2, 2.0, 10.0, 0.3) == 1
+
+    def test_open_bin_reused_after_departures(self):
+        nf = NextFit(capacity=1.0)
+        nf.place(0, 0.0, 1.0, 0.9)
+        # item 0 departs at 1; the open bin drains and accepts again.
+        assert nf.place(1, 2.0, 3.0, 0.9) == 0
+
+    def test_oversize_rejected(self):
+        with pytest.raises(CapacityExceededError):
+            NextFit(1.0).place(0, 0.0, 1.0, 2.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            NextFit(0.0)
+
+
+class TestPackerComparison:
+    def test_firstfit_never_more_bins_than_nextfit(self):
+        """On identical item streams FirstFit's bin count is at most
+        NextFit's (FirstFit can reuse every bin NextFit abandoned)."""
+        inst = cloud_instance(seed=5)
+        ff = run_pipeline(Eager(), FirstFit(1.0), inst)
+        nf = run_pipeline(Eager(), NextFit(1.0), inst)
+        assert ff.bins_used <= nf.bins_used
+
+    def test_all_packers_assign_everything(self):
+        inst = cloud_instance(seed=6)
+        for packer in (FirstFit(1.0), BestFit(1.0), NextFit(1.0)):
+            result = run_pipeline(Eager(), packer, inst)
+            assert len(result.assignments) == len(inst)
+            assert result.total_usage_time > 0
+
+    def test_packers_diverge(self):
+        """The three heuristics genuinely differ on a crafted stream."""
+        # bins end at loads {0.5, 0.6}; the 0.35 item goes to bin 0 under
+        # FirstFit (lowest index) but bin 1 under BestFit (fullest).
+        jobs = [
+            Job(0, 0.0, 0.0, 10.0, size=0.5),
+            Job(1, 1.0, 1.0, 10.0, size=0.6),
+            Job(2, 2.0, 2.0, 10.0, size=0.35),
+        ]
+        inst = Instance(jobs, name="diverge")
+        results = {}
+        for name, packer in (
+            ("ff", FirstFit(1.0)),
+            ("bf", BestFit(1.0)),
+            ("nf", NextFit(1.0)),
+        ):
+            results[name] = run_pipeline(Eager(), packer, inst).assignments
+        assert results["ff"][2] == 0
+        assert results["bf"][2] == 1
+        assert results["nf"][2] == 1

@@ -1,0 +1,132 @@
+"""Unit tests for Classify-by-Duration Batch+ (Theorem 4.4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import cdb_ratio, optimal_cdb_alpha
+from repro.core import Instance, simulate
+from repro.offline import exact_optimal_span
+from repro.schedulers import ClassifyByDurationBatchPlus, duration_category
+from repro.workloads import small_integral_instance
+
+
+class TestDurationCategory:
+    def test_basic_buckets(self):
+        # α=2, base=1: category i covers (2^(i-1), 2^i].
+        assert duration_category(1.0, 2.0) == 0
+        assert duration_category(1.5, 2.0) == 1
+        assert duration_category(2.0, 2.0) == 1
+        assert duration_category(2.1, 2.0) == 2
+        assert duration_category(4.0, 2.0) == 2
+
+    def test_fractional_lengths(self):
+        assert duration_category(0.5, 2.0) == -1
+        assert duration_category(0.25, 2.0) == -2
+
+    def test_boundary_exact_power(self):
+        # lengths exactly on a boundary b·α^i land in category i despite
+        # floating-point log rounding.
+        alpha = 1 + math.sqrt(2 / 3)
+        for i in range(-5, 6):
+            length = alpha**i
+            assert duration_category(length, alpha) == i
+
+    def test_base_shifts_categories(self):
+        assert duration_category(6.0, 2.0, base=3.0) == 1
+        assert duration_category(3.0, 2.0, base=3.0) == 0
+
+    def test_ratio_within_category_bounded(self):
+        """Any two lengths in the same category differ by at most α."""
+        alpha = 1.7
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        lengths = rng.uniform(0.1, 50.0, size=300)
+        buckets: dict[int, list[float]] = {}
+        for p in lengths:
+            buckets.setdefault(duration_category(float(p), alpha), []).append(float(p))
+        for vals in buckets.values():
+            assert max(vals) / min(vals) <= alpha * (1 + 1e-9)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            duration_category(0.0, 2.0)
+        with pytest.raises(ValueError):
+            duration_category(1.0, 1.0)
+        with pytest.raises(ValueError):
+            duration_category(1.0, 2.0, base=0.0)
+
+
+class TestCDBMechanics:
+    def test_categories_scheduled_independently(self):
+        """Jobs in different duration categories don't batch together."""
+        # α=2: p=1 is category 0; p=8 is category 3.  Same window.
+        inst = Instance.from_triples([(0, 5, 1), (0, 5, 8)], name="two-cats")
+        result = simulate(
+            ClassifyByDurationBatchPlus(alpha=2.0), inst, clairvoyant=True
+        )
+        sched = result.scheduler
+        assert sched.num_categories == 2
+        # Each category has its own flag job: both jobs are flags.
+        assert sorted(sched.flag_job_ids) == [0, 1]
+        # Both start at their own deadlines (each the only job pending in
+        # its category).
+        assert result.schedule.start_of(0) == 5.0
+        assert result.schedule.start_of(1) == 5.0
+
+    def test_same_category_batches(self):
+        # α=2: both p=3 and p=4 lie in category (2, 4].
+        inst = Instance.from_triples([(0, 5, 3), (1, 9, 4)], name="one-cat")
+        result = simulate(
+            ClassifyByDurationBatchPlus(alpha=2.0), inst, clairvoyant=True
+        )
+        assert result.scheduler.num_categories == 1
+        # J0 is the flag at t=5; J1 (pending) joins the batch.
+        assert result.schedule.start_of(0) == 5.0
+        assert result.schedule.start_of(1) == 5.0
+        assert result.scheduler.flag_job_ids == [0]
+
+    def test_category_flag_jobs_view(self):
+        inst = Instance.from_triples([(0, 5, 1), (0, 5, 8)], name="view")
+        result = simulate(
+            ClassifyByDurationBatchPlus(alpha=2.0), inst, clairvoyant=True
+        )
+        cats = result.scheduler.category_flag_jobs
+        assert sum(len(v) for v in cats.values()) == 2
+
+    def test_requires_clairvoyance_flag(self):
+        assert ClassifyByDurationBatchPlus.requires_clairvoyance
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ClassifyByDurationBatchPlus(alpha=1.0)
+        with pytest.raises(ValueError):
+            ClassifyByDurationBatchPlus(base=0.0)
+
+    def test_clone_preserves_params(self):
+        proto = ClassifyByDurationBatchPlus(alpha=3.0, base=2.0)
+        clone = proto.clone()
+        assert clone.alpha == 3.0 and clone.base == 2.0
+        assert clone.num_categories == 0
+
+
+class TestCDBTheorems:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("alpha", [1.5, optimal_cdb_alpha(), 3.0])
+    def test_bound_vs_exact_opt(self, seed, alpha):
+        """Theorem 4.4: span(CDB) <= (3α+4+2/(α-1))·span_min."""
+        inst = small_integral_instance(6, seed=seed, max_length=6)
+        result = simulate(
+            ClassifyByDurationBatchPlus(alpha=alpha), inst, clairvoyant=True
+        )
+        opt = exact_optimal_span(inst)
+        assert result.span <= cdb_ratio(alpha) * opt + 1e-9
+
+    def test_optimal_alpha_minimises_bound(self):
+        a_star = optimal_cdb_alpha()
+        for a in (1.2, 1.5, 2.0, 3.0, 5.0):
+            assert cdb_ratio(a_star) <= cdb_ratio(a) + 1e-12
+        assert cdb_ratio(a_star) == pytest.approx(7 + 2 * math.sqrt(6))

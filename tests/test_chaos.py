@@ -1,0 +1,89 @@
+"""Chaos testing: hypothesis-driven random-but-legal schedulers.
+
+A scheduler that makes arbitrary legal choices (start now? wait? set a
+timer?) must still yield a valid schedule — the engine's deadline
+backstop and validation make that a theorem about the engine, which this
+suite checks over thousands of random decision sequences.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Instance, Job, simulate
+from repro.offline import span_lower_bound
+from repro.schedulers import OnlineScheduler
+
+
+class ChaosScheduler(OnlineScheduler):
+    """Makes pseudo-random legal decisions from a seed stream."""
+
+    name = "chaos"
+
+    def __init__(self, decisions: list[int]):
+        super().__init__()
+        self._decisions = list(decisions)
+        self._i = 0
+
+    def _decide(self) -> int:
+        if not self._decisions:
+            return 0
+        d = self._decisions[self._i % len(self._decisions)]
+        self._i += 1
+        return d
+
+    def on_arrival(self, ctx, job):
+        d = self._decide() % 3
+        if d == 0:
+            ctx.start(job.id)
+        elif d == 1 and job.laxity > 0:
+            # wait for a mid-window timer
+            ctx.set_timer(job.arrival + job.laxity / 2, job.id)
+        # else: rely on the deadline backstop
+
+    def on_timer(self, ctx, tag):
+        if isinstance(tag, int) and not ctx.is_started(tag):
+            if self._decide() % 2 == 0:
+                ctx.start(tag)
+
+    def on_deadline(self, ctx, job):
+        ctx.start(job.id)
+
+    def on_completion(self, ctx, job):
+        # occasionally start a pending job on completion
+        if self._decide() % 4 == 0:
+            for p in ctx.pending():
+                ctx.start(p.id)
+                break
+
+
+@st.composite
+def chaos_cases(draw):
+    n = draw(st.integers(min_value=1, max_value=15))
+    jobs = []
+    for i in range(n):
+        a = draw(st.floats(min_value=0, max_value=20, allow_nan=False))
+        lax = draw(st.floats(min_value=0, max_value=10, allow_nan=False))
+        p = draw(st.floats(min_value=0.1, max_value=6, allow_nan=False))
+        jobs.append(Job(id=i, arrival=a, deadline=a + lax, length=p))
+    decisions = draw(st.lists(st.integers(min_value=0, max_value=11), max_size=60))
+    return Instance(jobs, name="chaos"), decisions
+
+
+class TestChaos:
+    @given(chaos_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_any_legal_decision_sequence_is_feasible(self, case):
+        inst, decisions = case
+        result = simulate(ChaosScheduler(decisions), inst)
+        result.schedule.validate()
+        assert result.span >= span_lower_bound(inst) - 1e-6
+
+    @given(chaos_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_chaos_replay_deterministic(self, case):
+        inst, decisions = case
+        r1 = simulate(ChaosScheduler(decisions), inst)
+        r2 = simulate(ChaosScheduler(decisions), inst)
+        assert r1.schedule.starts() == r2.schedule.starts()

@@ -1,0 +1,55 @@
+"""Unit tests for the head-to-head comparison matrix."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import compare_schedulers
+from repro.schedulers import Batch, BatchPlus, Eager, Lazy, Profit
+from repro.workloads import poisson_instance, rigid_instance
+
+
+class TestCompareSchedulers:
+    def test_matrix_shape_and_counts(self):
+        instances = [poisson_instance(30, seed=s) for s in range(5)]
+        matrix = compare_schedulers([Eager(), BatchPlus(), Profit()], instances)
+        assert matrix.instances == 5
+        for a in matrix.names:
+            for b in matrix.names:
+                if a == b:
+                    continue
+                total = (
+                    matrix.wins[a][b] + matrix.wins[b][a] + matrix.ties[a][b]
+                )
+                assert total == 5
+
+    def test_ties_symmetric(self):
+        instances = [poisson_instance(20, seed=s) for s in range(4)]
+        matrix = compare_schedulers([Batch(), BatchPlus()], instances)
+        for a in matrix.names:
+            for b in matrix.names:
+                if a != b:
+                    assert matrix.ties[a][b] == matrix.ties[b][a]
+
+    def test_rigid_instances_all_tie(self):
+        instances = [rigid_instance(20, seed=s) for s in range(3)]
+        matrix = compare_schedulers([Eager(), Lazy(), BatchPlus()], instances)
+        for a in matrix.names:
+            for b in matrix.names:
+                if a != b:
+                    assert matrix.ties[a][b] == 3
+                    assert matrix.dominance(a, b) == "tie"
+
+    def test_profit_dominates_lazy_on_poisson(self):
+        instances = [poisson_instance(50, seed=s) for s in range(6)]
+        matrix = compare_schedulers([Profit(), Lazy()], instances)
+        assert matrix.wins["profit"]["lazy"] >= 5
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            compare_schedulers([Eager(), Eager()], [poisson_instance(5, seed=0)])
+
+    def test_render(self):
+        instances = [poisson_instance(15, seed=s) for s in range(3)]
+        out = compare_schedulers([Eager(), BatchPlus()], instances).render()
+        assert "head-to-head" in out and "eager" in out and "—" in out

@@ -1,0 +1,62 @@
+"""Unit tests for convergent-sequence limit extrapolation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import fit_limit
+
+
+class TestFitLimit:
+    def test_exact_model_recovered(self):
+        ms = [1, 2, 4, 8, 16, 32]
+        ratios = [5.0 - 3.0 / (m + 2.0) for m in ms]
+        fit = fit_limit(ms, ratios)
+        assert fit.limit == pytest.approx(5.0, abs=1e-8)
+        assert fit.residual < 1e-8
+        assert fit.consistent_with(5.0)
+
+    def test_batch_family_limit(self):
+        """The closed-form Batch-family ratio extrapolates to its true
+        limit 2μ/(1+ε) (not 2μ — the ε gap is real and the fit sees it)."""
+        mu, eps = 5.0, 1e-3
+        ms = [1, 4, 16, 64, 256]
+        ratios = [2 * m * mu / (m * (1 + eps) + mu) for m in ms]
+        fit = fit_limit(ms, ratios)
+        assert fit.limit == pytest.approx(2 * mu / (1 + eps), rel=1e-9)
+        assert fit.consistent_with(2 * mu / (1 + eps))
+        # and it can resolve that this is NOT exactly 2μ
+        assert not fit.consistent_with(2 * mu)
+
+    def test_batchplus_family_limit(self):
+        mu, eps = 5.0, 1e-3
+        ms = [1, 4, 16, 64, 256]
+        ratios = [m * (mu + 1 - eps) / (m + mu) for m in ms]
+        fit = fit_limit(ms, ratios)
+        assert fit.limit == pytest.approx(mu + 1 - eps, rel=1e-9)
+
+    def test_noisy_sequence_tolerated(self):
+        rng = np.random.default_rng(0)
+        ms = [2.0**k for k in range(2, 10)]
+        ratios = [3.0 - 1.0 / m + rng.normal(0, 1e-4) for m in ms]
+        fit = fit_limit(ms, ratios)
+        assert fit.limit == pytest.approx(3.0, abs=0.01)
+
+    def test_requires_three_points(self):
+        with pytest.raises(ValueError):
+            fit_limit([1, 2], [1.0, 2.0])
+
+    def test_positive_m_required(self):
+        with pytest.raises(ValueError):
+            fit_limit([0, 1, 2], [1.0, 2.0, 3.0])
+
+    def test_phi_convergence(self):
+        """The §4.1 forced-ratio sequence nφ/(φ+n-1) extrapolates to φ."""
+        import math
+
+        phi = (1 + math.sqrt(5)) / 2
+        ns = [2, 8, 32, 128, 512]
+        ratios = [n * phi / (phi + n - 1) for n in ns]
+        fit = fit_limit(ns, ratios)
+        assert fit.limit == pytest.approx(phi, rel=1e-9)

@@ -1,0 +1,61 @@
+"""Unit tests for the ASCII curve renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_curve, render_curves
+
+
+class TestRenderCurves:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_curves({})
+        with pytest.raises(ValueError):
+            render_curves({"a": []})
+
+    def test_single_point(self):
+        out = render_curve([(1.0, 2.0)], name="pt")
+        assert "*" in out
+        assert "pt" in out
+
+    def test_title_and_labels(self):
+        out = render_curves(
+            {"s": [(0, 0), (1, 1)]}, title="T", y_label="ratio"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "ratio" in out
+        assert "1" in lines[1]  # top y label
+        assert "0" in lines[-3]  # bottom y label
+
+    def test_multiple_series_distinct_markers(self):
+        out = render_curves(
+            {"up": [(0, 0), (1, 1)], "down": [(0, 1), (1, 0)]}
+        )
+        assert "* up" in out
+        assert "o down" in out
+        assert "*" in out and "o" in out
+
+    def test_monotone_series_renders_monotone(self):
+        """The marker for the max-y point sits on the top row."""
+        pts = [(x, x * x) for x in range(6)]
+        out = render_curve(pts, height=10)
+        rows = [l for l in out.splitlines() if "|" in l]
+        assert "*" in rows[0]  # max at top
+        assert "*" in rows[-1]  # min at bottom
+
+    def test_width_respected(self):
+        out = render_curve([(0, 0), (5, 3)], width=30)
+        for line in out.splitlines():
+            if "|" in line:
+                inner = line.split("|")[1]
+                assert len(inner) == 30
+
+    def test_flat_series(self):
+        out = render_curve([(0, 1.0), (1, 1.0), (2, 1.0)])
+        assert "*" in out
+
+    def test_interpolation_dots(self):
+        out = render_curve([(0, 0), (10, 10)], width=40, height=12)
+        assert "·" in out  # connecting segments drawn

@@ -1,0 +1,199 @@
+"""Unit tests for the MinUsageTime DBP extension (paper §5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CapacityExceededError, Instance, Job
+from repro.dbp import (
+    Bin,
+    ClassifyByDurationFirstFit,
+    FirstFit,
+    PlacedItem,
+    pack_schedule,
+    run_pipeline,
+    usage_lower_bound,
+)
+from repro.offline import best_offline
+from repro.schedulers import BatchPlus, Eager, Profit
+from repro.workloads import cloud_instance
+
+
+class TestBin:
+    def test_usage_time_union(self):
+        b = Bin(index=0, capacity=1.0)
+        b.place(PlacedItem(0, 0.0, 2.0, 0.5))
+        b.place(PlacedItem(1, 1.0, 3.0, 0.5))
+        assert b.usage_time == pytest.approx(3.0)
+
+    def test_capacity_enforced(self):
+        b = Bin(index=0, capacity=1.0)
+        b.place(PlacedItem(0, 0.0, 2.0, 0.7))
+        with pytest.raises(CapacityExceededError):
+            b.place(PlacedItem(1, 1.0, 3.0, 0.7))
+
+    def test_departure_frees_capacity(self):
+        b = Bin(index=0, capacity=1.0)
+        b.place(PlacedItem(0, 0.0, 2.0, 0.7))
+        # item 0 departs at 2 (half-open): a size-0.7 item fits at t=2.
+        b.place(PlacedItem(1, 2.0, 4.0, 0.7))
+        assert b.usage_time == pytest.approx(4.0)
+
+    def test_load_query_must_be_chronological(self):
+        b = Bin(index=0, capacity=1.0)
+        b.load_at(5.0)
+        with pytest.raises(ValueError):
+            b.load_at(4.0)
+
+    def test_busy_union_components(self):
+        b = Bin(index=0, capacity=2.0)
+        b.place(PlacedItem(0, 0.0, 1.0, 1.0))
+        b.place(PlacedItem(1, 5.0, 6.0, 1.0))
+        assert len(b.busy_union()) == 2
+
+
+class TestFirstFit:
+    def test_opens_bins_as_needed(self):
+        ff = FirstFit(capacity=1.0)
+        assert ff.place(0, 0.0, 2.0, 0.6) == 0
+        assert ff.place(1, 0.5, 2.5, 0.6) == 1  # doesn't fit in bin 0
+        assert ff.place(2, 0.5, 2.5, 0.3) == 0  # fits back in bin 0
+        assert ff.bins_used == 2
+
+    def test_reuses_freed_bin(self):
+        ff = FirstFit(capacity=1.0)
+        ff.place(0, 0.0, 1.0, 1.0)
+        assert ff.place(1, 2.0, 3.0, 1.0) == 0
+
+    def test_oversize_item_rejected(self):
+        ff = FirstFit(capacity=1.0)
+        with pytest.raises(CapacityExceededError):
+            ff.place(0, 0.0, 1.0, 1.5)
+
+    def test_total_usage_time(self):
+        ff = FirstFit(capacity=1.0)
+        ff.place(0, 0.0, 2.0, 0.6)
+        ff.place(1, 1.0, 3.0, 0.6)  # second bin, [1,3)
+        assert ff.total_usage_time == pytest.approx(4.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            FirstFit(capacity=0.0)
+
+
+class TestCDFF:
+    def test_separate_pools_per_duration_class(self):
+        cdff = ClassifyByDurationFirstFit(capacity=1.0, alpha=2.0)
+        cdff.place(0, 0.0, 1.0, 0.3)   # duration 1 → class 0
+        cdff.place(1, 0.0, 4.0, 0.3)   # duration 4 → class 2
+        assert len(cdff.pools) == 2
+        assert cdff.bins_used == 2  # same sizes would fit one bin otherwise
+
+    def test_same_class_shares_bins(self):
+        cdff = ClassifyByDurationFirstFit(capacity=1.0, alpha=2.0)
+        a = cdff.place(0, 0.0, 3.0, 0.3)
+        b = cdff.place(1, 0.0, 4.0, 0.3)  # durations 3, 4 → same class
+        assert a == b
+
+    def test_global_indices_stable(self):
+        cdff = ClassifyByDurationFirstFit(capacity=1.0, alpha=2.0)
+        i0 = cdff.place(0, 0.0, 1.0, 0.9)
+        i1 = cdff.place(1, 0.0, 4.0, 0.9)
+        i2 = cdff.place(2, 0.2, 1.2, 0.9)  # class of i0, new bin
+        assert len({i0, i1, i2}) == 3
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ClassifyByDurationFirstFit(capacity=0.0)
+        with pytest.raises(ValueError):
+            ClassifyByDurationFirstFit(capacity=1.0, alpha=1.0)
+
+
+class TestPipeline:
+    @pytest.fixture
+    def sized_instance(self):
+        return Instance(
+            [
+                Job(0, 0.0, 2.0, 3.0, size=0.5),
+                Job(1, 0.5, 3.0, 2.0, size=0.5),
+                Job(2, 1.0, 5.0, 4.0, size=0.5),
+                Job(3, 6.0, 9.0, 2.0, size=0.9),
+            ],
+            name="sized",
+        )
+
+    def test_run_pipeline_end_to_end(self, sized_instance):
+        result = run_pipeline(BatchPlus(), FirstFit(1.0), sized_instance)
+        assert result.total_usage_time > 0
+        assert set(result.assignments) == {0, 1, 2, 3}
+        assert result.scheduler_name == "batch+"
+
+    def test_usage_at_least_span(self, sized_instance):
+        """Total usage time can never undercut the schedule's span."""
+        result = run_pipeline(BatchPlus(), FirstFit(1.0), sized_instance)
+        assert result.total_usage_time >= result.span - 1e-9
+
+    def test_usage_lower_bound_sound(self, sized_instance):
+        cap = 1.0
+        lb = usage_lower_bound(sized_instance, cap)
+        for sched, packer in [
+            (Eager(), FirstFit(cap)),
+            (BatchPlus(), FirstFit(cap)),
+            (Profit(), ClassifyByDurationFirstFit(cap)),
+        ]:
+            result = run_pipeline(sched, packer, sized_instance)
+            assert result.total_usage_time >= lb - 1e-9
+
+    def test_pack_offline_schedule(self, sized_instance):
+        sched = best_offline(sized_instance)
+        result = pack_schedule(sched, FirstFit(1.0))
+        assert result.total_usage_time >= sched.span - 1e-9
+
+    def test_capacity_respected_on_cloud_workload(self):
+        inst = cloud_instance(seed=3)
+        result = run_pipeline(BatchPlus(), FirstFit(1.0), inst)
+        # every bin's instantaneous load stayed within capacity (place()
+        # would have raised); sanity: all jobs assigned.
+        assert len(result.assignments) == len(inst)
+
+    def test_flexibility_reduces_usage_vs_rigid_at_high_capacity(self):
+        """The paper's §5 thesis: scheduling flexibility (Batch+) lowers
+        total usage time versus the rigid baseline (Eager) once the span
+        term dominates the work term, i.e. at generous capacity.  (At
+        tight capacity the work bound ``Σ size·p / C`` dominates and
+        batching cannot help — experiment E8 sweeps this crossover.)"""
+        from repro.workloads import batch_window_instance
+
+        inst = batch_window_instance(120, seed=1)
+        cap = 64.0
+        rigid = run_pipeline(Eager(), FirstFit(cap), inst)
+        flexible = run_pipeline(BatchPlus(), FirstFit(cap), inst)
+        assert flexible.total_usage_time < rigid.total_usage_time
+
+    def test_usage_lower_bound_validates_capacity(self, sized_instance):
+        with pytest.raises(ValueError):
+            usage_lower_bound(sized_instance, 0.0)
+
+
+class TestPeakOpenBins:
+    def test_peak_bounded_by_bins_used(self):
+        inst = cloud_instance(seed=2)
+        result = run_pipeline(BatchPlus(), FirstFit(1.0), inst)
+        assert 1 <= result.peak_open_bins <= result.bins_used
+
+    def test_single_bin_peak_is_one(self):
+        inst = Instance(
+            [Job(0, 0.0, 1.0, 2.0, size=0.4), Job(1, 0.5, 2.0, 2.0, size=0.4)],
+            name="one-bin",
+        )
+        result = run_pipeline(Eager(), FirstFit(1.0), inst)
+        assert result.peak_open_bins == 1
+
+    def test_disjoint_bins_counted_at_overlap(self):
+        # two size-0.9 items overlapping in time force two simultaneous bins
+        inst = Instance(
+            [Job(0, 0.0, 0.0, 4.0, size=0.9), Job(1, 1.0, 1.0, 4.0, size=0.9)],
+            name="two-bins",
+        )
+        result = run_pipeline(Eager(), FirstFit(1.0), inst)
+        assert result.peak_open_bins == 2

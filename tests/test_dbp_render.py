@@ -1,0 +1,49 @@
+"""Unit tests for the bin-level packing renderer."""
+
+from __future__ import annotations
+
+from repro.core import Instance, Job
+from repro.dbp import FirstFit, render_bins, run_pipeline
+from repro.schedulers import BatchPlus, Eager
+from repro.workloads import cloud_instance
+
+
+class TestRenderBins:
+    def test_renders_every_bin_row(self):
+        result = run_pipeline(BatchPlus(), FirstFit(1.0), cloud_instance(seed=1))
+        out = render_bins(result)
+        assert out.count("bin ") == result.bins_used
+        assert "total usage" in out and "peak open" in out
+
+    def test_truncation(self):
+        result = run_pipeline(BatchPlus(), FirstFit(1.0), cloud_instance(seed=1))
+        out = render_bins(result, max_bins=2)
+        assert out.count("bin ") == 2
+        assert "more bins not shown" in out
+
+    def test_full_load_uses_solid_shade(self):
+        inst = Instance([Job(0, 0.0, 0.0, 4.0, size=1.0)], name="solid")
+        result = run_pipeline(Eager(), FirstFit(1.0), inst)
+        out = render_bins(result, width=20)
+        assert "█" in out
+
+    def test_idle_time_blank(self):
+        inst = Instance(
+            [
+                Job(0, 0.0, 0.0, 1.0, size=1.0),
+                Job(1, 9.0, 9.0, 1.0, size=1.0),
+            ],
+            name="gap",
+        )
+        result = run_pipeline(Eager(), FirstFit(1.0), inst)
+        out = render_bins(result, width=40)
+        row = [l for l in out.splitlines() if l.startswith("bin")][0]
+        inner = row.split("|")[1]
+        assert " " in inner  # the idle middle renders blank
+
+    def test_width_respected(self):
+        result = run_pipeline(BatchPlus(), FirstFit(1.0), cloud_instance(seed=1))
+        out = render_bins(result, width=30)
+        for line in out.splitlines():
+            if line.startswith("bin"):
+                assert len(line.split("|")[1]) == 30

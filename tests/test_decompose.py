@@ -1,0 +1,74 @@
+"""Unit tests for span decomposition and iteration attribution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import decompose_span, iteration_attribution
+from repro.core import Instance, simulate
+from repro.schedulers import BatchPlus, Profit
+from repro.workloads import poisson_instance, small_integral_instance
+
+
+class TestDecompose:
+    def test_component_lengths_sum_to_span(self):
+        inst = poisson_instance(30, seed=0)
+        result = simulate(BatchPlus(), inst)
+        comps = decompose_span(result.schedule)
+        assert sum(c.length for c in comps) == pytest.approx(result.span)
+
+    def test_components_cover_all_jobs(self):
+        inst = poisson_instance(30, seed=1)
+        result = simulate(BatchPlus(), inst)
+        comps = decompose_span(result.schedule)
+        covered = {j for c in comps for j in c.job_ids}
+        assert covered == set(inst.job_ids)
+
+    def test_dominant_job_runs_longest_in_component(self):
+        inst = Instance.from_triples([(0, 0, 5), (1, 0, 1)], name="dom")
+        result = simulate(BatchPlus(), inst)
+        comps = decompose_span(result.schedule)
+        assert len(comps) == 1
+        assert comps[0].dominant_job == 0
+
+    def test_disjoint_components(self, serial_instance):
+        result = simulate(BatchPlus(), serial_instance)
+        comps = decompose_span(result.schedule)
+        assert len(comps) == 3
+        for a, b in zip(comps, comps[1:]):
+            assert a.interval.right < b.interval.left
+
+
+class TestIterationAttribution:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_charges_sum_to_span_batchplus(self, seed):
+        inst = small_integral_instance(10, seed=seed, max_arrival=20)
+        result = simulate(BatchPlus(), inst)
+        charges = iteration_attribution(
+            result.instance, result.schedule, result.scheduler.flag_job_ids
+        )
+        assert sum(charges.values()) == pytest.approx(result.span)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_theorem_3_5_per_flag_charge(self, seed):
+        """Each flag's charge is at most (μ+1)·p(flag): the executable
+        form of Theorem 3.5's per-iteration accounting."""
+        inst = small_integral_instance(10, seed=seed, max_arrival=20)
+        result = simulate(BatchPlus(), inst)
+        charges = iteration_attribution(
+            result.instance, result.schedule, result.scheduler.flag_job_ids
+        )
+        mu = inst.mu
+        for fid, charge in charges.items():
+            if fid == -1:
+                continue
+            p = result.instance[fid].known_length
+            assert charge <= (mu + 1) * p + 1e-9
+
+    def test_profit_charges_sum(self):
+        inst = poisson_instance(40, seed=3)
+        result = simulate(Profit(), inst, clairvoyant=True)
+        charges = iteration_attribution(
+            result.instance, result.schedule, result.scheduler.flag_job_ids
+        )
+        assert sum(charges.values()) == pytest.approx(result.span)

@@ -1,0 +1,99 @@
+"""Unit + property tests for instance decomposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance, SolverError
+from repro.offline import (
+    exact_optimal_span,
+    exact_optimal_span_decomposed,
+    split_independent,
+)
+from repro.workloads import WorkloadSpec, generate, small_integral_instance
+
+
+class TestSplitIndependent:
+    def test_empty(self):
+        assert split_independent(Instance([])) == []
+
+    def test_single_component_when_everything_overlaps(self, batchable_instance):
+        comps = split_independent(batchable_instance)
+        assert len(comps) == 1
+        assert len(comps[0]) == 4
+
+    def test_serial_jobs_split(self, serial_instance):
+        # reach windows [0,3), [4,7), [8,11): three components.
+        comps = split_independent(serial_instance)
+        assert len(comps) == 3
+        assert all(len(c) == 1 for c in comps)
+
+    def test_partition_is_exact(self):
+        inst = generate(WorkloadSpec(n=50, arrival_rate=0.2, integral=True), seed=1)
+        comps = split_independent(inst)
+        ids = sorted(j.id for c in comps for j in c)
+        assert ids == sorted(inst.job_ids)
+
+    def test_components_reach_disjoint(self):
+        inst = generate(WorkloadSpec(n=50, arrival_rate=0.2, integral=True), seed=2)
+        comps = split_independent(inst)
+        for a, b in zip(comps, comps[1:]):
+            end_a = max(j.deadline + j.known_length for j in a)
+            start_b = min(j.arrival for j in b)
+            assert start_b >= end_a
+
+    def test_chained_overlap_merges(self):
+        # A overlaps B, B overlaps C, A disjoint from C → one component.
+        inst = Instance.from_triples(
+            [(0, 0, 3), (2, 0, 3), (4, 0, 3)], name="chain"
+        )
+        assert len(split_independent(inst)) == 1
+
+
+class TestDecomposedExact:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_monolithic_exact(self, seed):
+        inst = small_integral_instance(7, seed=seed, max_arrival=20)
+        assert exact_optimal_span_decomposed(inst) == pytest.approx(
+            exact_optimal_span(inst)
+        )
+
+    def test_scales_to_sparse_large_instances(self):
+        inst = generate(
+            WorkloadSpec(n=80, arrival_rate=0.05, laxity_scale=0.5, integral=True),
+            seed=0,
+        )
+        span = exact_optimal_span_decomposed(inst)
+        assert span > 0
+        # additivity: equals the sum of per-component optima
+        total = sum(
+            exact_optimal_span(c) for c in split_independent(inst)
+        )
+        assert span == pytest.approx(total)
+
+    def test_witness_schedule_feasible(self):
+        from repro.offline import exact_optimal_schedule_decomposed
+
+        inst = generate(
+            WorkloadSpec(n=40, arrival_rate=0.05, laxity_scale=0.5, integral=True),
+            seed=3,
+        )
+        exact_optimal_schedule_decomposed(inst).validate()
+
+    def test_oversized_component_rejected(self):
+        inst = small_integral_instance(15, seed=0, max_arrival=3)
+        # everything overlaps → one 15-job component > max_component
+        with pytest.raises(SolverError, match="component"):
+            exact_optimal_span_decomposed(inst, max_component=8)
+
+    def test_certify_uses_decomposition(self):
+        """bracket_optimum now certifies large sparse instances exactly."""
+        from repro.analysis import bracket_optimum
+
+        inst = generate(
+            WorkloadSpec(n=60, arrival_rate=0.08, laxity_scale=0.5, integral=True),
+            seed=0,
+        )
+        br = bracket_optimum(inst)
+        assert br.method == "exact"
+        assert br.width == 0.0

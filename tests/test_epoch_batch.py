@@ -1,0 +1,61 @@
+"""Unit tests for the EpochBatch (cron-style) scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance, simulate
+from repro.schedulers import Batch, EpochBatch
+from repro.workloads import poisson_instance
+
+
+class TestEpochBatch:
+    def test_starts_align_to_epochs(self):
+        # period 5; arrivals at 1, 2 with plenty of laxity → both start at 5.
+        inst = Instance.from_triples([(1, 20, 2), (2, 20, 3)], name="align")
+        result = simulate(EpochBatch(period=5.0), inst)
+        assert result.schedule.start_of(0) == 5.0
+        assert result.schedule.start_of(1) == 5.0
+
+    def test_deadline_backstop(self):
+        # period 100 but the job's deadline is 3: it must start at 3.
+        inst = Instance.from_triples([(0, 3, 1)], name="backstop")
+        result = simulate(EpochBatch(period=100.0), inst)
+        assert result.schedule.start_of(0) == 3.0
+
+    def test_multiple_epochs(self):
+        inst = Instance.from_triples(
+            [(1, 20, 1), (6, 20, 1)], name="two-epochs"
+        )
+        result = simulate(EpochBatch(period=5.0), inst)
+        assert result.schedule.start_of(0) == 5.0
+        assert result.schedule.start_of(1) == 10.0
+
+    def test_rearms_after_idle(self):
+        # first wave batched at 5; queue drains; second arrival at 12
+        # re-arms the timer → starts at 15.
+        inst = Instance.from_triples([(1, 20, 1), (12, 20, 1)], name="rearm")
+        result = simulate(EpochBatch(period=5.0), inst)
+        assert result.schedule.start_of(1) == 15.0
+
+    def test_feasible_on_random_workloads(self):
+        for period in (0.5, 2.0, 10.0):
+            inst = poisson_instance(60, seed=8)
+            simulate(EpochBatch(period=period), inst).schedule.validate()
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            EpochBatch(period=0.0)
+
+    def test_clone(self):
+        assert EpochBatch(period=7.0).clone().period == 7.0
+
+    def test_blind_epochs_can_lose_to_deadline_batching(self):
+        """On the Figure-2-style family EpochBatch's blind points split
+        batches that deadline-driven Batch keeps together."""
+        inst = Instance.from_triples(
+            [(0.0, 0.4, 1), (0.6, 0.4, 1), (1.2, 0.4, 1)], name="split"
+        )
+        blind = simulate(EpochBatch(period=10.0), inst)  # backstops fire
+        aware = simulate(Batch(), inst)
+        assert blind.span >= aware.span - 1e-9

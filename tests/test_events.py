@@ -1,0 +1,62 @@
+"""Unit tests for the deterministic event queue."""
+
+from __future__ import annotations
+
+from repro.core.events import Event, EventKind, EventQueue
+
+
+class TestEventOrdering:
+    def test_time_orders_first(self):
+        q = EventQueue()
+        q.push(2.0, EventKind.COMPLETION, "late")
+        q.push(1.0, EventKind.TIMER, "early")
+        assert q.pop().payload == "early"
+        assert q.pop().payload == "late"
+
+    def test_same_time_kind_priority(self):
+        """At equal times: COMPLETION < ASSIGN < ARRIVAL < DEADLINE < TIMER
+        < ADVERSARY — the half-open interval semantics of Section 2."""
+        q = EventQueue()
+        q.push(1.0, EventKind.ADVERSARY, 5)
+        q.push(1.0, EventKind.ARRIVAL, 2)
+        q.push(1.0, EventKind.DEADLINE, 3)
+        q.push(1.0, EventKind.COMPLETION, 0)
+        q.push(1.0, EventKind.TIMER, 4)
+        q.push(1.0, EventKind.ASSIGN, 1)
+        order = [q.pop().payload for _ in range(6)]
+        assert order == [0, 1, 2, 3, 4, 5]
+
+    def test_same_time_same_kind_fifo(self):
+        q = EventQueue()
+        for i in range(5):
+            q.push(1.0, EventKind.ARRIVAL, i)
+        assert [q.pop().payload for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.TIMER, "x")
+        assert q.peek().payload == "x"
+        assert len(q) == 1
+
+    def test_bool_and_len(self):
+        q = EventQueue()
+        assert not q
+        q.push(0.0, EventKind.ARRIVAL, None)
+        assert q and len(q) == 1
+
+
+class TestEvent:
+    def test_payload_excluded_from_comparison(self):
+        a = Event(1.0, EventKind.ARRIVAL, 0, payload={"un": "hashable"})
+        b = Event(1.0, EventKind.ARRIVAL, 1, payload=None)
+        assert a < b  # ordered by seq despite incomparable payloads
+
+    def test_kind_enum_values_are_processing_order(self):
+        assert (
+            EventKind.COMPLETION
+            < EventKind.ASSIGN
+            < EventKind.ARRIVAL
+            < EventKind.DEADLINE
+            < EventKind.TIMER
+            < EventKind.ADVERSARY
+        )

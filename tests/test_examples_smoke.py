@@ -1,0 +1,34 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; this guard keeps them from
+rotting as the API evolves.  Each runs in a subprocess with a generous
+timeout and must exit 0 without touching the repository tree.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 8
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(path, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+        cwd=tmp_path,  # examples must not rely on (or write into) the repo
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must print their results"

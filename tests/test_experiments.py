@@ -1,0 +1,56 @@
+"""Unit tests for the interactive experiment runners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, experiment_ids, run_experiment
+
+
+class TestRunners:
+    def test_ids_sorted_numerically(self):
+        ids = experiment_ids()
+        nums = [int(e[1:]) for e in ids]
+        assert nums == sorted(nums)
+
+    @pytest.mark.parametrize("exp_id", sorted(EXPERIMENTS))
+    def test_every_runner_produces_a_table(self, exp_id):
+        out = run_experiment(exp_id, quick=True)
+        assert exp_id in out
+        assert "|" in out  # rendered table
+
+    def test_case_insensitive(self):
+        assert "E4" in run_experiment("e4")
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="E1"):
+            run_experiment("E99")
+
+    def test_e4_matches_theory_exactly(self):
+        """The quick E4 runner reproduces the closed form in its table."""
+        out = run_experiment("E4")
+        # at n=2 the forced ratio is 2φ/(φ+1) = 1.23607
+        assert out.count("1.23607") >= 2  # measured and theory columns agree
+
+    def test_e2_monotone(self):
+        out = run_experiment("E2")
+        ratios = [
+            float(line.split("|")[1])
+            for line in out.splitlines()
+            if line.strip() and line.lstrip()[0].isdigit()
+        ]
+        assert ratios == sorted(ratios)
+
+
+class TestCliIntegration:
+    def test_cli_experiment(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "E3"]) == 0
+        assert "Batch+ tightness" in capsys.readouterr().out
+
+    def test_cli_unknown_experiment(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "E42"]) == 2
+        assert "available" in capsys.readouterr().err

@@ -1,0 +1,199 @@
+"""Failure injection: the engine must catch every class of misbehaviour.
+
+A simulation that silently produces an infeasible schedule would poison
+every measurement downstream, so these tests systematically inject buggy
+schedulers and malicious adversaries and assert that the engine fails
+*loudly* with the right exception — never with a corrupted result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries import BaseAdversary
+from repro.core import (
+    DeadlineMissedError,
+    Instance,
+    Job,
+    SchedulingViolationError,
+    SimulationError,
+    simulate,
+)
+from repro.core.engine import AdversaryResponse
+from repro.schedulers import Eager, OnlineScheduler
+
+
+@pytest.fixture
+def inst():
+    return Instance.from_triples([(0, 3, 2), (1, 4, 1)], name="fi")
+
+
+class TestBuggySchedulers:
+    def test_never_starts(self, inst):
+        class Sleeper(OnlineScheduler):
+            pass
+
+        with pytest.raises(DeadlineMissedError):
+            simulate(Sleeper(), inst)
+
+    def test_starts_only_some_jobs(self, inst):
+        class Partial(OnlineScheduler):
+            def on_arrival(self, ctx, job):
+                if job.id == 0:
+                    ctx.start(job.id)
+
+        with pytest.raises(DeadlineMissedError):
+            simulate(Partial(), inst)
+
+    def test_deadline_handler_starts_wrong_job(self, inst):
+        class WrongJob(OnlineScheduler):
+            def on_deadline(self, ctx, job):
+                other = [p for p in ctx.pending() if p.id != job.id]
+                if other:
+                    ctx.start(other[0].id)
+                # leaves ``job`` unstarted at its own deadline
+
+        with pytest.raises(DeadlineMissedError):
+            simulate(WrongJob(), inst)
+
+    def test_double_start_in_different_hooks(self, inst):
+        class DoubleStarter(OnlineScheduler):
+            def on_arrival(self, ctx, job):
+                ctx.start(job.id)
+
+            def on_completion(self, ctx, job):
+                ctx.start(job.id)  # restart a finished job
+
+        with pytest.raises(SchedulingViolationError):
+            simulate(DoubleStarter(), inst)
+
+    def test_start_before_arrival_via_ghost_id(self, inst):
+        class Psychic(OnlineScheduler):
+            def on_arrival(self, ctx, job):
+                ctx.start(job.id)
+                if job.id == 0:
+                    ctx.start(1)  # job 1 arrives only at t=1
+
+        with pytest.raises(SchedulingViolationError):
+            simulate(Psychic(), inst)
+
+    def test_timer_in_past(self, inst):
+        class TimeTraveller(OnlineScheduler):
+            def on_arrival(self, ctx, job):
+                ctx.start(job.id)
+                ctx.set_timer(ctx.now - 5.0)
+
+        with pytest.raises(SchedulingViolationError):
+            simulate(TimeTraveller(), inst)
+
+    def test_exception_in_hook_propagates(self, inst):
+        class Crasher(OnlineScheduler):
+            def on_arrival(self, ctx, job):
+                raise RuntimeError("scheduler bug")
+
+        with pytest.raises(RuntimeError, match="scheduler bug"):
+            simulate(Crasher(), inst)
+
+    def test_livelock_caught_by_event_budget(self, inst):
+        class Spinner(OnlineScheduler):
+            def on_arrival(self, ctx, job):
+                ctx.start(job.id)
+                ctx.set_timer(ctx.now, "spin")
+
+            def on_timer(self, ctx, tag):
+                ctx.set_timer(ctx.now, tag)
+
+        with pytest.raises(SimulationError, match="budget"):
+            simulate(Spinner(), inst, max_events=500)
+
+
+class TestMaliciousAdversaries:
+    def test_duplicate_job_ids(self):
+        class Duplicator(BaseAdversary):
+            def initial_jobs(self):
+                return [Job(0, 0.0, 1.0, 1.0), Job(0, 0.0, 2.0, 1.0)]
+
+        with pytest.raises(SimulationError, match="duplicate"):
+            simulate(Eager(), adversary=Duplicator(), clairvoyant=False)
+
+    def test_release_in_past(self):
+        class Retroactive(BaseAdversary):
+            def initial_jobs(self):
+                return [Job(0, 5.0, 6.0, 1.0)]
+
+            def on_start(self, job, t):
+                return AdversaryResponse(release=(Job(1, 0.0, 10.0, 1.0),))
+
+        with pytest.raises(SimulationError, match="past"):
+            simulate(Eager(), adversary=Retroactive(), clairvoyant=False)
+
+    def test_wakeup_in_past(self):
+        class SleepyRetro(BaseAdversary):
+            def initial_jobs(self):
+                return [Job(0, 1.0, 2.0, 1.0)]
+
+            def on_start(self, job, t):
+                return AdversaryResponse(wakeup=t - 1.0)
+
+        with pytest.raises(SimulationError, match="past"):
+            simulate(Eager(), adversary=SleepyRetro(), clairvoyant=False)
+
+    def test_negative_length_assignment(self):
+        class NegativeLength(BaseAdversary):
+            def initial_jobs(self):
+                return [Job(0, 0.0, 2.0, None)]
+
+            def assign_length(self, job, t):
+                return -1.0
+
+        with pytest.raises(SimulationError, match="non-positive"):
+            simulate(Eager(), adversary=NegativeLength(), clairvoyant=False)
+
+    def test_length_decision_before_start(self):
+        class EarlyDecider(BaseAdversary):
+            def initial_jobs(self):
+                return [Job(0, 1.0, 2.0, None)]
+
+            def length_decision_time(self, job, start):
+                return start - 0.5
+
+        with pytest.raises(SimulationError, match="decision time"):
+            simulate(Eager(), adversary=EarlyDecider(), clairvoyant=False)
+
+    def test_completion_in_past_rejected(self):
+        """A length so small the completion would precede the assignment
+        instant (numerically) is rejected."""
+
+        class Instantaneous(BaseAdversary):
+            def initial_jobs(self):
+                return [Job(0, 0.0, 2.0, None)]
+
+            def length_decision_time(self, job, start):
+                return start + 2.0
+
+            def assign_length(self, job, t):
+                return 1.0  # completion at start+1 < now=start+2
+
+        with pytest.raises(SimulationError, match="past"):
+            simulate(Eager(), adversary=Instantaneous(), clairvoyant=False)
+
+
+class TestResultIntegrityAfterStress:
+    def test_heavy_same_time_cascade(self):
+        """Hundreds of identical-time events must still produce a valid,
+        deterministic schedule."""
+        jobs = [Job(i, 1.0, 1.0, 1.0) for i in range(300)]
+        inst = Instance(jobs, name="cascade")
+        r1 = simulate(Eager(), inst)
+        r2 = simulate(Eager(), inst)
+        r1.schedule.validate()
+        assert r1.schedule.starts() == r2.schedule.starts()
+        assert r1.span == pytest.approx(1.0)
+
+    def test_zero_laxity_storm_with_batch(self):
+        from repro.schedulers import Batch
+
+        jobs = [Job(i, float(i % 5), float(i % 5), 1.0 + (i % 3)) for i in range(100)]
+        inst = Instance(jobs, name="storm")
+        result = simulate(Batch(), inst)
+        result.schedule.validate()

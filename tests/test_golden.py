@@ -1,0 +1,99 @@
+"""Golden regression tests: pinned outputs for fixed seeds.
+
+Every value below was produced by the current implementation and is
+asserted exactly (to float tolerance).  A failure here means *behaviour
+changed* — maybe intentionally (update the constant and say why in the
+commit), maybe a regression.  The pinned set spans the subsystems most
+prone to silent drift: engine event ordering, scheduler decision rules,
+offline solvers, and the adversary constructions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries import (
+    ClairvoyantLowerBoundAdversary,
+    NonClairvoyantLowerBoundAdversary,
+    batch_tightness_instance,
+    batchplus_tightness_instance,
+    geometric_profile,
+)
+from repro.core import simulate
+from repro.offline import (
+    best_offline_span,
+    chain_lower_bound,
+    exact_optimal_span,
+)
+from repro.schedulers import make_scheduler
+from repro.workloads import poisson_instance, small_integral_instance
+
+#: scheduler name -> span on poisson_instance(50, seed=42)
+GOLDEN_SPANS_POISSON_50_SEED42 = {
+    "batch": 39.26813036,
+    "batch+": 41.71248963,
+    "cdb": 35.75953626,
+    "doubler": 45.10829208,
+    "eager": 47.72916919,
+    "epoch-batch": 47.72333941,
+    "greedy-cover": 34.70560648,
+    "lazy": 55.37223348,
+    "profit": 38.72583970,
+    "random": 58.75247160,
+    "wait-scale": 45.10829208,
+}
+
+
+class TestGoldenSchedulerSpans:
+    @pytest.mark.parametrize("name", sorted(GOLDEN_SPANS_POISSON_50_SEED42))
+    def test_span_pinned(self, name):
+        inst = poisson_instance(50, seed=42)
+        sched = make_scheduler(name)
+        result = simulate(
+            sched, inst, clairvoyant=type(sched).requires_clairvoyance
+        )
+        assert result.span == pytest.approx(
+            GOLDEN_SPANS_POISSON_50_SEED42[name], abs=1e-6
+        )
+
+
+class TestGoldenOffline:
+    def test_exact_opt_pinned(self):
+        values = [exact_optimal_span(small_integral_instance(7, seed=s)) for s in range(5)]
+        assert values == pytest.approx([6.0, 8.0, 8.0, 8.0, 7.0])
+
+    def test_chain_lb_pinned(self):
+        inst = poisson_instance(50, seed=42)
+        assert chain_lower_bound(inst) == pytest.approx(21.20134670, abs=1e-6)
+
+    def test_best_offline_pinned(self):
+        inst = poisson_instance(50, seed=42)
+        assert best_offline_span(inst) == pytest.approx(31.25760851, abs=1e-6)
+
+
+class TestGoldenAdversaries:
+    def test_clairvoyant_ratio_pinned(self):
+        adv = ClairvoyantLowerBoundAdversary(25)
+        result = simulate(
+            make_scheduler("profit"), adversary=adv, clairvoyant=True
+        )
+        witness = adv.paper_optimal_schedule(result.instance)
+        assert result.span / witness.span == pytest.approx(1.57899899, abs=1e-6)
+
+    def test_nonclairvoyant_ratio_pinned(self):
+        adv = NonClairvoyantLowerBoundAdversary(
+            mu=5.0, profile=geometric_profile(3, 10)
+        )
+        result = simulate(
+            make_scheduler("batch+"), adversary=adv, clairvoyant=False
+        )
+        witness = adv.paper_optimal_schedule(result.instance)
+        assert result.span / witness.span == pytest.approx(2.0, abs=1e-9)
+
+    def test_tightness_spans_pinned(self):
+        fam = batch_tightness_instance(m=10, mu=4.0)
+        assert simulate(make_scheduler("batch"), fam.instance).span == pytest.approx(80.0)
+        fam = batchplus_tightness_instance(m=10, mu=4.0)
+        assert simulate(make_scheduler("batch+"), fam.instance).span == pytest.approx(
+            10 * (4.0 + 1 - 1e-3)
+        )

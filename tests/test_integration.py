@@ -1,0 +1,121 @@
+"""Integration tests: full pipelines across modules.
+
+Each test exercises a complete user story — generate → simulate →
+measure → compare with offline machinery — mirroring the examples/.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries import (
+    ClairvoyantLowerBoundAdversary,
+    NonClairvoyantLowerBoundAdversary,
+    batchplus_tightness_instance,
+    geometric_profile,
+)
+from repro.analysis import (
+    build_flag_forest,
+    check_forest_property,
+    render_gantt,
+)
+from repro.core import simulate
+from repro.dbp import FirstFit, run_pipeline
+from repro.offline import best_offline_span, exact_optimal_span, span_lower_bound
+from repro.schedulers import SCHEDULERS, make_scheduler
+from repro.workloads import (
+    bimodal_instance,
+    cloud_instance,
+    poisson_instance,
+    ratio_stats,
+    run_grid,
+    small_integral_instance,
+)
+
+
+class TestFullComparison:
+    def test_all_schedulers_on_all_families(self):
+        """Every registered scheduler completes every workload family and
+        the span ordering is sane (online >= LB, heuristic >= OPT side)."""
+        families = [
+            poisson_instance(40, seed=0),
+            bimodal_instance(40, seed=0, mu=8.0),
+            cloud_instance(seed=0),
+        ]
+        protos = [make_scheduler(name) for name in SCHEDULERS]
+        results = run_grid(protos, families, span_lower_bound)
+        assert len(results) == len(protos) * len(families)
+        stats = ratio_stats(results)
+        assert all(s["mean"] >= 1.0 - 1e-9 for s in stats.values())
+
+    def test_profit_beats_baselines_on_average(self):
+        """The paper's hierarchy shows up empirically: Profit's mean ratio
+        is below Eager's and Lazy's across seeds."""
+        instances = [poisson_instance(60, seed=s) for s in range(6)]
+        protos = [make_scheduler(n) for n in ("profit", "eager", "lazy")]
+        stats = ratio_stats(run_grid(protos, instances, span_lower_bound))
+        assert stats["profit"]["mean"] < stats["eager"]["mean"]
+        assert stats["profit"]["mean"] < stats["lazy"]["mean"]
+
+    def test_exact_ratio_pipeline_small_instances(self):
+        """Competitive-ratio measurement against the exact optimum."""
+        inst = small_integral_instance(7, seed=11)
+        opt = exact_optimal_span(inst)
+        heuristic = best_offline_span(inst)
+        assert span_lower_bound(inst) - 1e-9 <= opt <= heuristic + 1e-9
+        for name in SCHEDULERS:
+            sched = make_scheduler(name)
+            result = simulate(
+                sched, inst, clairvoyant=type(sched).requires_clairvoyance
+            )
+            assert result.span >= opt - 1e-9
+
+
+class TestAdversaryPipelines:
+    def test_nonclairvoyant_adversary_full_cycle(self):
+        adv = NonClairvoyantLowerBoundAdversary(
+            mu=6.0, profile=geometric_profile(3, 8)
+        )
+        result = simulate(make_scheduler("batch+"), adversary=adv)
+        witness = adv.paper_optimal_schedule(result.instance)
+        witness.validate()
+        # the resolved instance's exact μ matches the adversary's
+        assert result.instance.mu == pytest.approx(6.0)
+        # and the forced ratio is sound vs our own offline machinery
+        offline = best_offline_span(result.instance)
+        assert offline <= witness.span + 1e-9 or offline == pytest.approx(
+            witness.span, rel=0.5
+        )
+
+    def test_clairvoyant_adversary_with_flag_analysis(self):
+        adv = ClairvoyantLowerBoundAdversary(n=20)
+        result = simulate(make_scheduler("profit"), adversary=adv, clairvoyant=True)
+        flags = result.scheduler.flag_job_ids
+        forest = build_flag_forest(result.instance, flags)
+        assert check_forest_property(forest)
+
+
+class TestRenderingPipelines:
+    def test_gantt_of_simulated_schedule(self):
+        inst = poisson_instance(15, seed=2)
+        result = simulate(make_scheduler("batch"), inst)
+        out = render_gantt(result.schedule)
+        assert out.count("J") >= 15
+
+    def test_tightness_family_renders(self):
+        fam = batchplus_tightness_instance(m=3, mu=3.0)
+        result = simulate(make_scheduler("batch+"), fam.instance)
+        assert "span=" in render_gantt(result.schedule)
+
+
+class TestDbpPipelines:
+    def test_scheduler_packer_cross_product(self):
+        inst = cloud_instance(seed=1)
+        usages = {}
+        for sched_name in ("eager", "batch+", "profit"):
+            result = run_pipeline(
+                make_scheduler(sched_name), FirstFit(2.0), inst
+            )
+            usages[sched_name] = result.total_usage_time
+            assert result.bins_used >= 1
+        assert all(u > 0 for u in usages.values())

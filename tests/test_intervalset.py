@@ -1,0 +1,146 @@
+"""Unit + property tests for the mutable interval set."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import Interval, IntervalUnion
+from repro.core.intervalset import MutableIntervalSet
+
+finite = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+lengths = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+class TestBasics:
+    def test_empty(self):
+        s = MutableIntervalSet()
+        assert s.measure == 0.0
+        assert len(s) == 0
+        assert not s.covers(0.0)
+
+    def test_single_add(self):
+        s = MutableIntervalSet()
+        assert s.add(1.0, 3.0) == 2.0
+        assert s.measure == 2.0
+        assert s.covers(1.0) and s.covers(2.9) and not s.covers(3.0)
+
+    def test_zero_width_ignored(self):
+        s = MutableIntervalSet()
+        assert s.add(1.0, 1.0) == 0.0
+        assert len(s) == 0
+
+    def test_disjoint_inserts_sorted(self):
+        s = MutableIntervalSet()
+        s.add(5.0, 6.0)
+        s.add(1.0, 2.0)
+        s.add(3.0, 4.0)
+        assert [(iv.left, iv.right) for iv in s] == [(1, 2), (3, 4), (5, 6)]
+        assert s.measure == 3.0
+
+    def test_overlap_merge(self):
+        s = MutableIntervalSet()
+        s.add(0.0, 2.0)
+        added = s.add(1.0, 4.0)
+        assert added == 2.0
+        assert len(s) == 1
+        assert s.measure == 4.0
+
+    def test_abutting_merge(self):
+        s = MutableIntervalSet()
+        s.add(0.0, 1.0)
+        s.add(1.0, 2.0)
+        assert len(s) == 1
+        assert s.measure == 2.0
+
+    def test_bridging_merge(self):
+        s = MutableIntervalSet()
+        s.add(0.0, 1.0)
+        s.add(2.0, 3.0)
+        s.add(4.0, 5.0)
+        added = s.add(0.5, 4.5)
+        assert len(s) == 1
+        assert s.measure == 5.0
+        assert added == pytest.approx(2.0)
+
+    def test_contained_add_is_free(self):
+        s = MutableIntervalSet()
+        s.add(0.0, 10.0)
+        assert s.add(2.0, 5.0) == 0.0
+        assert len(s) == 1
+
+    def test_intersection_length(self):
+        s = MutableIntervalSet()
+        s.add(0.0, 2.0)
+        s.add(4.0, 6.0)
+        assert s.intersection_length(1.0, 5.0) == pytest.approx(2.0)
+        assert s.intersection_length(2.0, 4.0) == 0.0
+
+    def test_added_measure_matches_add(self):
+        s = MutableIntervalSet()
+        s.add(0.0, 2.0)
+        predicted = s.added_measure(1.0, 5.0)
+        actual = s.add(1.0, 5.0)
+        assert predicted == pytest.approx(actual)
+
+    def test_covers_interval(self):
+        s = MutableIntervalSet()
+        s.add(0.0, 5.0)
+        assert s.covers_interval(1.0, 4.0)
+        assert not s.covers_interval(4.0, 6.0)
+
+    def test_to_union_snapshot(self):
+        s = MutableIntervalSet()
+        s.add(0.0, 1.0)
+        s.add(3.0, 4.0)
+        u = s.to_union()
+        assert u == IntervalUnion([Interval(0, 1), Interval(3, 4)])
+
+
+class TestEquivalenceProperty:
+    @given(
+        st.lists(st.tuples(finite, lengths), max_size=40),
+    )
+    @settings(max_examples=60)
+    def test_matches_interval_union(self, pairs):
+        """The mutable set and the immutable union agree on every insert
+        sequence: same components, same measure, same added measures."""
+        s = MutableIntervalSet()
+        u = IntervalUnion()
+        for lo, w in pairs:
+            iv = Interval(lo, lo + w)
+            predicted = s.added_measure(lo, lo + w)
+            assert predicted == pytest.approx(
+                u.added_measure(iv), abs=1e-6
+            )
+            s.add(lo, lo + w)
+            u = u.insert(iv)
+        assert s.measure == pytest.approx(u.measure, abs=1e-6)
+        assert s.to_union() == u
+
+    @given(
+        st.lists(st.tuples(finite, lengths), min_size=1, max_size=30),
+        finite,
+    )
+    @settings(max_examples=60)
+    def test_covers_matches(self, pairs, probe):
+        s = MutableIntervalSet()
+        u = IntervalUnion()
+        for lo, w in pairs:
+            s.add(lo, lo + w)
+            u = u.insert(Interval(lo, lo + w))
+        assert s.covers(probe) == u.contains(probe)
+
+    @given(st.lists(st.tuples(finite, lengths), max_size=30))
+    @settings(max_examples=60)
+    def test_canonical_invariants(self, pairs):
+        s = MutableIntervalSet()
+        for lo, w in pairs:
+            s.add(lo, lo + w)
+        comps = list(s)
+        for c in comps:
+            assert c.length > 0
+        for a, b in zip(comps, comps[1:]):
+            assert a.right < b.left  # disjoint AND non-abutting

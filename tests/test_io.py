@@ -1,0 +1,113 @@
+"""Unit tests for instance/schedule JSON serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import (
+    Instance,
+    InvalidInstanceError,
+    InvalidScheduleError,
+    Job,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_schedule,
+    save_instance,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+    simulate,
+)
+from repro.schedulers import BatchPlus
+from repro.workloads import poisson_instance
+
+
+class TestInstanceRoundTrip:
+    def test_round_trip_preserves_everything(self, simple_instance, tmp_path):
+        path = tmp_path / "inst.json"
+        save_instance(simple_instance, path)
+        loaded = load_instance(path)
+        assert loaded.name == simple_instance.name
+        assert len(loaded) == len(simple_instance)
+        for a, b in zip(simple_instance, loaded):
+            assert (a.id, a.arrival, a.deadline, a.length, a.size) == (
+                b.id, b.arrival, b.deadline, b.length, b.size,
+            )
+
+    def test_adversary_lengths_preserved(self, tmp_path):
+        inst = Instance([Job(0, 0.0, 5.0, None)], name="adv")
+        path = tmp_path / "adv.json"
+        save_instance(inst, path)
+        assert load_instance(path)[0].length is None
+
+    def test_sizes_preserved(self, tmp_path):
+        inst = Instance([Job(0, 0.0, 5.0, 2.0, size=0.25)])
+        path = tmp_path / "sized.json"
+        save_instance(inst, path)
+        assert load_instance(path)[0].size == 0.25
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            instance_from_dict({"format": "something-else", "jobs": []})
+
+    def test_wrong_version_rejected(self):
+        data = instance_to_dict(Instance([]))
+        data["version"] = 99
+        with pytest.raises(InvalidInstanceError):
+            instance_from_dict(data)
+
+    def test_malformed_job_rejected(self):
+        data = instance_to_dict(Instance([]))
+        data["jobs"] = [{"id": 0}]  # missing fields
+        with pytest.raises(InvalidInstanceError):
+            instance_from_dict(data)
+
+    def test_invalid_job_values_rejected(self):
+        data = instance_to_dict(Instance([]))
+        data["jobs"] = [
+            {"id": 0, "arrival": 5.0, "deadline": 1.0, "length": 1.0}
+        ]
+        with pytest.raises(Exception):
+            instance_from_dict(data)
+
+    def test_file_is_plain_json(self, simple_instance, tmp_path):
+        path = tmp_path / "inst.json"
+        save_instance(simple_instance, path)
+        doc = json.loads(path.read_text())
+        assert doc["format"] == "fjs-instance"
+        assert len(doc["jobs"]) == 4
+
+
+class TestScheduleRoundTrip:
+    def test_round_trip_revalidates(self, tmp_path):
+        inst = poisson_instance(20, seed=1)
+        result = simulate(BatchPlus(), inst)
+        path = tmp_path / "sched.json"
+        save_schedule(result.schedule, path)
+        loaded = load_schedule(path)
+        assert loaded.starts() == result.schedule.starts()
+        assert loaded.span == pytest.approx(result.schedule.span)
+
+    def test_tampered_span_detected(self):
+        inst = poisson_instance(5, seed=0)
+        result = simulate(BatchPlus(), inst)
+        data = schedule_to_dict(result.schedule)
+        data["span"] = data["span"] + 1.0
+        with pytest.raises(InvalidScheduleError):
+            schedule_from_dict(data)
+
+    def test_tampered_start_detected(self):
+        inst = poisson_instance(5, seed=0)
+        result = simulate(BatchPlus(), inst)
+        data = schedule_to_dict(result.schedule)
+        first = next(iter(data["starts"]))
+        data["starts"][first] = -100.0  # outside the window
+        with pytest.raises(InvalidScheduleError):
+            schedule_from_dict(data)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            schedule_from_dict({"format": "nope"})

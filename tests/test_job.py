@@ -1,0 +1,151 @@
+"""Unit tests for the Job and Instance model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Instance,
+    InvalidInstanceError,
+    InvalidJobError,
+    Job,
+    make_jobs,
+)
+
+
+class TestJob:
+    def test_basic_construction(self):
+        j = Job(id=0, arrival=1.0, deadline=3.0, length=2.0)
+        assert j.laxity == 2.0
+        assert j.known_length == 2.0
+        assert j.latest_completion == 5.0
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(InvalidJobError):
+            Job(id=-1, arrival=0, deadline=1, length=1)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(InvalidJobError):
+            Job(id=0, arrival=-1, deadline=1, length=1)
+
+    def test_deadline_before_arrival_rejected(self):
+        with pytest.raises(InvalidJobError):
+            Job(id=0, arrival=5, deadline=4, length=1)
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(InvalidJobError):
+            Job(id=0, arrival=0, deadline=1, length=0)
+        with pytest.raises(InvalidJobError):
+            Job(id=0, arrival=0, deadline=1, length=-2)
+
+    def test_infinite_values_rejected(self):
+        with pytest.raises(InvalidJobError):
+            Job(id=0, arrival=float("inf"), deadline=float("inf"), length=1)
+
+    def test_adversary_controlled_length(self):
+        j = Job(id=0, arrival=0, deadline=1, length=None)
+        with pytest.raises(InvalidJobError):
+            j.known_length
+        assert j.with_length(3.0).known_length == 3.0
+
+    def test_feasible_start_window_closed(self):
+        j = Job(id=0, arrival=1, deadline=4, length=2)
+        assert j.feasible_start(1.0)
+        assert j.feasible_start(4.0)  # deadline itself is a legal start
+        assert not j.feasible_start(0.999)
+        assert not j.feasible_start(4.001)
+
+    def test_active_interval(self):
+        j = Job(id=0, arrival=0, deadline=5, length=2)
+        iv = j.active_interval(3.0)
+        assert (iv.left, iv.right) == (3.0, 5.0)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(InvalidJobError):
+            Job(id=0, arrival=0, deadline=1, length=1, size=0)
+
+
+class TestMakeJobs:
+    def test_sequential_ids_and_laxity(self):
+        jobs = make_jobs([(0, 2, 1), (3, 0, 5)])
+        assert [j.id for j in jobs] == [0, 1]
+        assert jobs[0].deadline == 2.0
+        assert jobs[1].deadline == 3.0
+
+    def test_start_id(self):
+        jobs = make_jobs([(0, 1, 1)], start_id=10)
+        assert jobs[0].id == 10
+
+
+class TestInstance:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance([Job(0, 0, 1, 1), Job(0, 0, 2, 1)])
+
+    def test_container_protocol(self, simple_instance):
+        assert len(simple_instance) == 4
+        assert simple_instance[0].arrival == 0.0
+        assert 2 in simple_instance
+        assert 99 not in simple_instance
+        with pytest.raises(KeyError):
+            simple_instance[99]
+
+    def test_mu(self, simple_instance):
+        assert simple_instance.mu == 3.0
+
+    def test_mu_empty_instance(self):
+        assert Instance([]).mu == 1.0
+
+    def test_total_work(self, simple_instance):
+        assert simple_instance.total_work == 8.0
+
+    def test_max_min_length(self, simple_instance):
+        assert simple_instance.max_length == 3.0
+        assert simple_instance.min_length == 1.0
+
+    def test_horizon(self, simple_instance):
+        # max over d + p: J1 has d=5, p=3 → 8; J3 has d=9, p=2 → 11
+        assert simple_instance.horizon == 11.0
+
+    def test_is_integral(self):
+        assert Instance.from_triples([(0, 1, 2)]).is_integral
+        assert not Instance.from_triples([(0, 1, 2.5)]).is_integral
+
+    def test_unknown_lengths_flag(self):
+        inst = Instance([Job(0, 0, 1, None)])
+        assert inst.has_unknown_lengths
+        with pytest.raises(InvalidInstanceError):
+            inst.mu
+
+    def test_sorted_views(self, simple_instance):
+        by_arr = simple_instance.sorted_by_arrival()
+        assert [j.arrival for j in by_arr] == sorted(j.arrival for j in by_arr)
+        by_dl = simple_instance.sorted_by_deadline()
+        assert [j.deadline for j in by_dl] == sorted(j.deadline for j in by_dl)
+
+    def test_arrays(self, simple_instance):
+        arrays = simple_instance.arrays()
+        assert arrays["arrival"].dtype == np.float64
+        assert list(arrays["id"]) == [0, 1, 2, 3]
+        assert arrays["length"].sum() == 8.0
+
+    def test_subset(self, simple_instance):
+        sub = simple_instance.subset([0, 3])
+        assert len(sub) == 2
+        assert 1 not in sub
+
+    def test_scaled(self, simple_instance):
+        scaled = simple_instance.scaled(2.0)
+        assert scaled[1].arrival == 2.0
+        assert scaled[1].deadline == 10.0
+        assert scaled[1].length == 6.0
+        assert scaled.mu == simple_instance.mu
+
+    def test_scaled_invalid_factor(self, simple_instance):
+        with pytest.raises(InvalidInstanceError):
+            simple_instance.scaled(0)
+
+    def test_from_triples_name(self):
+        inst = Instance.from_triples([(0, 1, 1)], name="x")
+        assert inst.name == "x"

@@ -1,0 +1,66 @@
+"""Unit tests for the time-indexed LP lower bound."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance, SolverError
+from repro.offline import (
+    chain_lower_bound,
+    exact_optimal_span,
+    lp_lower_bound,
+    mandatory_lower_bound,
+)
+from repro.workloads import small_integral_instance
+
+
+class TestLpLowerBound:
+    def test_empty(self):
+        assert lp_lower_bound(Instance([])) == 0.0
+
+    def test_single_rigid_job(self):
+        inst = Instance.from_triples([(0, 0, 3)])
+        assert lp_lower_bound(inst) == pytest.approx(3.0, abs=1e-6)
+
+    def test_high_laxity_relaxation_can_overlap(self):
+        # two unit jobs sharing a wide window: LP packs them, bound ≈ 1.
+        inst = Instance.from_triples([(0, 5, 1), (0, 5, 1)])
+        assert lp_lower_bound(inst) == pytest.approx(1.0, abs=1e-6)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_sound_vs_exact(self, seed):
+        inst = small_integral_instance(7, seed=seed)
+        assert lp_lower_bound(inst) <= exact_optimal_span(inst) + 1e-6
+
+    def test_can_beat_combinatorial_bounds(self):
+        """Over random instances the LP strictly improves on
+        max(chain, mandatory, max p) at least sometimes."""
+        stronger = 0
+        for seed in range(15):
+            inst = small_integral_instance(7, seed=seed)
+            combo = max(
+                chain_lower_bound(inst),
+                mandatory_lower_bound(inst),
+                inst.max_length,
+            )
+            if lp_lower_bound(inst) > combo + 1e-9:
+                stronger += 1
+        assert stronger >= 3
+
+    def test_never_below_when_integral_dominance_possible(self):
+        """The LP is at least as strong as the mandatory bound (the IP
+        contains the mandatory covering constraints for laxity-poor
+        jobs)."""
+        for seed in range(8):
+            inst = small_integral_instance(7, seed=seed, max_laxity=1)
+            assert lp_lower_bound(inst) >= mandatory_lower_bound(inst) - 1e-6
+
+    def test_non_integral_rejected(self):
+        inst = Instance.from_triples([(0, 1, 1.5)])
+        with pytest.raises(SolverError, match="integral"):
+            lp_lower_bound(inst)
+
+    def test_horizon_guard(self):
+        inst = Instance.from_triples([(0, 10_000, 1)])
+        with pytest.raises(SolverError, match="slots"):
+            lp_lower_bound(inst, max_slots=100)

@@ -1,0 +1,89 @@
+"""Unit tests for schedule metrics (concurrency, parallelism, ratios)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance, Schedule, span_ratio
+from repro.core.metrics import (
+    concurrency_profile,
+    max_concurrency,
+    overlap_fraction,
+    parallelism,
+    schedule_concurrency,
+)
+
+
+@pytest.fixture
+def batch_schedule(batchable_instance):
+    """All four jobs started together at t=4."""
+    return Schedule(batchable_instance, {0: 4.0, 1: 4.0, 2: 4.0, 3: 4.0})
+
+
+class TestConcurrencyProfile:
+    def test_empty(self):
+        prof = concurrency_profile([], [])
+        assert prof.peak == 0
+        assert prof.at(0.0) == 0
+
+    def test_single_interval(self):
+        prof = concurrency_profile([1.0], [2.0])
+        assert prof.at(0.5) == 0
+        assert prof.at(1.0) == 1
+        assert prof.at(2.999) == 1
+        assert prof.at(3.0) == 0  # half-open
+
+    def test_stacked(self):
+        prof = concurrency_profile([0, 0, 1], [2, 3, 1])
+        assert prof.at(0.5) == 2
+        assert prof.at(1.5) == 3
+        assert prof.at(2.5) == 1
+        assert prof.peak == 3
+
+    def test_zero_length_ignored(self):
+        prof = concurrency_profile([0, 0], [0, 1])
+        assert prof.peak == 1
+
+    def test_time_at_least(self):
+        prof = concurrency_profile([0, 0, 1], [2, 3, 1])
+        assert prof.time_at_least(1) == pytest.approx(3.0)
+        assert prof.time_at_least(2) == pytest.approx(2.0)
+        assert prof.time_at_least(3) == pytest.approx(1.0)
+        assert prof.time_at_least(4) == 0.0
+
+    def test_simultaneous_start_and_end_collapse(self):
+        # [0,1) and [1,2): at t=1 the counts must hand over cleanly.
+        prof = concurrency_profile([0, 1], [1, 1])
+        assert prof.at(1.0) == 1
+        assert prof.peak == 1
+
+
+class TestScheduleMetrics:
+    def test_max_concurrency(self, batch_schedule):
+        assert max_concurrency(batch_schedule) == 4
+
+    def test_schedule_concurrency_matches(self, batch_schedule):
+        prof = schedule_concurrency(batch_schedule)
+        assert prof.at(4.5) == 4
+
+    def test_parallelism(self, batch_schedule):
+        # total work 9, span 3 (longest job) → parallelism 3
+        assert parallelism(batch_schedule) == pytest.approx(3.0)
+
+    def test_parallelism_empty(self):
+        sched = Schedule(Instance([]), {})
+        assert parallelism(sched) == 0.0
+
+    def test_span_ratio(self, batch_schedule):
+        assert span_ratio(batch_schedule, 1.5) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            span_ratio(batch_schedule, 0.0)
+
+    def test_overlap_fraction_fully_parallel(self, batch_schedule):
+        # Two length-3 jobs cover [4,7) together, so no instant has exactly
+        # one running job: solo time 0 → overlap fraction 1.
+        assert overlap_fraction(batch_schedule) == pytest.approx(1.0)
+
+    def test_overlap_fraction_serial(self, serial_instance):
+        sched = Schedule(serial_instance, {0: 0.0, 1: 4.0, 2: 8.0})
+        assert overlap_fraction(sched) == pytest.approx(0.0)

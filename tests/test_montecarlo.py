@@ -1,0 +1,82 @@
+"""Unit tests for the Monte-Carlo estimation harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries import ClairvoyantLowerBoundAdversary
+from repro.analysis import (
+    TrialSummary,
+    estimate_adversarial_ratio,
+    estimate_expected_ratio,
+)
+from repro.offline import exact_optimal_span
+from repro.schedulers import Eager, RandomStart
+from repro.workloads import poisson_instance, small_integral_instance
+
+
+class TestTrialSummary:
+    def test_statistics(self):
+        s = TrialSummary(ratios=(1.0, 2.0, 3.0))
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(1.0)
+        assert s.best == 1.0 and s.worst == 3.0
+        lo, hi = s.confidence_interval()
+        assert lo < s.mean < hi
+
+    def test_single_trial(self):
+        s = TrialSummary(ratios=(1.5,))
+        assert s.std == 0.0
+        assert s.confidence_interval() == (1.5, 1.5)
+
+
+class TestEstimateExpectedRatio:
+    def test_deterministic_scheduler_zero_variance(self):
+        inst = small_integral_instance(6, seed=0)
+        opt = exact_optimal_span(inst)
+        s = estimate_expected_ratio(lambda seed: Eager(), inst, opt, trials=5)
+        assert s.std == 0.0
+        assert s.mean >= 1.0 - 1e-9
+
+    def test_randomized_scheduler_has_variance(self):
+        inst = poisson_instance(40, seed=1)
+        s = estimate_expected_ratio(
+            lambda seed: RandomStart(seed=seed), inst, 1.0, trials=10
+        )
+        assert s.std > 0.0
+        assert s.n == 10
+
+    def test_reference_validation(self):
+        inst = small_integral_instance(4, seed=0)
+        with pytest.raises(ValueError):
+            estimate_expected_ratio(lambda s: Eager(), inst, 0.0)
+
+    def test_ratios_at_least_one_vs_exact_opt(self):
+        inst = small_integral_instance(6, seed=2)
+        opt = exact_optimal_span(inst)
+        s = estimate_expected_ratio(
+            lambda seed: RandomStart(seed=seed), inst, opt, trials=15
+        )
+        assert s.best >= 1.0 - 1e-9
+
+
+class TestEstimateAdversarialRatio:
+    def test_fresh_adversary_per_trial(self):
+        s = estimate_adversarial_ratio(
+            lambda seed: RandomStart(seed=seed),
+            lambda: ClairvoyantLowerBoundAdversary(5),
+            trials=8,
+            clairvoyant=False,
+        )
+        assert s.n == 8
+        assert s.best >= 1.0 - 1e-9
+
+    def test_deterministic_scheduler_is_constant(self):
+        s = estimate_adversarial_ratio(
+            lambda seed: Eager(),
+            lambda: ClairvoyantLowerBoundAdversary(5),
+            trials=4,
+            clairvoyant=False,
+        )
+        assert s.std == 0.0

@@ -1,0 +1,70 @@
+"""Cross-validation of graph structures against networkx.
+
+Our flag-forest construction (Lemma 4.7) and instance decomposition are
+hand-rolled; networkx provides independent implementations of the
+underlying graph predicates (forest test, connected components) to check
+them against.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.analysis import build_flag_forest, check_forest_property
+from repro.core import simulate
+from repro.offline import split_independent
+from repro.schedulers import Profit
+from repro.workloads import poisson_instance, small_integral_instance
+
+
+class TestFlagForestVsNetworkx:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_forest_predicate_agrees(self, seed):
+        inst = small_integral_instance(12, seed=seed, max_arrival=20)
+        result = simulate(Profit(), inst, clairvoyant=True)
+        forest = build_flag_forest(
+            result.instance, result.scheduler.flag_job_ids
+        )
+        g = nx.DiGraph()
+        g.add_nodes_from(j.id for j in forest.flags)
+        g.add_edges_from((p, c) for c, p in forest.parent.items())
+        assert check_forest_property(forest)
+        assert nx.is_forest(g.to_undirected()) or g.number_of_nodes() == 0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_tree_partition_matches_components(self, seed):
+        inst = poisson_instance(40, seed=seed, laxity_scale=1.0)
+        result = simulate(Profit(), inst, clairvoyant=True)
+        forest = build_flag_forest(
+            result.instance, result.scheduler.flag_job_ids
+        )
+        g = nx.Graph()
+        g.add_nodes_from(j.id for j in forest.flags)
+        g.add_edges_from((p, c) for c, p in forest.parent.items())
+        ours = sorted(sorted(t) for t in forest.trees())
+        theirs = sorted(sorted(c) for c in nx.connected_components(g))
+        assert ours == theirs
+
+
+class TestDecompositionVsNetworkx:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_components_match_interval_graph(self, seed):
+        from repro.workloads import WorkloadSpec, generate
+
+        inst = generate(
+            WorkloadSpec(n=40, arrival_rate=0.15, integral=True), seed=seed
+        )
+        # reach-window intersection graph
+        g = nx.Graph()
+        g.add_nodes_from(inst.job_ids)
+        jobs = list(inst.jobs)
+        for i, a in enumerate(jobs):
+            for b in jobs[i + 1 :]:
+                a_lo, a_hi = a.arrival, a.deadline + a.known_length
+                b_lo, b_hi = b.arrival, b.deadline + b.known_length
+                if a_lo < b_hi and b_lo < a_hi:
+                    g.add_edge(a.id, b.id)
+        theirs = sorted(sorted(c) for c in nx.connected_components(g))
+        ours = sorted(sorted(j.id for j in comp) for comp in split_independent(inst))
+        assert ours == theirs

@@ -1,0 +1,104 @@
+"""Unit tests for the exact branch-and-bound offline solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance, Job, SolverError
+from repro.offline import (
+    bruteforce_optimal_span,
+    chain_lower_bound,
+    exact_optimal_schedule,
+    exact_optimal_span,
+)
+from repro.workloads import small_integral_instance
+
+
+class TestExactSolver:
+    def test_empty_instance(self):
+        assert exact_optimal_span(Instance([])) == 0.0
+
+    def test_single_job(self):
+        inst = Instance.from_triples([(0, 5, 3)])
+        assert exact_optimal_span(inst) == 3.0
+
+    def test_two_overlappable_jobs(self):
+        # both can run [5, 8): optimum is the longer job's length.
+        inst = Instance.from_triples([(0, 5, 3), (2, 3, 2)])
+        assert exact_optimal_span(inst) == 3.0
+
+    def test_two_forced_serial_jobs(self):
+        inst = Instance.from_triples([(0, 0, 2), (5, 0, 2)])
+        assert exact_optimal_span(inst) == 4.0
+
+    def test_nesting_beats_greedy(self):
+        """Optimal requires placing a short job inside a long one's run."""
+        inst = Instance.from_triples([(0, 0, 10), (3, 2, 2)])
+        assert exact_optimal_span(inst) == 10.0
+
+    def test_witness_schedule_achieves_span(self, simple_instance):
+        res = exact_optimal_schedule(simple_instance)
+        res.schedule.validate()
+        assert res.schedule.span == pytest.approx(res.span)
+
+    def test_matches_bruteforce_on_fixtures(self, simple_instance, batchable_instance):
+        for inst in (simple_instance, batchable_instance):
+            assert exact_optimal_span(inst) == pytest.approx(
+                bruteforce_optimal_span(inst)
+            )
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_matches_bruteforce_random(self, seed):
+        inst = small_integral_instance(5, seed=seed)
+        assert exact_optimal_span(inst) == pytest.approx(
+            bruteforce_optimal_span(inst)
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_at_least_chain_lower_bound(self, seed):
+        inst = small_integral_instance(7, seed=seed)
+        assert exact_optimal_span(inst) >= chain_lower_bound(inst) - 1e-9
+
+    def test_rational_rescaling(self):
+        """Non-integral but rational instances are rescaled exactly."""
+        inst = Instance(
+            [Job(0, 0.0, 2.5, 1.5), Job(1, 0.5, 3.0, 1.0)], name="halves"
+        )
+        span = exact_optimal_span(inst)
+        # both can overlap at [2.5, 4.0): J0 at 2.5 runs to 4.0, J1 at 2.5
+        # runs to 3.5 → span 1.5.
+        assert span == pytest.approx(1.5)
+
+    def test_irrational_instance_rejected(self):
+        import math
+
+        inst = Instance([Job(0, 0.0, math.pi, 1.0)], name="pi")
+        with pytest.raises(SolverError):
+            exact_optimal_span(inst)
+
+    def test_node_budget_enforced(self):
+        inst = small_integral_instance(10, seed=0, max_arrival=40, max_laxity=20)
+        with pytest.raises(SolverError):
+            exact_optimal_span(inst, node_budget=3)
+
+    def test_solver_stats_exposed(self, simple_instance):
+        res = exact_optimal_schedule(simple_instance)
+        assert res.nodes_explored >= 1
+        assert res.memo_hits >= 0
+
+
+class TestBruteforce:
+    def test_rejects_non_integral(self):
+        inst = Instance.from_triples([(0, 1, 1.5)])
+        with pytest.raises(SolverError):
+            bruteforce_optimal_span(inst)
+
+    def test_rejects_huge_search_space(self):
+        inst = Instance.from_triples(
+            [(0, 1000, 1) for _ in range(10)], name="huge"
+        )
+        with pytest.raises(SolverError):
+            bruteforce_optimal_span(inst)
+
+    def test_empty(self):
+        assert bruteforce_optimal_span(Instance([])) == 0.0

@@ -1,0 +1,132 @@
+"""Unit tests for offline heuristics (greedy overlap + local search)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance
+from repro.core.intervals import Interval, IntervalUnion
+from repro.offline import (
+    best_offline,
+    best_offline_span,
+    candidate_starts,
+    exact_optimal_span,
+    greedy_overlap,
+    local_search,
+    span_lower_bound,
+)
+from repro.workloads import poisson_instance, small_integral_instance
+
+
+class TestCandidateStarts:
+    def test_empty_union_gives_window_ends(self):
+        job = Instance.from_triples([(1, 4, 2)])[0]
+        assert candidate_starts(job, IntervalUnion()) == [1.0, 5.0]
+
+    def test_component_endpoints_included(self):
+        job = Instance.from_triples([(0, 10, 2)])[0]
+        union = IntervalUnion([Interval(3, 6)])
+        cands = candidate_starts(job, union)
+        # endpoints 3, 6 and their -p shifts 1, 4, plus window ends 0, 10
+        assert set(cands) == {0.0, 1.0, 3.0, 4.0, 6.0, 10.0}
+
+    def test_candidates_clipped_to_window(self):
+        job = Instance.from_triples([(5, 1, 2)])[0]
+        union = IntervalUnion([Interval(0, 100)])
+        for s in candidate_starts(job, union):
+            assert 5.0 <= s <= 6.0
+
+
+class TestGreedyOverlap:
+    def test_produces_feasible_schedule(self):
+        inst = poisson_instance(40, seed=2)
+        for order in ("deadline", "arrival", "length"):
+            greedy_overlap(inst, order).validate()
+
+    def test_unknown_order_rejected(self, simple_instance):
+        with pytest.raises(ValueError):
+            greedy_overlap(simple_instance, "nope")  # type: ignore[arg-type]
+
+    def test_overlappable_jobs_get_overlapped(self):
+        inst = Instance.from_triples([(0, 5, 3), (2, 3, 2)])
+        sched = greedy_overlap(inst)
+        assert sched.span == pytest.approx(3.0)
+
+
+class TestLocalSearch:
+    def test_never_increases_span(self):
+        for seed in range(5):
+            inst = poisson_instance(25, seed=seed)
+            initial = greedy_overlap(inst, "arrival")
+            improved = local_search(initial)
+            assert improved.span <= initial.span + 1e-9
+            improved.validate()
+
+    def test_fixpoint_on_already_optimal(self):
+        inst = Instance.from_triples([(0, 0, 2)])
+        sched = greedy_overlap(inst)
+        assert local_search(sched).span == sched.span
+
+
+class TestBestOffline:
+    def test_empty_instance(self):
+        assert best_offline_span(Instance([])) == 0.0
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_brackets_optimum(self, seed):
+        """LB <= OPT <= best_offline on small instances."""
+        inst = small_integral_instance(6, seed=seed)
+        opt = exact_optimal_span(inst)
+        assert span_lower_bound(inst) - 1e-9 <= opt <= best_offline_span(inst) + 1e-9
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_often_finds_optimum_on_small_instances(self, seed):
+        """The heuristic is usually exact on tiny instances; assert it is
+        never more than 50% off (a loose but meaningful regression net)."""
+        inst = small_integral_instance(5, seed=seed)
+        opt = exact_optimal_span(inst)
+        assert best_offline_span(inst) <= 1.5 * opt + 1e-9
+
+    def test_result_is_feasible(self):
+        inst = poisson_instance(50, seed=4)
+        best_offline(inst).validate()
+
+
+class TestFastPathEquivalence:
+    def test_best_start_fast_matches_reference(self):
+        """The MutableIntervalSet-based candidate search must agree with
+        the IntervalUnion reference implementation everywhere."""
+        import numpy as np
+
+        from repro.core import Job
+        from repro.core.intervalset import MutableIntervalSet
+        from repro.offline.heuristics import _best_start, _best_start_fast
+
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            n = int(rng.integers(0, 10))
+            union = IntervalUnion()
+            mset = MutableIntervalSet()
+            for _ in range(n):
+                lo = float(rng.uniform(0, 50))
+                w = float(rng.uniform(0, 10))
+                union = union.insert(Interval(lo, lo + w))
+                mset.add(lo, lo + w)
+            a = float(rng.uniform(0, 40))
+            lax = float(rng.uniform(0, 15))
+            p = float(rng.uniform(0.5, 8))
+            job = Job(0, a, a + lax, p)
+            assert _best_start(job, union) == pytest.approx(
+                _best_start_fast(job, mset)
+            )
+
+    def test_greedy_scales_to_large_instances(self):
+        """The fast path keeps greedy placement practical at 10^4 jobs."""
+        import time
+
+        inst = poisson_instance(10_000, seed=0)
+        t0 = time.perf_counter()
+        sched = greedy_overlap(inst)
+        elapsed = time.perf_counter() - t0
+        sched.validate()
+        assert elapsed < 5.0  # generous CI margin; typically ~0.1 s

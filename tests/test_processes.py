@@ -1,0 +1,87 @@
+"""Unit tests for the MMPP and cascade arrival processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    bursty_cascade_arrivals,
+    mmpp_arrivals,
+    mmpp_instance,
+)
+
+
+class TestMmpp:
+    def test_count_and_monotonicity(self):
+        rng = np.random.default_rng(0)
+        arr = mmpp_arrivals(200, rng)
+        assert len(arr) == 200
+        assert np.all(np.diff(arr) >= 0)
+        assert arr[0] >= 0
+
+    def test_empty(self):
+        rng = np.random.default_rng(0)
+        assert mmpp_arrivals(0, rng).size == 0
+
+    def test_invalid_params(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            mmpp_arrivals(10, rng, rate_quiet=0.0)
+        with pytest.raises(ValueError):
+            mmpp_arrivals(10, rng, mean_sojourn=-1.0)
+
+    def test_burstier_than_poisson(self):
+        """MMPP inter-arrival coefficient of variation exceeds 1 (the
+        Poisson value) when the regimes differ strongly."""
+        rng = np.random.default_rng(42)
+        arr = mmpp_arrivals(4000, rng, rate_quiet=0.1, rate_busy=10.0)
+        gaps = np.diff(arr)
+        cv = gaps.std() / gaps.mean()
+        assert cv > 1.2
+
+    def test_reproducible(self):
+        a = mmpp_arrivals(50, np.random.default_rng(7))
+        b = mmpp_arrivals(50, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+
+class TestCascade:
+    def test_count_and_monotonicity(self):
+        rng = np.random.default_rng(1)
+        arr = bursty_cascade_arrivals(300, rng)
+        assert len(arr) == 300
+        assert np.all(np.diff(arr) >= 0)
+
+    def test_empty(self):
+        assert bursty_cascade_arrivals(0, np.random.default_rng(0)).size == 0
+
+    def test_contains_large_bursts(self):
+        """Pareto burst sizes: some instants carry many near-simultaneous
+        arrivals."""
+        rng = np.random.default_rng(3)
+        arr = bursty_cascade_arrivals(2000, rng)
+        gaps = np.diff(arr)
+        tiny = (gaps < 0.05).mean()
+        assert tiny > 0.3  # a large share of arrivals are within bursts
+
+
+class TestMmppInstance:
+    def test_valid_instance(self):
+        inst = mmpp_instance(60, seed=2)
+        assert len(inst) == 60
+        for j in inst:
+            assert j.deadline >= j.arrival
+            assert j.known_length > 0
+
+    def test_schedulable(self):
+        from repro.core import simulate
+        from repro.schedulers import BatchPlus
+
+        inst = mmpp_instance(60, seed=2)
+        simulate(BatchPlus(), inst).schedule.validate()
+
+    def test_reproducible(self):
+        a = mmpp_instance(30, seed=9)
+        b = mmpp_instance(30, seed=9)
+        assert [j.arrival for j in a] == [j.arrival for j in b]

@@ -1,0 +1,117 @@
+"""Unit tests for the Profit scheduler (Theorem 4.11 mechanics)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import optimal_profit_k, profit_ratio
+from repro.core import Instance, simulate
+from repro.offline import exact_optimal_span
+from repro.schedulers import Profit
+from repro.workloads import small_integral_instance
+
+
+class TestProfitMechanics:
+    def test_flag_starts_at_deadline(self):
+        inst = Instance.from_triples([(0, 4, 2)], name="solo")
+        result = simulate(Profit(), inst, clairvoyant=True)
+        assert result.schedule.start_of(0) == 4.0
+        assert result.scheduler.flag_job_ids == [0]
+
+    def test_pending_profitable_job_joins_flag(self):
+        # flag J0 (p=4) at d=2; pending J1 with p=3 <= k·4 joins at 2.
+        inst = Instance.from_triples([(0, 2, 4), (0, 9, 3)], name="join")
+        result = simulate(Profit(k=1.5), inst, clairvoyant=True)
+        assert result.schedule.start_of(0) == 2.0
+        assert result.schedule.start_of(1) == 2.0
+        assert result.scheduler.flag_job_ids == [0]
+        assert result.scheduler.attribution[1] == 0
+
+    def test_pending_unprofitable_job_waits(self):
+        # flag J0 (p=1) at d=2; pending J1 with p=10 > k·1 is not started
+        # and becomes its own flag at d=9.
+        inst = Instance.from_triples([(0, 2, 1), (0, 9, 10)], name="wait")
+        result = simulate(Profit(k=2.0), inst, clairvoyant=True)
+        assert result.schedule.start_of(1) == 9.0
+        assert result.scheduler.flag_job_ids == [0, 1]
+
+    def test_arrival_profitable_to_running_flag(self):
+        # flag J0 runs [2, 10); J1 arrives at 4 with p=6 <= k·(10-4).
+        inst = Instance.from_triples([(0, 2, 8), (4, 9, 6)], name="arrive")
+        result = simulate(Profit(k=1.5), inst, clairvoyant=True)
+        assert result.schedule.start_of(1) == 4.0
+        assert result.scheduler.flag_job_ids == [0]
+
+    def test_arrival_not_profitable_waits(self):
+        # flag J0 runs [2, 10); J1 arrives at 8 with p=6 > k·(10-8)=3.
+        inst = Instance.from_triples([(0, 2, 8), (8, 9, 6)], name="late")
+        result = simulate(Profit(k=1.5), inst, clairvoyant=True)
+        assert result.schedule.start_of(1) == 17.0  # its own deadline
+        assert result.scheduler.flag_job_ids == [0, 1]
+
+    def test_deadline_tie_longest_becomes_flag(self):
+        # J0 (p=2) and J1 (p=5) share deadline 3: J1 is the flag, J0 is
+        # profitable to it (2 <= k·5) and starts in the same iteration.
+        inst = Instance.from_triples([(0, 3, 2), (0, 3, 5)], name="tie")
+        result = simulate(Profit(k=1.2), inst, clairvoyant=True)
+        assert result.scheduler.flag_job_ids == [1]
+        assert result.schedule.start_of(0) == 3.0
+        assert result.schedule.start_of(1) == 3.0
+
+    def test_concurrent_flags(self):
+        # J0 (p=1) flag at 0; J1 (p=100) unprofitable, becomes flag at its
+        # deadline 0.5 while J0 still runs: two concurrent flags.
+        inst = Instance(
+            [
+                __import__("repro").Job(0, 0.0, 0.0, 1.0),
+                __import__("repro").Job(1, 0.0, 0.5, 100.0),
+            ],
+            name="concurrent",
+        )
+        result = simulate(Profit(k=2.0), inst, clairvoyant=True)
+        assert result.scheduler.flag_job_ids == [0, 1]
+        assert result.schedule.start_of(1) == 0.5
+
+    def test_at_least_1_over_k_overlap_guarantee(self):
+        """Every non-flag job overlaps its attributed flag's interval by at
+        least 1/k of its own length (the 'profitable' guarantee)."""
+        inst = small_integral_instance(12, seed=5, max_arrival=12)
+        k = 1.8
+        result = simulate(Profit(k=k), inst, clairvoyant=True)
+        sched = result.schedule
+        attribution = result.scheduler.attribution
+        flags = set(result.scheduler.flag_job_ids)
+        for job in inst:
+            if job.id in flags:
+                continue
+            flag_id = attribution[job.id]
+            own = sched.interval_of(job.id)
+            flag_iv = sched.interval_of(flag_id)
+            overlap = own.intersection_length(flag_iv)
+            assert overlap >= own.length / k - 1e-9
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            Profit(k=1.0)
+
+    def test_clone_preserves_k(self):
+        assert Profit(k=2.5).clone().k == 2.5
+
+
+class TestProfitTheorems:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [1.3, optimal_profit_k(), 2.5])
+    def test_bound_vs_exact_opt(self, seed, k):
+        """Theorem 4.11: span(Profit) <= (2k+2+1/(k-1))·span_min."""
+        inst = small_integral_instance(6, seed=seed, max_length=6)
+        result = simulate(Profit(k=k), inst, clairvoyant=True)
+        opt = exact_optimal_span(inst)
+        assert result.span <= profit_ratio(k) * opt + 1e-9
+
+    def test_optimal_k_minimises_bound(self):
+        k_star = optimal_profit_k()
+        for k in (1.1, 1.3, 2.0, 3.0):
+            assert profit_ratio(k_star) <= profit_ratio(k) + 1e-12
+        assert profit_ratio(k_star) == pytest.approx(4 + 2 * math.sqrt(2))

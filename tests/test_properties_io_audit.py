@@ -1,0 +1,90 @@
+"""Property tests for serialization round-trips and the auditor.
+
+* any valid instance survives dict/JSON round-trips bit-exactly;
+* any simulated schedule survives, re-validates, and audits clean;
+* the auditor flags *exactly* the violations injected into a schedule.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Instance,
+    Job,
+    audit,
+    instance_from_dict,
+    instance_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+    simulate,
+)
+from repro.schedulers import BatchPlus
+
+
+@st.composite
+def instances(draw, max_jobs=10):
+    n = draw(st.integers(min_value=1, max_value=max_jobs))
+    jobs = []
+    for i in range(n):
+        a = draw(st.floats(min_value=0, max_value=50, allow_nan=False))
+        lax = draw(st.floats(min_value=0, max_value=20, allow_nan=False))
+        p = draw(st.floats(min_value=0.1, max_value=10, allow_nan=False))
+        size = draw(st.floats(min_value=0.05, max_value=2.0, allow_nan=False))
+        jobs.append(Job(i, float(a), float(a + lax), float(p), size=float(size)))
+    return Instance(jobs, name="hyp-io")
+
+
+class TestRoundTripProperties:
+    @given(instances())
+    @settings(max_examples=50, deadline=None)
+    def test_instance_dict_round_trip_exact(self, inst):
+        back = instance_from_dict(instance_to_dict(inst))
+        assert back.name == inst.name
+        for a, b in zip(inst, back):
+            assert (a.id, a.arrival, a.deadline, a.length, a.size) == (
+                b.id, b.arrival, b.deadline, b.length, b.size,
+            )
+
+    @given(instances())
+    @settings(max_examples=30, deadline=None)
+    def test_schedule_dict_round_trip_exact(self, inst):
+        result = simulate(BatchPlus(), inst)
+        back = schedule_from_dict(schedule_to_dict(result.schedule))
+        assert back.starts() == result.schedule.starts()
+        assert back.span == pytest.approx(result.schedule.span)
+
+    @given(instances())
+    @settings(max_examples=30, deadline=None)
+    def test_simulated_schedules_audit_clean(self, inst):
+        result = simulate(BatchPlus(), inst)
+        report = audit(inst, result.schedule.starts())
+        assert report.feasible
+        assert report.span == pytest.approx(result.schedule.span)
+
+
+class TestAuditInjectionProperties:
+    @given(instances(max_jobs=8), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_injected_violations_detected_exactly(self, inst, data):
+        """Corrupt a random subset of starts; the auditor must flag each
+        corrupted job (and only corrupted jobs) as a violation."""
+        result = simulate(BatchPlus(), inst)
+        starts = result.schedule.starts()
+        to_break = data.draw(
+            st.lists(
+                st.sampled_from(sorted(starts)),
+                unique=True,
+                max_size=len(starts),
+            )
+        )
+        for jid in to_break:
+            job = inst[jid]
+            # push the start strictly past the deadline
+            starts[jid] = job.deadline + 1.0 + job.known_length
+        report = audit(inst, starts)
+        flagged = {f.job_id for f in report.violations}
+        assert flagged == set(to_break)
+        assert report.feasible == (not to_break)

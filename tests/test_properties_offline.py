@@ -1,0 +1,88 @@
+"""Property-based tests for the offline solvers.
+
+The solver triangle must always hold:
+
+    chain LB  <=  exact OPT  ==  brute force  <=  best_offline  <=  any
+    online scheduler's span.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Instance, Job, simulate
+from repro.offline import (
+    best_offline_span,
+    bruteforce_optimal_span,
+    chain_lower_bound,
+    exact_optimal_span,
+    span_lower_bound,
+)
+from repro.schedulers import BatchPlus
+
+
+@st.composite
+def tiny_integral_instances(draw, max_jobs=5):
+    n = draw(st.integers(min_value=1, max_value=max_jobs))
+    jobs = []
+    for i in range(n):
+        a = draw(st.integers(min_value=0, max_value=6))
+        lax = draw(st.integers(min_value=0, max_value=3))
+        p = draw(st.integers(min_value=1, max_value=3))
+        jobs.append(Job(id=i, arrival=float(a), deadline=float(a + lax), length=float(p)))
+    return Instance(jobs, name="hyp-tiny")
+
+
+class TestSolverTriangle:
+    @given(tiny_integral_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_exact_equals_bruteforce(self, inst):
+        assert abs(exact_optimal_span(inst) - bruteforce_optimal_span(inst)) <= 1e-9
+
+    @given(tiny_integral_instances(max_jobs=7))
+    @settings(max_examples=40, deadline=None)
+    def test_chain_lb_below_exact(self, inst):
+        assert chain_lower_bound(inst) <= exact_optimal_span(inst) + 1e-9
+
+    @given(tiny_integral_instances(max_jobs=7))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_below_heuristic(self, inst):
+        assert exact_optimal_span(inst) <= best_offline_span(inst) + 1e-9
+
+    @given(tiny_integral_instances(max_jobs=7))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_below_online(self, inst):
+        online = simulate(BatchPlus(), inst)
+        assert exact_optimal_span(inst) <= online.span + 1e-9
+
+    @given(tiny_integral_instances(max_jobs=7))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_at_least_max_length(self, inst):
+        assert exact_optimal_span(inst) >= inst.max_length - 1e-9
+
+    @given(tiny_integral_instances(max_jobs=7))
+    @settings(max_examples=40, deadline=None)
+    def test_span_lower_bound_consistency(self, inst):
+        assert span_lower_bound(inst) >= chain_lower_bound(inst) - 1e-12
+        assert span_lower_bound(inst) <= exact_optimal_span(inst) + 1e-9
+
+
+class TestSolverInvariance:
+    @given(tiny_integral_instances(max_jobs=5), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_time_scaling(self, inst, factor):
+        """OPT scales linearly with uniform time scaling."""
+        scaled = inst.scaled(float(factor))
+        assert abs(
+            exact_optimal_span(scaled) - factor * exact_optimal_span(inst)
+        ) <= 1e-6
+
+    @given(tiny_integral_instances(max_jobs=5))
+    @settings(max_examples=25, deadline=None)
+    def test_adding_zero_laxity_contained_job_no_op(self, inst):
+        """Adding a job that must run inside the hull of an existing job's
+        mandatory interval can only keep OPT or grow it; removing jobs
+        never grows it (monotonicity under subset)."""
+        sub = inst.subset(list(inst.job_ids)[: max(1, len(inst) - 1)])
+        assert exact_optimal_span(sub) <= exact_optimal_span(inst) + 1e-9

@@ -1,0 +1,101 @@
+"""Unit tests for table formatting and Gantt rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Table, format_table, render_gantt
+from repro.core import Instance, Schedule, simulate
+from repro.schedulers import BatchPlus
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.5000" in out and "3.2500" in out
+
+    def test_title_and_rule(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+        assert set(out.splitlines()[1]) == {"="}
+
+    def test_bool_formatting(self):
+        out = format_table(["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_infinity(self):
+        out = format_table(["v"], [[float("inf")]])
+        assert "∞" in out
+
+    def test_precision(self):
+        out = format_table(["v"], [[1 / 3]], precision=2)
+        assert "0.33" in out
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_table_builder(self):
+        t = Table(["s", "v"], title="demo")
+        t.add("x", 1.0)
+        t.add("y", 2.0)
+        out = t.render()
+        assert "demo" in out and "x" in out and "y" in out
+        with pytest.raises(ValueError):
+            t.add("only-one-cell")
+
+
+class TestGantt:
+    def test_empty_schedule(self):
+        assert "empty" in render_gantt(Schedule(Instance([]), {}))
+
+    def test_renders_all_jobs(self, simple_instance):
+        result = simulate(BatchPlus(), simple_instance)
+        out = render_gantt(result.schedule)
+        for job in simple_instance:
+            assert f"J{job.id}" in out
+        assert "█" in out
+        assert "span=" in out.splitlines()[0]
+
+    def test_truncation(self):
+        inst = Instance.from_triples([(i, 2, 1) for i in range(20)])
+        result = simulate(BatchPlus(), inst)
+        out = render_gantt(result.schedule, max_jobs=5)
+        assert "15 more jobs not shown" in out
+
+    def test_window_shading_toggle(self, simple_instance):
+        result = simulate(BatchPlus(), simple_instance)
+        with_window = render_gantt(result.schedule, show_window=True)
+        without = render_gantt(result.schedule, show_window=False)
+        assert "·" in with_window
+        assert "·" not in without
+
+    def test_width_respected(self, simple_instance):
+        result = simulate(BatchPlus(), simple_instance)
+        out = render_gantt(result.schedule, width=40)
+        for line in out.splitlines()[1:]:
+            assert len(line) <= 40 + 10  # label + canvas + borders
+
+
+class TestMarkdown:
+    def test_markdown_table(self):
+        from repro.analysis import format_markdown
+
+        out = format_markdown(["a", "b"], [[1, 2.5], [3, 4.25]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "| 2.5000 |" in lines[2]
+
+    def test_table_render_markdown(self):
+        t = Table(["x"], precision=2)
+        t.add(1 / 3)
+        assert "0.33" in t.render_markdown()
+
+    def test_markdown_column_mismatch(self):
+        from repro.analysis import format_markdown
+
+        with pytest.raises(ValueError):
+            format_markdown(["a", "b"], [[1]])

@@ -1,0 +1,93 @@
+"""Unit tests for Schedule construction, validation and metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance, InvalidScheduleError, Schedule
+from repro.core.intervals import Interval
+
+
+class TestValidation:
+    def test_valid_schedule(self, simple_instance):
+        sched = Schedule(simple_instance, {0: 0.0, 1: 2.0, 2: 2.0, 3: 7.0})
+        assert len(sched) == 4
+
+    def test_missing_job_rejected(self, simple_instance):
+        with pytest.raises(InvalidScheduleError):
+            Schedule(simple_instance, {0: 0.0, 1: 2.0, 2: 2.0})
+
+    def test_extra_job_rejected(self, simple_instance):
+        with pytest.raises(InvalidScheduleError):
+            Schedule(
+                simple_instance, {0: 0.0, 1: 2.0, 2: 2.0, 3: 7.0, 9: 0.0}
+            )
+
+    def test_start_before_arrival_rejected(self, simple_instance):
+        with pytest.raises(InvalidScheduleError):
+            Schedule(simple_instance, {0: 0.0, 1: 0.5, 2: 2.0, 3: 7.0})
+
+    def test_start_after_deadline_rejected(self, simple_instance):
+        with pytest.raises(InvalidScheduleError):
+            Schedule(simple_instance, {0: 5.5, 1: 2.0, 2: 2.0, 3: 7.0})
+
+    def test_start_exactly_at_deadline_allowed(self, simple_instance):
+        sched = Schedule(simple_instance, {0: 5.0, 1: 5.0, 2: 2.0, 3: 9.0})
+        assert sched.start_of(0) == 5.0
+
+    def test_validate_skipped_when_disabled(self, simple_instance):
+        # validate=False defers the error; explicit validate() raises.
+        sched = Schedule(
+            simple_instance, {0: 99.0, 1: 2.0, 2: 2.0, 3: 7.0}, validate=False
+        )
+        with pytest.raises(InvalidScheduleError):
+            sched.validate()
+
+
+class TestAccessors:
+    def test_interval_of(self, simple_instance):
+        sched = Schedule(simple_instance, {0: 0.0, 1: 2.0, 2: 2.0, 3: 7.0})
+        assert sched.interval_of(1) == Interval(2.0, 5.0)
+        assert sched.end_of(3) == 9.0
+
+    def test_rows_in_instance_order(self, simple_instance):
+        sched = Schedule(simple_instance, {0: 0.0, 1: 2.0, 2: 2.0, 3: 7.0})
+        rows = list(sched.rows())
+        assert [r.job.id for r in rows] == [0, 1, 2, 3]
+        assert rows[1].end == 5.0
+
+    def test_starts_copy_is_independent(self, simple_instance):
+        sched = Schedule(simple_instance, {0: 0.0, 1: 2.0, 2: 2.0, 3: 7.0})
+        starts = sched.starts()
+        starts[0] = 99.0
+        assert sched.start_of(0) == 0.0
+
+
+class TestSpan:
+    def test_span_overlapping(self, simple_instance):
+        # intervals: [0,2) [2,5) [2,3) [7,9)  → union [0,5) ∪ [7,9) = 7
+        sched = Schedule(simple_instance, {0: 0.0, 1: 2.0, 2: 2.0, 3: 7.0})
+        assert sched.span == pytest.approx(7.0)
+
+    def test_span_cached(self, simple_instance):
+        sched = Schedule(simple_instance, {0: 0.0, 1: 2.0, 2: 2.0, 3: 7.0})
+        assert sched.span == sched.span  # second call hits the cache
+
+    def test_active_union(self, simple_instance):
+        sched = Schedule(simple_instance, {0: 0.0, 1: 2.0, 2: 2.0, 3: 7.0})
+        union = sched.active_union()
+        assert union.measure == pytest.approx(sched.span)
+        assert len(union) == 2
+
+    def test_makespan(self, simple_instance):
+        sched = Schedule(simple_instance, {0: 0.0, 1: 2.0, 2: 2.0, 3: 7.0})
+        assert sched.makespan() == 9.0
+
+    def test_empty_schedule(self):
+        sched = Schedule(Instance([]), {})
+        assert sched.span == 0.0
+        assert sched.makespan() == 0.0
+
+    def test_serial_span_is_total_work(self, serial_instance):
+        sched = Schedule(serial_instance, {0: 0.0, 1: 4.0, 2: 8.0})
+        assert sched.span == pytest.approx(serial_instance.total_work)

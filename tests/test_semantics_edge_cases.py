@@ -1,0 +1,155 @@
+"""Edge cases of the paper's same-time and boundary semantics.
+
+These tests pin the subtle interactions that make or break fidelity:
+flag hand-offs at shared instants, category boundaries at exact powers,
+deadline events racing completions, and rational rescaling in the exact
+solver.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance, Job, simulate
+from repro.offline import exact_optimal_schedule, exact_optimal_span
+from repro.schedulers import (
+    Batch,
+    BatchPlus,
+    ClassifyByDurationBatchPlus,
+    Profit,
+)
+
+
+class TestBatchPlusHandoffs:
+    def test_no_pending_during_open_phase_invariant(self):
+        """A job can never pend while a flag runs (arrivals during the
+        open phase start immediately) — so every started job either
+        belongs to its iteration's batch instant or lies strictly inside
+        the flag's active interval."""
+        from repro.workloads import poisson_instance
+
+        for seed in range(5):
+            inst = poisson_instance(40, seed=seed)
+            result = simulate(BatchPlus(), inst)
+            for rec in result.scheduler.iterations:
+                flag = result.instance[rec.flag_id]
+                flag_end = rec.start_time + flag.known_length
+                for jid in rec.batch_job_ids:
+                    assert result.schedule.start_of(jid) == rec.start_time
+                for jid in rec.open_started_job_ids:
+                    s = result.schedule.start_of(jid)
+                    assert rec.start_time < s < flag_end
+
+    def test_arrival_at_flag_completion_instant_buffers(self):
+        """An arrival exactly at the flag's completion is NOT inside the
+        half-open active interval: it buffers for the next iteration."""
+        inst = Instance.from_triples([(0, 0, 4), (4, 5, 1)], name="boundary")
+        result = simulate(BatchPlus(), inst)
+        assert result.schedule.start_of(1) == 9.0  # its own deadline
+        assert result.scheduler.flag_job_ids == [0, 1]
+
+    def test_arrival_just_before_completion_joins(self):
+        inst = Instance.from_triples(
+            [(0, 0, 4), (3.999, 5, 1)], name="just-in"
+        )
+        result = simulate(BatchPlus(), inst)
+        assert result.schedule.start_of(1) == pytest.approx(3.999)
+        assert result.scheduler.flag_job_ids == [0]
+
+
+class TestBatchSameInstant:
+    def test_two_deadlines_same_instant_one_iteration(self):
+        inst = Instance.from_triples(
+            [(0, 3, 1), (1, 2, 5), (2, 1, 2)], name="triple-tie"
+        )
+        result = simulate(Batch(), inst)
+        # all three deadlines are t=3: one flag, one batch of three.
+        assert len(result.scheduler.flag_job_ids) == 1
+        assert all(result.schedule.start_of(j) == 3.0 for j in (0, 1, 2))
+
+    def test_deadline_at_foreign_completion_instant(self):
+        """A pending job's deadline falling exactly at another job's
+        completion still fires (completion first, then deadline)."""
+        inst = Instance.from_triples([(0, 0, 3), (1, 2, 1)], name="race")
+        result = simulate(Batch(), inst)
+        assert result.schedule.start_of(1) == 3.0
+
+
+class TestProfitBoundaryProfit:
+    def test_exactly_k_times_length_is_profitable(self):
+        # p(J1) == k·p(flag) exactly: the paper's condition is <=, so it
+        # joins the iteration.
+        inst = Instance.from_triples([(0, 1, 2), (0, 9, 4)], name="eq-k")
+        result = simulate(Profit(k=2.0), inst, clairvoyant=True)
+        assert result.scheduler.flag_job_ids == [0]
+        assert result.schedule.start_of(1) == 1.0
+
+    def test_just_over_k_times_length_waits(self):
+        inst = Instance.from_triples([(0, 1, 2), (0, 9, 4.0001)], name="over-k")
+        result = simulate(Profit(k=2.0), inst, clairvoyant=True)
+        assert sorted(result.scheduler.flag_job_ids) == [0, 1]
+        assert result.schedule.start_of(1) == 9.0
+
+    def test_arrival_boundary_of_flag_interval(self):
+        # flag runs [1, 3); arrival exactly at 3 sees no active flag.
+        inst = Instance.from_triples([(0, 1, 2), (3, 4, 1)], name="edge")
+        result = simulate(Profit(k=2.0), inst, clairvoyant=True)
+        assert result.schedule.start_of(1) == 7.0  # its own deadline
+
+
+class TestCdbBoundaryCategories:
+    def test_exact_power_lengths_single_category_per_power(self):
+        alpha = 1.0 + (2.0 / 3.0) ** 0.5  # the paper's α*
+        # lengths exactly α^1 and α^2: categories 1 and 2 (no off-by-one
+        # from float log rounding).
+        inst = Instance(
+            [
+                Job(0, 0.0, 5.0, alpha),
+                Job(1, 0.0, 5.0, alpha**2),
+                Job(2, 0.0, 5.0, alpha**2 * 0.999),  # inside category 2
+            ],
+            name="powers",
+        )
+        result = simulate(
+            ClassifyByDurationBatchPlus(alpha=alpha), inst, clairvoyant=True
+        )
+        cats = result.scheduler.category_flag_jobs
+        assert len(cats) == 2
+        sizes = sorted(len(v) for v in cats.values())
+        # category 2 holds jobs 1 and 2 under one flag; category 1 holds job 0
+        assert sizes == [1, 1]
+
+
+class TestExactSolverRationals:
+    def test_quarter_grid_rescaling(self):
+        inst = Instance(
+            [Job(0, 0.25, 1.5, 0.75), Job(1, 0.5, 2.0, 1.25)], name="quarters"
+        )
+        res = exact_optimal_schedule(inst)
+        res.schedule.validate()
+        # both can fully overlap: OPT = max length
+        assert res.span == pytest.approx(1.25)
+        # and the witness starts live on the original (quarter) grid
+        for jid, s in res.schedule.starts().items():
+            assert (s * 4).is_integer()
+
+    def test_mixed_denominators(self):
+        inst = Instance(
+            [Job(0, 0.0, 1.0 / 3.0, 0.5), Job(1, 0.25, 1.0, 1.0 / 3.0)],
+            name="mixed",
+        )
+        span = exact_optimal_span(inst)
+        # J0 window [0, 1/3], p=1/2; J1 window [1/4, 1], p=1/3.
+        # Best: J0 at 1/3 → [1/3, 5/6); J1 inside it (e.g. at 1/3) → 1/2.
+        assert span == pytest.approx(0.5)
+
+
+class TestZeroLengthBoundary:
+    def test_min_positive_lengths(self):
+        """Tiny (but positive) lengths flow through the whole pipeline."""
+        inst = Instance(
+            [Job(0, 0.0, 1.0, 1e-9), Job(1, 0.0, 1.0, 1.0)], name="tiny"
+        )
+        result = simulate(BatchPlus(), inst)
+        result.schedule.validate()
+        assert result.span >= 1.0 - 1e-12

@@ -1,0 +1,103 @@
+"""Unit tests for the Figure 2 / Figure 3 tightness families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries import (
+    batch_tightness_instance,
+    batchplus_tightness_instance,
+)
+from repro.core import simulate
+from repro.schedulers import Batch, BatchPlus
+
+
+class TestBatchFamily:
+    def test_shape(self):
+        fam = batch_tightness_instance(m=3, mu=4.0)
+        assert len(fam.instance) == 3 + 3 + 6  # two short groups + 2m long
+        assert fam.limit_ratio == 8.0
+
+    def test_witness_span_formula(self):
+        m, mu, eps = 10, 4.0, 1e-3
+        fam = batch_tightness_instance(m=m, mu=mu, epsilon=eps)
+        assert fam.optimal_span == pytest.approx(m * (1 + eps) + mu)
+
+    def test_ratio_converges_to_2mu(self):
+        mu = 3.0
+        ratios = []
+        for m in (1, 4, 16, 64):
+            fam = batch_tightness_instance(m=m, mu=mu)
+            r = simulate(Batch(), fam.instance)
+            ratios.append(r.span / fam.optimal_span)
+        assert all(b > a for a, b in zip(ratios, ratios[1:]))
+        assert ratios[-1] > 2 * mu * 0.9
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            batch_tightness_instance(0, 2.0)
+        with pytest.raises(ValueError):
+            batch_tightness_instance(1, 1.0)
+        with pytest.raises(ValueError):
+            batch_tightness_instance(1, 2.0, epsilon=1.5)
+
+    def test_batchplus_does_better_on_batch_family(self):
+        """Batch+ beats Batch on Batch's own worst case (its open phase
+        absorbs the second short group and the long jobs)."""
+        fam = batch_tightness_instance(m=16, mu=4.0)
+        span_batch = simulate(Batch(), fam.instance).span
+        span_plus = simulate(BatchPlus(), fam.instance).span
+        assert span_plus < span_batch
+
+
+class TestBatchPlusFamily:
+    def test_shape(self):
+        fam = batchplus_tightness_instance(m=5, mu=3.0)
+        assert len(fam.instance) == 10
+        assert fam.limit_ratio == 4.0
+
+    def test_witness_span_formula(self):
+        m, mu = 7, 3.0
+        fam = batchplus_tightness_instance(m=m, mu=mu)
+        assert fam.optimal_span == pytest.approx(m + mu)
+
+    def test_batchplus_span_formula(self):
+        m, mu, eps = 12, 5.0, 1e-3
+        fam = batchplus_tightness_instance(m=m, mu=mu, epsilon=eps)
+        r = simulate(BatchPlus(), fam.instance)
+        assert r.span == pytest.approx(m * (mu + 1 - eps))
+
+    def test_ratio_converges_to_mu_plus_one(self):
+        mu = 5.0
+        ratios = []
+        for m in (1, 4, 16, 128):
+            fam = batchplus_tightness_instance(m=m, mu=mu)
+            r = simulate(BatchPlus(), fam.instance)
+            ratios.append(r.span / fam.optimal_span)
+        assert all(b > a for a, b in zip(ratios, ratios[1:]))
+        assert ratios[-1] > (mu + 1) * 0.95
+
+    def test_long_jobs_started_during_short_runs(self):
+        """The construction's mechanism: each long job arrives inside the
+        running short job's interval, so Batch+ starts it immediately."""
+        fam = batchplus_tightness_instance(m=4, mu=3.0)
+        r = simulate(BatchPlus(), fam.instance)
+        for i in range(1, 5):
+            long_id = 4 + (i - 1)  # long jobs follow the 4 short ones
+            job = fam.instance[long_id]
+            assert r.schedule.start_of(long_id) == pytest.approx(job.arrival)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            batchplus_tightness_instance(0, 2.0)
+        with pytest.raises(ValueError):
+            batchplus_tightness_instance(1, 0.5)
+        with pytest.raises(ValueError):
+            batchplus_tightness_instance(1, 2.0, epsilon=1.0)
+
+    def test_witness_is_feasible(self):
+        for fam in (
+            batch_tightness_instance(5, 3.0),
+            batchplus_tightness_instance(5, 3.0),
+        ):
+            fam.optimal_schedule.validate()

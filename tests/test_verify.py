@@ -1,0 +1,82 @@
+"""Unit + property tests for the theorem-verification harness."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import verify_theorems
+from repro.core import Instance, Job
+from repro.workloads import poisson_instance, small_integral_instance
+
+
+class TestVerifyTheorems:
+    def test_empty_instance(self):
+        report = verify_theorems(Instance([]))
+        assert report.all_passed and report.checks == ()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_all_checks_pass_on_random_instances(self, seed):
+        inst = small_integral_instance(7, seed=seed)
+        report = verify_theorems(inst)
+        assert report.all_passed, report.render()
+        assert {c.name for c in report.checks} == {
+            "batch-upper",
+            "batch-flag-chain",
+            "batchplus-tight",
+            "cdb-bound",
+            "profit-bound",
+            "profit-overlap",
+            "lemma-4.6",
+            "lemma-4.7",
+            "lb-sound",
+        }
+
+    def test_passes_on_nonintegral_instances(self):
+        inst = poisson_instance(20, seed=4)
+        assert verify_theorems(inst).all_passed
+
+    def test_custom_parameters(self):
+        inst = small_integral_instance(6, seed=2)
+        report = verify_theorems(inst, alpha=2.5, k=2.0)
+        assert report.all_passed
+
+    def test_render_mentions_checks(self):
+        inst = small_integral_instance(5, seed=0)
+        out = verify_theorems(inst).render()
+        assert "batchplus-tight" in out and "lemma-4.7" in out
+
+    @given(st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10),
+            st.integers(min_value=0, max_value=4),
+            st.integers(min_value=1, max_value=4),
+        ),
+        min_size=1,
+        max_size=7,
+    ))
+    @settings(max_examples=20, deadline=None)
+    def test_property_all_theorems_hold(self, triples):
+        jobs = [
+            Job(i, float(a), float(a + lax), float(p))
+            for i, (a, lax, p) in enumerate(triples)
+        ]
+        report = verify_theorems(Instance(jobs, name="hyp"))
+        assert report.all_passed, report.render()
+
+
+class TestCliVerify:
+    def test_cli_verify_passes(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify", "--jobs", "6", "--instances", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "all theorems verified" in out
+
+    def test_cli_verify_saved_instance(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = str(tmp_path / "w.json")
+        assert main(["workload", path, "--jobs", "7", "--integral"]) == 0
+        assert main(["verify", "--instance", path]) == 0

@@ -1,0 +1,67 @@
+"""Unit tests for counterfactual placement regrets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import placement_regrets, total_regret
+from repro.core import simulate
+from repro.offline import greedy_overlap, local_search
+from repro.schedulers import Eager, Lazy
+from repro.workloads import poisson_instance, small_integral_instance
+
+
+class TestPlacementRegrets:
+    def test_local_search_fixpoint_has_zero_regret(self):
+        for seed in range(5):
+            inst = small_integral_instance(8, seed=seed)
+            sched = local_search(greedy_overlap(inst), max_sweeps=50)
+            assert total_regret(sched) == pytest.approx(0.0, abs=1e-9)
+
+    def test_eager_on_staggered_jobs_has_regret(self):
+        # Eager serialises staggered laxity-rich jobs: regrets are large.
+        from repro.core import Instance
+
+        inst = Instance.from_triples(
+            [(i, 10, 1) for i in range(5)], name="staircase"
+        )
+        result = simulate(Eager(), inst)
+        regrets = placement_regrets(result.schedule)
+        assert regrets[0].regret > 0
+        # moving any one job onto a neighbour saves its full length
+        assert regrets[0].regret == pytest.approx(1.0)
+
+    def test_sorted_descending(self):
+        inst = poisson_instance(25, seed=3)
+        result = simulate(Lazy(), inst)
+        regrets = placement_regrets(result.schedule)
+        values = [r.regret for r in regrets]
+        assert values == sorted(values, reverse=True)
+
+    def test_regret_moves_are_feasible(self):
+        inst = poisson_instance(25, seed=4)
+        result = simulate(Lazy(), inst)
+        for r in placement_regrets(result.schedule):
+            job = inst[r.job_id]
+            assert job.arrival - 1e-9 <= r.best_start <= job.deadline + 1e-9
+
+    def test_applying_best_single_move_reduces_span(self):
+        inst = poisson_instance(30, seed=5)
+        result = simulate(Eager(), inst)
+        regrets = placement_regrets(result.schedule)
+        top = regrets[0]
+        if top.regret > 0:
+            starts = result.schedule.starts()
+            starts[top.job_id] = top.best_start
+            from repro.core import Schedule
+
+            moved = Schedule(inst, starts)
+            assert moved.span == pytest.approx(
+                result.schedule.span - top.regret, abs=1e-9
+            )
+
+    def test_all_jobs_reported(self):
+        inst = poisson_instance(20, seed=6)
+        result = simulate(Eager(), inst)
+        regrets = placement_regrets(result.schedule)
+        assert sorted(r.job_id for r in regrets) == sorted(inst.job_ids)

@@ -1,0 +1,144 @@
+"""Unit tests for workload generators and the sweep harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import simulate
+from repro.offline import span_lower_bound
+from repro.schedulers import Batch, BatchPlus, Eager
+from repro.workloads import (
+    WorkloadSpec,
+    batch_window_instance,
+    bimodal_instance,
+    cloud_instance,
+    generate,
+    heavy_tail_instance,
+    poisson_instance,
+    ratio_stats,
+    rigid_instance,
+    run_grid,
+    small_integral_instance,
+)
+
+
+class TestGenerate:
+    def test_reproducible(self):
+        spec = WorkloadSpec(n=50)
+        a = generate(spec, seed=7)
+        b = generate(spec, seed=7)
+        assert [j.arrival for j in a] == [j.arrival for j in b]
+        assert [j.length for j in a] == [j.length for j in b]
+
+    def test_seed_changes_output(self):
+        spec = WorkloadSpec(n=50)
+        a = generate(spec, seed=1)
+        b = generate(spec, seed=2)
+        assert [j.arrival for j in a] != [j.arrival for j in b]
+
+    @pytest.mark.parametrize("arrival", ["poisson", "uniform", "bursty"])
+    @pytest.mark.parametrize(
+        "length", ["uniform", "lognormal", "bimodal", "pareto", "constant"]
+    )
+    def test_all_combinations_valid(self, arrival, length):
+        spec = WorkloadSpec(n=30, arrival=arrival, length=length)
+        inst = generate(spec, seed=0)
+        assert len(inst) == 30
+        for j in inst:
+            assert j.arrival >= 0
+            assert j.deadline >= j.arrival
+            assert j.length > 0
+
+    @pytest.mark.parametrize("laxity", ["proportional", "constant", "uniform", "zero"])
+    def test_laxity_models(self, laxity):
+        spec = WorkloadSpec(n=30, laxity=laxity)
+        inst = generate(spec, seed=0)
+        if laxity == "zero":
+            assert all(j.laxity == 0 for j in inst)
+        else:
+            assert any(j.laxity > 0 for j in inst)
+
+    def test_lengths_respect_bounds(self):
+        spec = WorkloadSpec(n=100, length="pareto", length_low=2.0, length_high=9.0)
+        inst = generate(spec, seed=0)
+        assert all(2.0 <= j.known_length <= 9.0 for j in inst)
+        assert inst.mu <= 4.5 + 1e-9
+
+    def test_integral_flag(self):
+        spec = WorkloadSpec(n=40, integral=True)
+        inst = generate(spec, seed=0)
+        assert inst.is_integral
+        assert all(j.known_length >= 1 for j in inst)
+
+    def test_empty_workload(self):
+        assert len(generate(WorkloadSpec(n=0), 0)) == 0
+
+    def test_invalid_length_bounds(self):
+        with pytest.raises(ValueError):
+            generate(WorkloadSpec(n=5, length_low=0.0), 0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            generate(WorkloadSpec(n=5, arrival="nope"), 0)  # type: ignore[arg-type]
+
+
+class TestShortcutFamilies:
+    def test_poisson(self):
+        inst = poisson_instance(25, seed=1)
+        assert len(inst) == 25
+
+    def test_bimodal_mu(self):
+        inst = bimodal_instance(60, seed=0, mu=12.0)
+        lengths = {j.known_length for j in inst}
+        assert lengths == {1.0, 12.0}
+        assert inst.mu == 12.0
+
+    def test_heavy_tail(self):
+        inst = heavy_tail_instance(40, seed=0, hi=50.0)
+        assert max(j.known_length for j in inst) <= 50.0
+
+    def test_rigid(self):
+        inst = rigid_instance(20, seed=0)
+        assert all(j.laxity == 0 for j in inst)
+
+    def test_small_integral(self):
+        inst = small_integral_instance(6, seed=0)
+        assert inst.is_integral and len(inst) == 6
+
+    def test_cloud_instance(self):
+        inst = cloud_instance(seed=0)
+        assert len(inst) == 500
+        assert all(j.size > 0 for j in inst)
+
+    def test_batch_window(self):
+        inst = batch_window_instance(30, seed=0, window=24.0)
+        assert all(j.deadline <= 24.0 + 1e-9 for j in inst)
+
+
+class TestSweep:
+    def test_run_grid_shape_and_ratios(self):
+        instances = [poisson_instance(20, seed=s) for s in range(3)]
+        results = run_grid([Eager(), Batch()], instances, span_lower_bound)
+        assert len(results) == 6
+        assert all(r.ratio >= 1.0 - 1e-9 for r in results)
+
+    def test_grid_uses_clones(self):
+        """The prototypes must stay pristine across the grid."""
+        proto = Batch()
+        run_grid([proto], [poisson_instance(10, seed=0)], span_lower_bound)
+        assert proto.flag_job_ids == []
+
+    def test_ratio_stats(self):
+        instances = [poisson_instance(15, seed=s) for s in range(4)]
+        results = run_grid([Eager(), BatchPlus()], instances, span_lower_bound)
+        stats = ratio_stats(results)
+        assert set(stats) == {"eager", "batch+"}
+        for s in stats.values():
+            assert s["runs"] == 4
+            assert 1.0 - 1e-9 <= s["mean"] <= s["max"] + 1e-9
+
+    def test_grid_matches_direct_simulation(self):
+        inst = poisson_instance(20, seed=5)
+        results = run_grid([Batch()], [inst], span_lower_bound)
+        direct = simulate(Batch(), inst)
+        assert results[0].span == pytest.approx(direct.span)
