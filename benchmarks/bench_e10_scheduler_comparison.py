@@ -40,12 +40,12 @@ FAMILIES = {
 SEEDS = range(4)
 
 
-def test_e10_family_grid(benchmark):
+def test_e10_family_grid(benchmark, perf_runner):
     protos = [make_scheduler(n) for n in scheduler_names()]
     family_stats = {}
     for fam, make in FAMILIES.items():
         instances = [make(s) for s in SEEDS]
-        results = run_grid(protos, instances, span_lower_bound)
+        results = run_grid(protos, instances, span_lower_bound, runner=perf_runner)
         family_stats[fam] = ratio_stats(results)
 
     table = Table(

@@ -64,7 +64,7 @@ def test_e15_randomization_vs_adaptive_adversary(benchmark):
     )
 
 
-def test_e15_randomization_on_workloads(benchmark):
+def test_e15_randomization_on_workloads(benchmark, perf_runner):
     """Expected RandomStart ratio vs deterministic schedulers on random
     workloads: randomness is dominated."""
     table = Table(
@@ -76,7 +76,8 @@ def test_e15_randomization_on_workloads(benchmark):
         inst = poisson_instance(60, seed=seed)
         ref = best_offline_span(inst)
         summary = estimate_expected_ratio(
-            lambda s: RandomStart(seed=s), inst, ref, trials=30
+            lambda s: RandomStart(seed=s), inst, ref, trials=30,
+            runner=perf_runner,
         )
         bp = simulate(BatchPlus(), inst).span / ref
         pr = simulate(Profit(), inst, clairvoyant=True).span / ref

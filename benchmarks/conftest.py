@@ -7,9 +7,24 @@ asserts the reproduction claims, and times the central computation via
 pytest-benchmark.
 
 Run everything:   pytest benchmarks/ --benchmark-only -s
+
+Parallelism: the grid-shaped benches (E10, E15, …) route their
+simulation fan-out through :class:`repro.perf.ParallelRunner`, so
+
+    REPRO_WORKERS=auto pytest benchmarks/ -s
+
+spreads the independent (scheduler, instance) cells over all cores —
+with results bit-identical to the serial run.  The session-scoped
+``perf_runner`` fixture below hands benches a shared runner, and the
+report header records the active configuration so printed tables are
+always attributable to a worker count.
 """
 
 from __future__ import annotations
+
+import os
+
+import pytest
 
 collect_ignore_glob: list[str] = []
 
@@ -17,3 +32,38 @@ collect_ignore_glob: list[str] = []
 def pytest_configure(config):
     # Benches print result tables; make terminal output predictable.
     config.option.verbose = max(config.option.verbose, 0)
+
+
+def pytest_report_header(config):
+    from repro.perf import WORKERS_ENV, resolve_workers
+
+    spec = os.environ.get(WORKERS_ENV)
+    workers = resolve_workers(spec)
+    mode = "serial" if workers <= 1 else f"parallel ({workers} workers)"
+    return f"repro perf: {WORKERS_ENV}={spec or '<unset>'} -> {mode}"
+
+
+@pytest.fixture(scope="session")
+def perf_runner():
+    """One shared :class:`repro.perf.ParallelRunner` for the session.
+
+    Honours ``REPRO_WORKERS``; pass it to ``run_grid(..., runner=...)`` /
+    ``estimate_expected_ratio(..., runner=...)`` so all benches share a
+    single consistent fan-out configuration.
+    """
+    from repro.perf import ParallelRunner
+
+    return ParallelRunner()
+
+
+@pytest.fixture(scope="session")
+def reference_cache():
+    """A session-scoped content-addressed cache for offline references.
+
+    Benches that sweep the same instance family against
+    ``exact_optimal_span``/``span_lower_bound`` repeatedly should wrap
+    the reference via ``cached_reference(fn, cache=reference_cache)``.
+    """
+    from repro.perf import ReferenceCache
+
+    return ReferenceCache()

@@ -1,0 +1,27 @@
+"""Shared ``sys.path`` bootstrap so examples run from any cwd.
+
+Examples are documentation that executes: they must work with a plain
+
+    python examples/quickstart.py
+
+from a clean checkout — no install step, no ``PYTHONPATH`` juggling, and
+regardless of the caller's working directory (the smoke tests
+deliberately run them from a temp dir).  Every example's first import is
+
+    import _bootstrap  # noqa: F401
+
+which resolves because Python puts the *script's* directory on
+``sys.path``; this module then prepends the repo's ``src/`` layout root
+when ``repro`` is not already importable (e.g. pip-installed).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+if importlib.util.find_spec("repro") is None:
+    _src = Path(__file__).resolve().parent.parent / "src"
+    if (_src / "repro" / "__init__.py").is_file():
+        sys.path.insert(0, str(_src))

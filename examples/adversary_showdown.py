@@ -14,6 +14,8 @@ Run:  python examples/adversary_showdown.py
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path setup: run from any cwd, no install)
+
 from repro.adversaries import (
     ClairvoyantLowerBoundAdversary,
     NonClairvoyantLowerBoundAdversary,

@@ -21,6 +21,8 @@ Run:  python examples/busy_time_machines.py
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path setup: run from any cwd, no install)
+
 from repro.analysis import Table
 from repro.core import Instance, Job
 from repro.dbp import FirstFit, run_pipeline

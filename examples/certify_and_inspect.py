@@ -16,6 +16,8 @@ Run:  python examples/certify_and_inspect.py
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path setup: run from any cwd, no install)
+
 import tempfile
 from pathlib import Path
 

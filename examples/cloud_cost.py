@@ -17,6 +17,8 @@ Run:  python examples/cloud_cost.py
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path setup: run from any cwd, no install)
+
 from repro.analysis import Table
 from repro.dbp import ClassifyByDurationFirstFit, FirstFit, run_pipeline, usage_lower_bound
 from repro.schedulers import BatchPlus, Eager, Profit

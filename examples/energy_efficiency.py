@@ -16,6 +16,8 @@ Run:  python examples/energy_efficiency.py
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path setup: run from any cwd, no install)
+
 from repro.analysis import Table
 from repro.core import simulate
 from repro.core.metrics import parallelism

@@ -12,6 +12,8 @@ Run:  python examples/parameter_tuning.py
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path setup: run from any cwd, no install)
+
 import numpy as np
 
 from repro.analysis import (

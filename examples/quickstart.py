@@ -13,6 +13,8 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path setup: run from any cwd, no install)
+
 from repro import (
     Batch,
     BatchPlus,

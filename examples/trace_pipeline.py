@@ -17,6 +17,8 @@ Run:  python examples/trace_pipeline.py
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path setup: run from any cwd, no install)
+
 import tempfile
 from pathlib import Path
 

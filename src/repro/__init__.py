@@ -15,7 +15,9 @@ The library implements the paper's full system:
 * the MinUsageTime Dynamic Bin Packing extension of the paper's
   concluding remarks — :mod:`repro.dbp`;
 * structural analysis (flag forests, theory bounds, reports) —
-  :mod:`repro.analysis`.
+  :mod:`repro.analysis`;
+* the performance layer (process-pool sweeps, reference memoization,
+  the pinned benchmark suite) — :mod:`repro.perf`.
 
 Quickstart
 ----------
@@ -43,6 +45,12 @@ from .offline import (
     chain_lower_bound,
     exact_optimal_span,
     span_lower_bound,
+)
+from .perf import (
+    ParallelRunner,
+    ReferenceCache,
+    cached_reference,
+    instance_fingerprint,
 )
 from .schedulers import (
     Batch,
@@ -86,5 +94,9 @@ __all__ = [
     "chain_lower_bound",
     "span_lower_bound",
     "best_offline_span",
+    "ParallelRunner",
+    "ReferenceCache",
+    "cached_reference",
+    "instance_fingerprint",
     "__version__",
 ]

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..core.engine import simulate
 from ..core.job import Instance
+from ..perf.parallel import ParallelRunner, get_default_runner
 from ..schedulers.base import OnlineScheduler
 
 __all__ = ["TrialSummary", "estimate_expected_ratio", "estimate_adversarial_ratio"]
@@ -62,6 +63,12 @@ class TrialSummary:
         return float(min(self.ratios)) if self.ratios else float("nan")
 
 
+def _run_trial(task: tuple[OnlineScheduler, Instance, bool]) -> float:
+    """Simulate one Monte-Carlo trial (top-level: picklable for pools)."""
+    scheduler, instance, mode = task
+    return simulate(scheduler, instance, clairvoyant=mode).span
+
+
 def estimate_expected_ratio(
     make_scheduler: Callable[[int], OnlineScheduler],
     instance: Instance,
@@ -69,9 +76,18 @@ def estimate_expected_ratio(
     *,
     trials: int = 50,
     clairvoyant: bool | None = None,
+    workers: int | str | None = None,
+    runner: ParallelRunner | None = None,
 ) -> TrialSummary:
     """Expected span ratio of a seeded randomized scheduler on a fixed
     instance.
+
+    Trials are independent, so they fan out over a process pool when
+    ``workers`` (or the ``REPRO_WORKERS`` environment variable) asks for
+    one.  Every trial's scheduler is constructed *up front* from its own
+    seed in trial order, so parallel results are bit-identical to serial
+    ones; when the factory closes over unpicklable state the runner
+    quietly degrades to serial execution.
 
     Parameters
     ----------
@@ -79,10 +95,17 @@ def estimate_expected_ratio(
         ``seed -> scheduler`` factory (fresh randomness per trial).
     reference:
         The denominator (exact OPT or a certified bound).
+    workers / runner:
+        Parallel fan-out controls (see
+        :class:`repro.perf.ParallelRunner`).
     """
     if reference <= 0:
         raise ValueError("reference span must be positive")
-    ratios = []
+    if runner is None:
+        runner = (
+            get_default_runner() if workers is None else ParallelRunner(workers)
+        )
+    tasks = []
     for seed in range(trials):
         sched = make_scheduler(seed)
         mode = (
@@ -90,9 +113,9 @@ def estimate_expected_ratio(
             if clairvoyant is None
             else clairvoyant
         )
-        result = simulate(sched, instance, clairvoyant=mode)
-        ratios.append(result.span / reference)
-    return TrialSummary(ratios=tuple(ratios))
+        tasks.append((sched, instance, mode))
+    spans = runner.map(_run_trial, tasks)
+    return TrialSummary(ratios=tuple(span / reference for span in spans))
 
 
 def estimate_adversarial_ratio(

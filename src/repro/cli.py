@@ -14,6 +14,13 @@ Subcommands
 ``certify``   — measure one scheduler's competitive ratio with a
                 certified bracket (exact OPT when feasible).
 ``workload``  — generate a synthetic instance and save it as JSON.
+``bench``     — time the pinned perf suite and write ``BENCH_perf.json``
+                (see ``repro.perf.bench``).
+
+Performance knobs honoured by ``compare``/``experiment`` (and any other
+grid-shaped command): ``REPRO_WORKERS`` fans simulation cells out over a
+process pool, and expensive offline references are memoized through
+``repro.perf.cache`` (disable with ``REPRO_CACHE=0``).
 """
 
 from __future__ import annotations
@@ -141,6 +148,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify on a saved instance file instead",
     )
 
+    p_bench = sub.add_parser(
+        "bench", help="time the pinned perf suite and write BENCH_perf.json"
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="small parameters (CI smoke): k=1 macro case, 1k-job micros",
+    )
+    p_bench.add_argument("--repeat", type=int, default=3, help="timed repetitions")
+    p_bench.add_argument(
+        "--out", type=str, default="BENCH_perf.json", help="output JSON path"
+    )
+
     p_w = sub.add_parser("workload", help="generate and save a synthetic instance")
     p_w.add_argument("out", help="output JSON path")
     p_w.add_argument("--jobs", type=int, default=50)
@@ -190,6 +209,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    from .perf import cached_reference
+
     if args.exact:
         from .workloads import small_integral_instance
 
@@ -197,14 +218,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             small_integral_instance(min(args.jobs, 8), seed=args.seed + i)
             for i in range(args.instances)
         ]
-        reference = exact_optimal_span
+        reference = cached_reference(exact_optimal_span)
         ref_name = "exact optimum"
     else:
         spec = WorkloadSpec(n=args.jobs, laxity_scale=args.laxity_scale)
         instances = [
             generate(spec, seed=args.seed + i) for i in range(args.instances)
         ]
-        reference = span_lower_bound
+        reference = cached_reference(span_lower_bound)
         ref_name = "chain lower bound"
 
     protos = [make_scheduler(name) for name in scheduler_names()]
@@ -342,6 +363,15 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .perf.bench import render_records, run_bench
+
+    records = run_bench(quick=args.quick, repeat=args.repeat, out=args.out)
+    print(render_records(records))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
 def _cmd_workload(args: argparse.Namespace) -> int:
     spec = WorkloadSpec(
         n=args.jobs,
@@ -367,6 +397,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "workload": _cmd_workload,
         "experiment": _cmd_experiment,
         "verify": _cmd_verify,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

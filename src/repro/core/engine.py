@@ -40,8 +40,10 @@ job it created with ``length=None``.  Lengths are committed at an
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Protocol, runtime_checkable
+
+from heapq import heappop
 
 from .errors import (
     ClairvoyanceError,
@@ -49,7 +51,7 @@ from .errors import (
     SchedulingViolationError,
     SimulationError,
 )
-from .events import Event, EventKind, EventQueue
+from .events import EventKind, EventQueue
 from .job import Instance, Job
 from .schedule import Schedule
 from .trace import Trace, TraceKind
@@ -67,6 +69,15 @@ __all__ = [
 #: Hard cap on processed events, guarding against runaway scheduler/adversary
 #: interactions (e.g. a timer loop that never advances time).
 MAX_EVENTS_DEFAULT = 10_000_000
+
+# Integer event-kind constants, hoisted for the hot dispatch loop (an
+# IntEnum attribute access per event is measurable at 10^5+ events/run).
+_COMPLETION = int(EventKind.COMPLETION)
+_ASSIGN = int(EventKind.ASSIGN)
+_ARRIVAL = int(EventKind.ARRIVAL)
+_DEADLINE = int(EventKind.DEADLINE)
+_TIMER = int(EventKind.TIMER)
+_ADVERSARY = int(EventKind.ADVERSARY)
 
 
 class JobView:
@@ -142,21 +153,36 @@ class JobView:
         )
 
 
-@dataclass
 class _JobState:
-    """Engine-internal per-job bookkeeping."""
+    """Engine-internal per-job bookkeeping.
 
-    job: Job
-    length: float | None = None  # committed processing length
-    length_visible: bool = False  # may the scheduler read it?
-    arrived: bool = False
-    start: float | None = None
-    completion: float | None = None
-    completed: bool = False
-    view: JobView = field(init=False)
+    A plain ``__slots__`` class (not a dataclass): one is allocated per
+    job and the §3.1 adversarial macro runs create tens of thousands,
+    so construction cost and attribute access are on the hot path.  The
+    scheduler-facing :class:`JobView` is allocated once here and reused
+    for every hook call on the job.
+    """
 
-    def __post_init__(self) -> None:
-        self.view = JobView(self.job, self)
+    __slots__ = (
+        "job",
+        "length",
+        "length_visible",
+        "arrived",
+        "start",
+        "completion",
+        "completed",
+        "view",
+    )
+
+    def __init__(self, job: Job) -> None:
+        self.job = job
+        self.length: float | None = None  # committed processing length
+        self.length_visible = False  # may the scheduler read it?
+        self.arrived = False
+        self.start: float | None = None
+        self.completion: float | None = None
+        self.completed = False
+        self.view = JobView(job, self)
 
 
 @dataclass(frozen=True)
@@ -230,13 +256,12 @@ class SchedulerContext:
         sim._queue.push(time, EventKind.TIMER, tag)
 
     def pending(self) -> list[JobView]:
-        """Arrived-but-unstarted jobs, sorted by (deadline, arrival, id)."""
-        sim = self._sim
-        views = [
-            st.view
-            for st in sim._states.values()
-            if st.arrived and st.start is None
-        ]
+        """Arrived-but-unstarted jobs, sorted by (deadline, arrival, id).
+
+        Backed by an incrementally maintained index, so schedulers may
+        call this on every event without an O(all jobs) scan.
+        """
+        views = [st.view for st in self._sim._pending.values()]
         views.sort(key=lambda v: (v.deadline, v.arrival, v.id))
         return views
 
@@ -249,13 +274,11 @@ class SchedulerContext:
         return st is not None and st.completed
 
     def running(self) -> list[JobView]:
-        """Started-but-uncompleted jobs, sorted by (start, id)."""
-        sim = self._sim
-        views = [
-            st.view
-            for st in sim._states.values()
-            if st.start is not None and not st.completed
-        ]
+        """Started-but-uncompleted jobs, sorted by (start, id).
+
+        Backed by the same incremental index as :meth:`pending`.
+        """
+        views = [st.view for st in self._sim._running.values()]
         views.sort(key=lambda v: (v.start_time, v.id))
         return views
 
@@ -337,10 +360,25 @@ class Simulator:
         self._trace: Trace | None = Trace() if trace else None
         self._queue = EventQueue()
         self._states: dict[int, _JobState] = {}
+        #: Incremental indexes behind ``ctx.pending()`` / ``ctx.running()``.
+        self._pending: dict[int, _JobState] = {}
+        self._running: dict[int, _JobState] = {}
         self._now = 0.0
         self._events_processed = 0
         self._ctx = SchedulerContext(self)
         self._started = False
+
+        # Scheduler hooks are resolved once instead of via getattr per
+        # event (the previous `_call_hook` showed up in profiles at
+        # ~7% of an adversarial macro run).
+        self._hook_arrival = self._resolve_hook("on_arrival")
+        self._hook_deadline = self._resolve_hook("on_deadline")
+        self._hook_completion = self._resolve_hook("on_completion")
+        self._hook_timer = self._resolve_hook("on_timer")
+
+    def _resolve_hook(self, name: str) -> Any:
+        hook = getattr(self._scheduler, name, None)
+        return hook if callable(hook) else None
 
     # ------------------------------------------------------------------ run
     def run(self) -> SimulationResult:
@@ -355,27 +393,45 @@ class Simulator:
             assert self._adversary is not None
             initial = list(self._adversary.initial_jobs())
 
-        for job in initial:
-            self._admit_job(job)
+        self._admit_batch(initial)
 
         setup = getattr(self._scheduler, "setup", None)
         if callable(setup):
             setup(self._ctx)
 
-        while self._queue:
-            ev = self._queue.pop()
-            self._events_processed += 1
-            if self._events_processed > self._max_events:
-                raise SimulationError(
-                    f"event budget exceeded ({self._max_events}); "
-                    "likely a scheduler/adversary live-lock"
-                )
-            if ev.time < self._now:
-                raise SimulationError(
-                    f"time went backwards: {ev.time} < {self._now}"
-                )
-            self._now = ev.time
-            self._dispatch(ev)
+        # --- hot loop -----------------------------------------------------
+        # Locals hoisted and events popped as raw tuples: at >10^5 events
+        # per adversarial run, attribute lookups and Event construction
+        # dominate otherwise (see repro/perf/bench.py for the tracked
+        # numbers).
+        heap = self._queue._heap
+        max_events = self._max_events
+        handlers = (
+            self._handle_completion,  # 0 COMPLETION
+            self._handle_assign,      # 1 ASSIGN
+            self._handle_arrival,     # 2 ARRIVAL
+            self._handle_deadline,    # 3 DEADLINE
+            self._handle_timer,       # 4 TIMER
+            self._handle_adversary,   # 5 ADVERSARY
+        )
+        processed = self._events_processed
+        try:
+            while heap:
+                time, kind, _seq, payload = heappop(heap)
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"event budget exceeded ({max_events}); "
+                        "likely a scheduler/adversary live-lock"
+                    )
+                if time < self._now:
+                    raise SimulationError(
+                        f"time went backwards: {time} < {self._now}"
+                    )
+                self._now = time
+                handlers[kind](payload)
+        finally:
+            self._events_processed = processed
 
         return self._finish()
 
@@ -386,8 +442,8 @@ class Simulator:
         if self._trace is not None:
             self._trace.append(self._now, kind, job_id, detail)
 
-    def _admit_job(self, job: Job) -> None:
-        """Register a job and schedule its arrival (and deadline) events."""
+    def _validate_admission(self, job: Job) -> _JobState:
+        """Shared admission checks; returns the registered job state."""
         if job.id in self._states:
             raise SimulationError(f"duplicate job id {job.id} admitted")
         if job.arrival < self._now:
@@ -405,47 +461,55 @@ class Simulator:
                     "adversary-controlled lengths are incompatible with the "
                     "clairvoyant information model"
                 )
-        st = _JobState(job=job)
+        st = _JobState(job)
         if job.length is not None:
             st.length = job.length
             st.length_visible = self._clairvoyant
         self._states[job.id] = st
-        self._record(TraceKind.RELEASE, job.id, f"arrival={job.arrival:g}")
+        if self._trace is not None:
+            self._trace.append(
+                self._now, TraceKind.RELEASE, job.id, f"arrival={job.arrival:g}"
+            )
+        return st
+
+    def _admit_job(self, job: Job) -> None:
+        """Register a job and schedule its arrival (and deadline) events."""
+        self._validate_admission(job)
         self._queue.push(job.arrival, EventKind.ARRIVAL, job.id)
 
-    def _dispatch(self, ev: Event) -> None:
-        kind = ev.kind
-        if kind == EventKind.ARRIVAL:
-            self._handle_arrival(ev.payload)
-        elif kind == EventKind.DEADLINE:
-            self._handle_deadline(ev.payload)
-        elif kind == EventKind.COMPLETION:
-            self._handle_completion(ev.payload)
-        elif kind == EventKind.ASSIGN:
-            self._handle_assign(ev.payload)
-        elif kind == EventKind.TIMER:
-            self._record(TraceKind.TIMER, None, repr(ev.payload))
-            self._call_hook("on_timer", ev.payload)
-        elif kind == EventKind.ADVERSARY:
-            assert self._adversary is not None
-            self._record(TraceKind.ADVERSARY_WAKEUP)
-            self._apply_adversary_response(self._adversary.on_wakeup(self._now))
-        else:  # pragma: no cover - exhaustive
-            raise SimulationError(f"unknown event kind {kind!r}")
+    def _admit_batch(self, jobs: list[Job]) -> None:
+        """Admit many jobs at once, heapifying the arrival events in bulk.
+
+        Equivalent to ``for job in jobs: self._admit_job(job)`` — the
+        arrival events carry the same (time, kind, seq) total order —
+        but O(n) instead of O(n log n) on the initial admission, which
+        for §3.1 adversarial iterations releases thousands of jobs at a
+        single instant.
+        """
+        for job in jobs:
+            self._validate_admission(job)
+        self._queue.extend(
+            (job.arrival, EventKind.ARRIVAL, job.id) for job in jobs
+        )
 
     def _handle_arrival(self, job_id: int) -> None:
         st = self._states[job_id]
         st.arrived = True
-        self._record(TraceKind.ARRIVAL, job_id)
+        self._pending[job_id] = st
+        if self._trace is not None:
+            self._trace.append(self._now, TraceKind.ARRIVAL, job_id, "")
         self._queue.push(st.job.deadline, EventKind.DEADLINE, job_id)
-        self._call_hook("on_arrival", st.view)
+        if self._hook_arrival is not None:
+            self._hook_arrival(self._ctx, st.view)
 
     def _handle_deadline(self, job_id: int) -> None:
         st = self._states[job_id]
         if st.start is not None:
             return  # job already started; the deadline event is moot
-        self._record(TraceKind.DEADLINE, job_id)
-        self._call_hook("on_deadline", st.view)
+        if self._trace is not None:
+            self._trace.append(self._now, TraceKind.DEADLINE, job_id, "")
+        if self._hook_deadline is not None:
+            self._hook_deadline(self._ctx, st.view)
         if st.start is None:
             raise DeadlineMissedError(
                 f"scheduler {type(self._scheduler).__name__} failed to start "
@@ -458,8 +522,11 @@ class Simulator:
             raise SimulationError(f"job {job_id} completed twice")
         st.completed = True
         st.length_visible = True  # completion reveals the length
-        self._record(TraceKind.COMPLETION, job_id)
-        self._call_hook("on_completion", st.view)
+        self._running.pop(job_id, None)
+        if self._trace is not None:
+            self._trace.append(self._now, TraceKind.COMPLETION, job_id, "")
+        if self._hook_completion is not None:
+            self._hook_completion(self._ctx, st.view)
         if self._adversary is not None:
             self._apply_adversary_response(
                 self._adversary.on_completion(st.job, self._now)
@@ -487,6 +554,16 @@ class Simulator:
         self._record(TraceKind.ASSIGN, job_id, f"length={length:g}")
         self._queue.push(completion, EventKind.COMPLETION, job_id)
 
+    def _handle_timer(self, tag: Any) -> None:
+        self._record(TraceKind.TIMER, None, repr(tag))
+        if self._hook_timer is not None:
+            self._hook_timer(self._ctx, tag)
+
+    def _handle_adversary(self, _payload: Any) -> None:
+        assert self._adversary is not None
+        self._record(TraceKind.ADVERSARY_WAKEUP)
+        self._apply_adversary_response(self._adversary.on_wakeup(self._now))
+
     def _start_job(self, job_id: int) -> None:
         st = self._states.get(job_id)
         if st is None:
@@ -503,6 +580,8 @@ class Simulator:
                 f"deadline {st.job.deadline}"
             )
         st.start = self._now
+        self._pending.pop(job_id, None)
+        self._running[job_id] = st
         self._record(TraceKind.START, job_id)
         if st.length is not None:
             st.completion = self._now + st.length
@@ -523,8 +602,12 @@ class Simulator:
     def _apply_adversary_response(self, resp: AdversaryResponse | None) -> None:
         if resp is None:
             return
-        for job in resp.release:
-            self._admit_job(job)
+        release = resp.release
+        if len(release) > 1:
+            self._admit_batch(list(release))
+        else:
+            for job in release:
+                self._admit_job(job)
         if resp.wakeup is not None:
             if resp.wakeup < self._now:
                 raise SimulationError(
@@ -532,11 +615,6 @@ class Simulator:
                     f"(now={self._now})"
                 )
             self._queue.push(resp.wakeup, EventKind.ADVERSARY, None)
-
-    def _call_hook(self, name: str, arg: Any) -> None:
-        hook = getattr(self._scheduler, name, None)
-        if callable(hook):
-            hook(self._ctx, arg)
 
     def _finish(self) -> SimulationResult:
         jobs: list[Job] = []

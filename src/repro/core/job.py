@@ -24,7 +24,7 @@ the lengths at run time.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -120,8 +120,26 @@ class Job:
         return self.arrival <= start <= self.deadline
 
     def with_length(self, length: float) -> "Job":
-        """A copy of this job with a committed processing length."""
-        return replace(self, length=length)
+        """A copy of this job with a committed processing length.
+
+        Only the new length is validated: the other fields were already
+        validated when ``self`` was constructed, and skipping the full
+        ``dataclasses.replace`` round-trip matters when the simulator
+        resolves tens of thousands of adversary-assigned lengths in
+        :meth:`Simulator._finish`.
+        """
+        if not math.isfinite(length) or length <= 0:
+            raise InvalidJobError(
+                f"job {self.id}: length must be positive and finite, "
+                f"got {length}"
+            )
+        new = object.__new__(Job)
+        object.__setattr__(new, "id", self.id)
+        object.__setattr__(new, "arrival", self.arrival)
+        object.__setattr__(new, "deadline", self.deadline)
+        object.__setattr__(new, "length", length)
+        object.__setattr__(new, "size", self.size)
+        return new
 
 
 def make_jobs(

@@ -1,0 +1,56 @@
+"""Performance layer: parallel fan-out, reference memoization, benchmarks.
+
+Three orthogonal tools, one goal — make the empirical harness scale to
+the paper's adversarial constructions and beyond:
+
+* :mod:`repro.perf.parallel` — :class:`ParallelRunner`, a deterministic
+  ordered process-pool map with chunked dispatch and graceful serial
+  fallback, used by ``workloads.sweep.run_grid`` and
+  ``analysis.montecarlo.estimate_expected_ratio`` (``REPRO_WORKERS``).
+* :mod:`repro.perf.cache` — :class:`ReferenceCache`, content-addressed
+  memoization of expensive offline references
+  (``exact_optimal_span`` / ``span_lower_bound`` / ``lp_lower_bound``)
+  with an in-memory LRU and an optional on-disk JSON tier
+  (``REPRO_CACHE_DIR``, ``REPRO_CACHE=0`` to disable).
+* :mod:`repro.perf.bench` — the pinned micro/macro suite behind
+  ``python -m repro bench``, writing ``BENCH_perf.json`` so every PR's
+  engine throughput is comparable to the last.
+"""
+
+from .bench import BenchRecord, main as bench_main, run_bench
+from .cache import (
+    CachedReference,
+    ReferenceCache,
+    cached_reference,
+    get_default_cache,
+    instance_fingerprint,
+    reset_default_cache,
+)
+from .parallel import (
+    WORKERS_ENV,
+    ParallelRunner,
+    RunnerStats,
+    chunked,
+    derive_seed,
+    get_default_runner,
+    resolve_workers,
+)
+
+__all__ = [
+    "BenchRecord",
+    "CachedReference",
+    "ParallelRunner",
+    "ReferenceCache",
+    "RunnerStats",
+    "WORKERS_ENV",
+    "bench_main",
+    "cached_reference",
+    "chunked",
+    "derive_seed",
+    "get_default_cache",
+    "get_default_runner",
+    "instance_fingerprint",
+    "reset_default_cache",
+    "resolve_workers",
+    "run_bench",
+]

@@ -1,0 +1,211 @@
+"""The repo's perf trajectory: a fixed micro/macro benchmark suite.
+
+``python -m repro bench`` (or the ``fjs-bench`` console script) times a
+pinned set of cases and writes ``BENCH_perf.json`` so successive PRs can
+compare like against like.  Each record follows the schema
+
+    {"case": str, "events": int, "wall_s": float, "events_per_s": float}
+
+Cases
+-----
+micro/event_queue
+    Raw :class:`~repro.core.events.EventQueue` push/pop throughput —
+    isolates the heap from scheduler logic.
+micro/eager_uniform · micro/batch_uniform
+    The simulator on a seeded synthetic workload under a trivial and a
+    batching scheduler — the common-path per-event cost.
+macro/e1_paper_k2_batch
+    The paper's §3.1 adversary at the doubly-exponential profile, k=2:
+    65 808 jobs / 263 218 events through Batch.  This is the case the
+    engine optimisation is tracked against (``--quick`` substitutes the
+    k=1 profile, 16 jobs, for CI smoke runs).
+
+Timing protocol: every case runs ``repeat`` times (default 3) after one
+untimed warm-up iteration for the micro cases; the **best** wall time is
+reported (standard practice for throughput benchmarking — the minimum is
+the least noisy estimator of the true cost).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+__all__ = ["BenchRecord", "bench_cases", "run_bench", "main"]
+
+DEFAULT_OUT = "BENCH_perf.json"
+
+#: Wall-clock events/s of ``macro/e1_paper_k2_batch`` measured on the
+#: pre-optimisation engine (dataclass-comparison heap, per-event getattr
+#: dispatch) — the reference point for the engine-optimisation claim.
+E1_K2_BASELINE_EVENTS_PER_S = 111_846.0
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One timed case (the ``BENCH_perf.json`` row schema)."""
+
+    case: str
+    events: int
+    wall_s: float
+    events_per_s: float
+
+
+# --------------------------------------------------------------------- cases
+def _bench_event_queue(n: int) -> int:
+    """Push/pop ``n`` interleaved events; returns events processed."""
+    from ..core.events import EventKind, EventQueue
+
+    q = EventQueue()
+    push = q.push
+    kinds = (EventKind.ARRIVAL, EventKind.COMPLETION, EventKind.TIMER)
+    for i in range(n):
+        push((i * 2654435761) % 1_000_003 / 7.0, kinds[i % 3], i)
+    pops = 0
+    pop = q.pop_raw
+    while q:
+        pop()
+        pops += 1
+    return n + pops
+
+
+def _bench_simulate(scheduler_name: str, jobs: int, seed: int) -> int:
+    """Run one scheduler over a seeded synthetic workload."""
+    from ..core.engine import simulate
+    from ..schedulers import make_scheduler
+    from ..workloads import WorkloadSpec, generate
+
+    spec = WorkloadSpec(n=jobs, laxity_scale=2.0, length_high=10.0)
+    inst = generate(spec, seed=seed)
+    sched = make_scheduler(scheduler_name)
+    result = simulate(
+        sched, inst, clairvoyant=type(sched).requires_clairvoyance
+    )
+    return result.events_processed
+
+
+def _bench_e1_macro(k: int) -> int:
+    """The §3.1 adversary with the paper's doubly-exponential profile."""
+    from ..adversaries import NonClairvoyantLowerBoundAdversary, paper_profile
+    from ..core.engine import simulate
+    from ..schedulers import Batch
+
+    adv = NonClairvoyantLowerBoundAdversary(5.0, paper_profile(k))
+    result = simulate(Batch(), adversary=adv, clairvoyant=False)
+    return result.events_processed
+
+
+def bench_cases(quick: bool) -> list[tuple[str, Callable[[], int]]]:
+    """The pinned suite: ``(case name, zero-arg callable -> event count)``."""
+    if quick:
+        return [
+            ("micro/event_queue", lambda: _bench_event_queue(20_000)),
+            ("micro/eager_uniform", lambda: _bench_simulate("eager", 1_000, 7)),
+            ("micro/batch_uniform", lambda: _bench_simulate("batch", 1_000, 7)),
+            ("macro/e1_paper_k1_batch", lambda: _bench_e1_macro(1)),
+        ]
+    return [
+        ("micro/event_queue", lambda: _bench_event_queue(200_000)),
+        ("micro/eager_uniform", lambda: _bench_simulate("eager", 5_000, 7)),
+        ("micro/batch_uniform", lambda: _bench_simulate("batch", 5_000, 7)),
+        ("macro/e1_paper_k2_batch", lambda: _bench_e1_macro(2)),
+    ]
+
+
+# ------------------------------------------------------------------- harness
+def _time_case(fn: Callable[[], int], repeat: int, warmup: bool) -> tuple[int, float]:
+    """Best-of-``repeat`` wall time; returns ``(events, wall_s)``."""
+    if warmup:
+        fn()
+    best = float("inf")
+    events = 0
+    for _ in range(max(repeat, 1)):
+        t0 = time.perf_counter()
+        events = fn()
+        wall = time.perf_counter() - t0
+        if wall < best:
+            best = wall
+    return events, best
+
+
+def run_bench(
+    *, quick: bool = False, repeat: int = 3, out: str | Path | None = DEFAULT_OUT
+) -> list[BenchRecord]:
+    """Run the suite; write ``out`` (unless ``None``); return the records."""
+    records: list[BenchRecord] = []
+    for name, fn in bench_cases(quick):
+        warmup = name.startswith("micro/") or quick
+        events, wall = _time_case(fn, repeat, warmup)
+        records.append(
+            BenchRecord(
+                case=name,
+                events=events,
+                wall_s=round(wall, 6),
+                events_per_s=round(events / wall, 1) if wall > 0 else float("inf"),
+            )
+        )
+    if out is not None:
+        payload = {
+            "schema": "{case, events, wall_s, events_per_s}",
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "quick": quick,
+            "repeat": repeat,
+            "baselines": {
+                "macro/e1_paper_k2_batch": E1_K2_BASELINE_EVENTS_PER_S,
+            },
+            "results": [asdict(r) for r in records],
+        }
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+    return records
+
+
+def render_records(records: Sequence[BenchRecord]) -> str:
+    """Fixed-width text table for terminal output."""
+    lines = [
+        f"{'case':<28} {'events':>10} {'wall_s':>10} {'events/s':>12}",
+        "-" * 64,
+    ]
+    for r in records:
+        lines.append(
+            f"{r.case:<28} {r.events:>10,} {r.wall_s:>10.4f} {r.events_per_s:>12,.0f}"
+        )
+        if r.case == "macro/e1_paper_k2_batch":
+            factor = r.events_per_s / E1_K2_BASELINE_EVENTS_PER_S
+            lines.append(
+                f"{'':<28} vs pre-optimisation baseline "
+                f"{E1_K2_BASELINE_EVENTS_PER_S:,.0f} ev/s: {factor:.2f}x"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``fjs-bench`` entry point (also behind ``python -m repro bench``)."""
+    parser = argparse.ArgumentParser(
+        prog="fjs-bench",
+        description="Time the pinned micro/macro suite and write BENCH_perf.json.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small parameters (CI smoke): k=1 macro case, 1k-job micros",
+    )
+    parser.add_argument("--repeat", type=int, default=3, help="timed repetitions")
+    parser.add_argument(
+        "--out", type=str, default=DEFAULT_OUT, help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+    records = run_bench(quick=args.quick, repeat=args.repeat, out=args.out)
+    print(render_records(records))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

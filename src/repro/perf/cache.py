@@ -1,0 +1,276 @@
+"""Content-addressed memoization of expensive offline references.
+
+Sweeps and experiments repeatedly evaluate the same offline reference —
+``exact_optimal_span`` (exponential branch-and-bound),
+``span_lower_bound``, ``lp_lower_bound`` — on the *same* instances:
+every scheduler in a grid shares the instance family, every CLI rerun
+regenerates the same seeded workloads.  :class:`ReferenceCache` makes
+those recomputations free.
+
+Keys are **content-addressed**: :func:`instance_fingerprint` hashes the
+canonical job data (id, arrival, deadline, length, size) — *not* the
+instance name — so two structurally identical instances share an entry
+and any change to any job field invalidates it.  Entries live in an
+in-memory LRU and, optionally, a JSON store on disk that persists across
+processes (the parallel runner's workers and repeated CLI invocations
+then share one reference table).
+
+Environment knobs
+-----------------
+``REPRO_CACHE_DIR``  — directory for the on-disk store (enables disk
+persistence for the default cache when set).
+``REPRO_CACHE``      — set to ``0`` to disable the default cache
+entirely (every lookup recomputes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable
+
+from ..core.job import Instance
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_ENABLE_ENV",
+    "CachedReference",
+    "ReferenceCache",
+    "cached_reference",
+    "get_default_cache",
+    "instance_fingerprint",
+    "reset_default_cache",
+]
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+CACHE_ENABLE_ENV = "REPRO_CACHE"
+
+DEFAULT_MAXSIZE = 4096
+_STORE_FILENAME = "reference_cache.json"
+
+
+def instance_fingerprint(instance: Instance) -> str:
+    """A stable content hash of an instance's job data.
+
+    Canonicalises each job to ``(id, arrival, deadline, length, size)``
+    with floats rendered via ``repr`` (round-trip exact), sorts by id,
+    and SHA-256 hashes the result.  The instance *name* is deliberately
+    excluded — the cache is content-addressed.
+    """
+    items = sorted(
+        (j.id, repr(j.arrival), repr(j.deadline), repr(j.length), repr(j.size))
+        for j in instance.jobs
+    )
+    payload = json.dumps(items, separators=(",", ":")).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+class ReferenceCache:
+    """``(kind, fingerprint) -> float`` store with LRU + optional disk tier.
+
+    Parameters
+    ----------
+    maxsize:
+        In-memory LRU capacity (oldest entries evicted first).
+    path:
+        Optional directory for a write-through JSON store.  Loaded
+        lazily; writes are atomic (tempfile + rename) so concurrent
+        processes never observe a torn file.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE, path: str | Path | None = None):
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._mem: OrderedDict[str, float] = OrderedDict()
+        self._path = Path(path) / _STORE_FILENAME if path is not None else None
+        self._disk_loaded = False
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ api
+    def get(self, kind: str, fingerprint: str) -> float | None:
+        """The cached value, or ``None`` on a miss (counters updated)."""
+        key = f"{kind}:{fingerprint}"
+        value = self._mem.get(key)
+        if value is None and self._path is not None:
+            value = self._disk_store().get(key)
+            if value is not None:
+                self._remember(key, value)  # promote to memory
+        if value is None:
+            self.misses += 1
+            return None
+        self._mem.move_to_end(key, last=True)
+        self.hits += 1
+        return value
+
+    def put(self, kind: str, fingerprint: str, value: float) -> None:
+        """Store a value in memory and (if configured) on disk."""
+        key = f"{kind}:{fingerprint}"
+        self._remember(key, float(value))
+        if self._path is not None:
+            store = self._disk_store()
+            store[key] = float(value)
+            self._flush(store)
+
+    def compute(
+        self, kind: str, instance: Instance, fn: Callable[[Instance], float]
+    ) -> float:
+        """Memoised ``fn(instance)`` under fingerprint addressing."""
+        fp = instance_fingerprint(instance)
+        cached = self.get(kind, fp)
+        if cached is not None:
+            return cached
+        value = fn(instance)
+        self.put(kind, fp, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop every in-memory entry and reset counters (disk untouched)."""
+        self._mem.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict[str, int | float]:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._mem),
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    # ------------------------------------------------------------- internals
+    def _remember(self, key: str, value: float) -> None:
+        self._mem[key] = value
+        self._mem.move_to_end(key, last=True)
+        while len(self._mem) > self.maxsize:
+            self._mem.popitem(last=False)
+
+    def _disk_store(self) -> dict[str, float]:
+        if not self._disk_loaded:
+            self._disk: dict[str, float] = {}
+            if self._path is not None and self._path.exists():
+                try:
+                    raw = json.loads(self._path.read_text())
+                    if isinstance(raw, dict):
+                        self._disk = {str(k): float(v) for k, v in raw.items()}
+                except (OSError, ValueError):
+                    self._disk = {}  # corrupt store: start fresh
+            self._disk_loaded = True
+        return self._disk
+
+    def _flush(self, store: dict[str, float]) -> None:
+        assert self._path is not None
+        try:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self._path.parent), prefix=".refcache-", suffix=".json"
+            )
+            with os.fdopen(fd, "w") as f:
+                json.dump(store, f)
+            os.replace(tmp, self._path)
+        except OSError:
+            pass  # disk tier is best-effort; memory tier still holds the value
+
+
+class CachedReference:
+    """A picklable, cache-backed ``Instance -> float`` reference callable.
+
+    Wraps a top-level reference function; fixed keyword arguments are
+    folded into the cache ``kind`` so differently parameterised wrappers
+    never collide.  Pickling drops the cache binding (workers rebuild
+    their own default cache), keeping the wrapper process-pool friendly.
+    """
+
+    __slots__ = ("fn", "kind", "kwargs", "_cache")
+
+    def __init__(
+        self,
+        fn: Callable[..., float],
+        *,
+        kind: str | None = None,
+        cache: ReferenceCache | None = None,
+        **kwargs,
+    ) -> None:
+        self.fn = fn
+        self.kwargs = dict(sorted(kwargs.items()))
+        suffix = (
+            "" if not self.kwargs
+            else "[" + ",".join(f"{k}={v!r}" for k, v in self.kwargs.items()) + "]"
+        )
+        self.kind = (kind or getattr(fn, "__name__", "reference")) + suffix
+        self._cache = cache
+
+    @property
+    def cache(self) -> ReferenceCache:
+        return self._cache if self._cache is not None else get_default_cache()
+
+    def __call__(self, instance: Instance) -> float:
+        cache = self.cache
+        if cache is None:  # caching globally disabled
+            return self.fn(instance, **self.kwargs)
+        return cache.compute(
+            self.kind, instance, lambda inst: self.fn(inst, **self.kwargs)
+        )
+
+    def __getstate__(self):
+        return (self.fn, self.kind, self.kwargs)
+
+    def __setstate__(self, state):
+        self.fn, self.kind, self.kwargs = state
+        self._cache = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CachedReference({self.kind})"
+
+
+def cached_reference(
+    fn: Callable[..., float],
+    *,
+    kind: str | None = None,
+    cache: ReferenceCache | None = None,
+    **kwargs,
+) -> CachedReference:
+    """Wrap a reference function with fingerprint memoization.
+
+    >>> from repro.offline import span_lower_bound
+    >>> ref = cached_reference(span_lower_bound)  # doctest: +SKIP
+    """
+    return CachedReference(fn, kind=kind, cache=cache, **kwargs)
+
+
+_default_cache: ReferenceCache | None = None
+_default_cache_config: tuple[str | None, str | None] | None = None
+
+
+def get_default_cache() -> ReferenceCache | None:
+    """The process-wide cache, or ``None`` when ``REPRO_CACHE=0``.
+
+    Rebuilt automatically when the governing environment variables
+    change (tests flip them via ``monkeypatch``).
+    """
+    global _default_cache, _default_cache_config
+    config = (os.environ.get(CACHE_ENABLE_ENV), os.environ.get(CACHE_DIR_ENV))
+    if config != _default_cache_config:
+        _default_cache_config = config
+        enable, cache_dir = config
+        if enable is not None and enable.strip().lower() in ("0", "off", "false", "no"):
+            _default_cache = None
+        else:
+            _default_cache = ReferenceCache(path=cache_dir or None)
+    return _default_cache
+
+
+def reset_default_cache() -> None:
+    """Forget the process-wide cache (next access rebuilds from env)."""
+    global _default_cache, _default_cache_config
+    _default_cache = None
+    _default_cache_config = None

@@ -1,0 +1,227 @@
+"""Process-pool fan-out for embarrassingly parallel experiment grids.
+
+Every empirical harness in this repository reduces to the same shape:
+``map(run_one, tasks)`` over independent ``(scheduler, instance)`` cells
+or Monte-Carlo trials.  :class:`ParallelRunner` centralises that map with
+three hard guarantees:
+
+* **Determinism** — results are returned in task-submission order and
+  every task carries its own pre-derived seed (:func:`derive_seed`), so
+  parallel output is *bit-identical* to serial output regardless of
+  worker count, chunking, or completion order.
+* **Graceful degradation** — when ``workers <= 1``, when the callable or
+  any task fails a pickling pre-flight (closures, lambdas, bound adaptive
+  adversaries…), or when the host refuses to spawn processes (sandboxes,
+  restricted containers), the runner silently executes serially and
+  records why in :attr:`ParallelRunner.last_stats`.
+* **Chunked dispatch** — tasks are shipped to workers in contiguous
+  chunks (default: ~4 chunks per worker) to amortise pickling and
+  process-hop overhead on fine-grained grids.
+
+The worker count defaults to the ``REPRO_WORKERS`` environment variable
+(``0``/``auto`` ⇒ all cores; unset ⇒ ``1`` = serial), so test suites and
+benches opt in without code changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+__all__ = [
+    "WORKERS_ENV",
+    "ParallelRunner",
+    "RunnerStats",
+    "chunked",
+    "derive_seed",
+    "get_default_runner",
+    "resolve_workers",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable controlling the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: int | str | None) -> int:
+    """Normalise a worker specification to a positive integer.
+
+    ``None`` reads :data:`WORKERS_ENV` (default ``1`` = serial);
+    ``0`` or ``"auto"`` means *all cores*; anything else must be a
+    positive integer.
+    """
+    if workers is None:
+        workers = os.environ.get(WORKERS_ENV, "1")
+    if isinstance(workers, str):
+        spec = workers.strip().lower()
+        if spec in ("auto", ""):
+            workers = 0
+        else:
+            try:
+                workers = int(spec)
+            except ValueError:
+                raise ValueError(
+                    f"invalid worker count {workers!r} (int, 'auto', or 0)"
+                ) from None
+    if workers == 0:
+        return max(os.cpu_count() or 1, 1)
+    if workers < 0:
+        raise ValueError(f"worker count must be >= 0, got {workers}")
+    return workers
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """A stable, collision-resistant per-task seed.
+
+    Independent of worker count and execution order (it only hashes the
+    pair), so parallel and serial runs draw identical random streams.
+    """
+    digest = hashlib.sha256(f"repro:{base_seed}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def chunked(seq: Sequence[T], size: int) -> list[list[T]]:
+    """Split ``seq`` into contiguous chunks of at most ``size`` items."""
+    if size <= 0:
+        raise ValueError(f"chunk size must be positive, got {size}")
+    return [list(seq[i : i + size]) for i in range(0, len(seq), size)]
+
+
+def _run_chunk(fn: Callable[[T], R], chunk: list[T]) -> list[R]:
+    """Worker-side body: apply ``fn`` to one chunk (must stay top-level
+    so it is picklable under the spawn start method)."""
+    return [fn(task) for task in chunk]
+
+
+@dataclass
+class RunnerStats:
+    """Telemetry for the most recent :meth:`ParallelRunner.map` call."""
+
+    mode: str = "serial"  # "serial" | "parallel"
+    reason: str = ""  # why serial was chosen, when it was
+    workers: int = 1
+    tasks: int = 0
+    chunks: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "reason": self.reason,
+            "workers": self.workers,
+            "tasks": self.tasks,
+            "chunks": self.chunks,
+        }
+
+
+@dataclass
+class ParallelRunner:
+    """Deterministic ordered map over independent tasks.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes; ``None`` reads ``REPRO_WORKERS`` (default 1),
+        ``0``/``"auto"`` uses all cores, ``1`` forces serial execution.
+    chunk_size:
+        Tasks per worker chunk; ``None`` picks ``ceil(n / (4·workers))``.
+    min_parallel_tasks:
+        Grids smaller than this always run serially (process start-up
+        costs more than it saves).
+    """
+
+    workers: int | str | None = None
+    chunk_size: int | None = None
+    min_parallel_tasks: int = 4
+    last_stats: RunnerStats = field(default_factory=RunnerStats, repr=False)
+
+    def __post_init__(self) -> None:
+        self.workers = resolve_workers(self.workers)
+
+    # ------------------------------------------------------------------ api
+    def map(self, fn: Callable[[T], R], tasks: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every task, returning results in task order.
+
+        Falls back to serial execution (recording the reason) whenever the
+        pool cannot be used; the output is identical either way.
+        """
+        task_list = list(tasks)
+        n = len(task_list)
+        workers = int(self.workers)  # resolved in __post_init__
+
+        if workers <= 1:
+            return self._serial(fn, task_list, "workers<=1")
+        if n < self.min_parallel_tasks:
+            return self._serial(fn, task_list, f"fewer than {self.min_parallel_tasks} tasks")
+        if not self._picklable(fn, task_list):
+            return self._serial(fn, task_list, "callable or task not picklable")
+
+        size = self.chunk_size or max(1, -(-n // (workers * 4)))
+        chunks = chunked(task_list, size)
+        try:
+            results = self._pool_map(fn, chunks, min(workers, len(chunks)))
+        except Exception as exc:  # pool unavailable (sandbox, OS limits…)
+            return self._serial(fn, task_list, f"pool unavailable: {type(exc).__name__}")
+        self.last_stats = RunnerStats(
+            mode="parallel", workers=workers, tasks=n, chunks=len(chunks)
+        )
+        return results
+
+    def starmap(self, fn: Callable[..., R], tasks: Iterable[tuple]) -> list[R]:
+        """Like :meth:`map` for callables taking positional arguments."""
+        return self.map(_StarCall(fn), list(tasks))
+
+    # ------------------------------------------------------------- internals
+    def _serial(self, fn: Callable[[T], R], tasks: list[T], reason: str) -> list[R]:
+        self.last_stats = RunnerStats(
+            mode="serial", reason=reason, workers=1, tasks=len(tasks), chunks=1
+        )
+        return [fn(task) for task in tasks]
+
+    @staticmethod
+    def _picklable(fn: Callable, tasks: list) -> bool:
+        try:
+            pickle.dumps(fn)
+            for task in tasks:
+                pickle.dumps(task)
+        except Exception:
+            return False
+        return True
+
+    @staticmethod
+    def _pool_map(
+        fn: Callable[[T], R], chunks: list[list[T]], workers: int
+    ) -> list[R]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        results: list[R] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+            for future in futures:  # submission order == task order
+                results.extend(future.result())
+        return results
+
+
+class _StarCall:
+    """Picklable adapter turning ``fn(*args)`` into ``g(args)``."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable) -> None:
+        self.fn = fn
+
+    def __call__(self, args: tuple):
+        return self.fn(*args)
+
+
+def get_default_runner() -> ParallelRunner:
+    """A fresh runner honouring the current ``REPRO_WORKERS`` setting.
+
+    Built per call (cheap) so tests and benches can flip the environment
+    variable between runs without stale state.
+    """
+    return ParallelRunner(workers=None)

@@ -4,6 +4,14 @@ The benchmark harness repeats one pattern everywhere: run a set of
 schedulers over a family of instances, measure spans, and compare with a
 reference (exact optimum, certified lower bound, or offline heuristic).
 :func:`run_grid` centralises that pattern with deterministic seeding.
+
+Grids are embarrassingly parallel — every (scheduler, instance) cell is
+an independent simulation — so :func:`run_grid` routes through
+:class:`repro.perf.ParallelRunner`: pass ``workers=`` (or set the
+``REPRO_WORKERS`` environment variable) to fan the cells out over a
+process pool.  Parallel results are **bit-identical** to serial ones:
+cells are cloned and ordered before dispatch and results are collected
+in submission order.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ import numpy as np
 
 from ..core.engine import simulate
 from ..core.job import Instance
+from ..perf.parallel import ParallelRunner, get_default_runner
 from ..schedulers.base import OnlineScheduler
 
 __all__ = ["GridResult", "run_grid", "ratio_stats"]
@@ -32,8 +41,39 @@ class GridResult:
 
     @property
     def ratio(self) -> float:
-        """Span over the reference value (competitive-ratio estimate)."""
-        return self.span / self.reference if self.reference > 0 else float("inf")
+        """Span over the reference value (competitive-ratio estimate).
+
+        * ``reference > 0`` — the plain quotient.
+        * ``reference == 0 and span == 0`` — an empty cell matched an
+          empty reference exactly: ratio ``1.0`` (not ``nan``/``inf``).
+        * ``reference == 0 and span > 0`` — ``inf`` (the reference says
+          "free" but the scheduler paid; the cell is degenerate).
+        * ``reference < 0`` — a span can never be negative, so a
+          negative reference is always a bug in the reference callable;
+          raise instead of silently masking it.
+        """
+        if self.reference < 0:
+            raise ValueError(
+                f"negative reference {self.reference} for "
+                f"({self.scheduler_name}, {self.instance_name}): "
+                "reference callables must return a span lower bound >= 0"
+            )
+        if self.reference == 0:
+            return 1.0 if self.span == 0 else float("inf")
+        return self.span / self.reference
+
+
+def _run_cell(cell: tuple[OnlineScheduler, Instance, bool, str, float]) -> GridResult:
+    """Simulate one grid cell (top-level: picklable for the process pool)."""
+    scheduler, inst, mode, name, ref = cell
+    result = simulate(scheduler, inst, clairvoyant=mode)
+    return GridResult(
+        scheduler_name=name,
+        instance_name=inst.name,
+        span=result.span,
+        reference=ref,
+        events=result.events_processed,
+    )
 
 
 def run_grid(
@@ -42,6 +82,8 @@ def run_grid(
     reference: Callable[[Instance], float],
     *,
     clairvoyant: bool | None = None,
+    workers: int | str | None = None,
+    runner: ParallelRunner | None = None,
 ) -> list[GridResult]:
     """Run every scheduler on every instance against a reference span.
 
@@ -54,29 +96,33 @@ def run_grid(
     reference:
         ``Instance -> float`` producing the denominator (e.g.
         ``exact_optimal_span`` or ``span_lower_bound``), evaluated once
-        per instance.
+        per instance.  Wrap with
+        :func:`repro.perf.cached_reference` to memoise expensive
+        references across repeated sweeps.
     clairvoyant:
         Information model override; by default each scheduler runs in
         the weakest model it supports (clairvoyant only when required).
+    workers:
+        Process-pool size for the cell fan-out (``None`` reads
+        ``REPRO_WORKERS``, default serial; ``0``/``"auto"`` = all
+        cores).  Results are bit-identical to the serial order.
+    runner:
+        An explicit :class:`~repro.perf.ParallelRunner` (overrides
+        ``workers``); lets callers share one pool across sweeps.
     """
+    if runner is None:
+        runner = (
+            get_default_runner() if workers is None else ParallelRunner(workers)
+        )
     inst_list = list(instances)
-    refs = [reference(inst) for inst in inst_list]
-    out: list[GridResult] = []
+    refs = runner.map(reference, inst_list)
+    cells: list[tuple[OnlineScheduler, Instance, bool, str, float]] = []
     for proto in schedulers:
         needs = getattr(type(proto), "requires_clairvoyance", False)
         mode = needs if clairvoyant is None else clairvoyant
         for inst, ref in zip(inst_list, refs):
-            result = simulate(proto.clone(), inst, clairvoyant=mode)
-            out.append(
-                GridResult(
-                    scheduler_name=proto.name,
-                    instance_name=inst.name,
-                    span=result.span,
-                    reference=ref,
-                    events=result.events_processed,
-                )
-            )
-    return out
+            cells.append((proto.clone(), inst, mode, proto.name, ref))
+    return runner.map(_run_cell, cells)
 
 
 def ratio_stats(results: Iterable[GridResult]) -> dict[str, dict[str, float]]:

@@ -1,0 +1,95 @@
+"""Golden-trace regression tests for the optimized simulator.
+
+``tests/data/golden_traces.json`` was captured from the *pre-optimization*
+engine (dataclass-event heap, getattr-per-event dispatch, per-job
+admission).  The optimized engine — raw tuple heap, dispatch table,
+hoisted hooks, batch admission, incremental pending/running indexes —
+must reproduce every run **event for event**: same record kinds, same
+times, same job ids, same details, same event counts, same spans.
+
+If an engine change breaks these on purpose (a deliberate semantic
+change), recapture the fixture and say so loudly in the PR: same-time
+event ordering is what the paper's §3.1/§4.1 constructions hinge on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.adversaries import NonClairvoyantLowerBoundAdversary, geometric_profile
+from repro.core import simulate
+from repro.core.job import Instance
+from repro.schedulers import Batch, BatchPlus, Eager, Lazy
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_traces.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+#: The fixed instance all static golden runs use (do not edit: the
+#: fixture was captured against exactly these jobs).
+GOLDEN_INSTANCE = Instance.from_triples(
+    [(0, 2, 1), (0.5, 1, 3), (1, 4, 2), (2, 0, 1), (3, 3, 5), (3, 3, 0.5), (9, 1, 2)],
+    name="golden-7",
+)
+
+SCHEDULERS = {"Batch": Batch, "BatchPlus": BatchPlus, "Eager": Eager, "Lazy": Lazy}
+
+
+def as_rows(trace) -> list[list]:
+    return [[r.time, r.kind.value, r.job_id, r.detail] for r in trace]
+
+
+@pytest.mark.parametrize("name", sorted(SCHEDULERS))
+def test_static_golden_trace_event_for_event(name):
+    result = simulate(SCHEDULERS[name](), GOLDEN_INSTANCE, trace=True)
+    expected = GOLDEN[name]
+    assert as_rows(result.trace) == expected["records"]
+    assert result.span == expected["span"]
+    assert result.events_processed == expected["events"]
+
+
+def test_adversarial_golden_trace_event_for_event():
+    """Adaptive run: RELEASE/ASSIGN/ADVERSARY_WAKEUP records included."""
+    adv = NonClairvoyantLowerBoundAdversary(4.0, geometric_profile(2, 3))
+    result = simulate(Batch(), adversary=adv, clairvoyant=False, trace=True)
+    expected = GOLDEN["adversarial/Batch"]
+    assert as_rows(result.trace) == expected["records"]
+    assert result.span == expected["span"]
+    assert result.events_processed == expected["events"]
+
+
+def test_trace_off_matches_trace_on():
+    """Tracing must be observation only: identical schedule either way."""
+    with_trace = simulate(BatchPlus(), GOLDEN_INSTANCE, trace=True)
+    without = simulate(BatchPlus(), GOLDEN_INSTANCE, trace=False)
+    assert without.trace is None
+    assert without.span == with_trace.span
+    assert without.events_processed == with_trace.events_processed
+    assert without.schedule.starts() == with_trace.schedule.starts()
+
+
+def test_pending_running_indexes_match_schedule():
+    """The incremental ctx.pending()/ctx.running() indexes stay honest."""
+
+    class Probe(Eager):
+        name = "probe"
+
+        def __init__(self):
+            super().__init__()
+            self.snapshots = []
+
+        def on_arrival(self, ctx, job):
+            super().on_arrival(ctx, job)
+            pending_ids = [v.id for v in ctx.pending()]
+            running_ids = [v.id for v in ctx.running()]
+            assert not set(pending_ids) & set(running_ids)
+            self.snapshots.append((ctx.now, pending_ids, running_ids))
+
+    probe = Probe()
+    result = simulate(probe, GOLDEN_INSTANCE)
+    assert probe.snapshots  # hook ran
+    # Eager starts on arrival, so nothing may linger pending afterwards.
+    final = result.schedule.starts()
+    assert set(final) == set(GOLDEN_INSTANCE.job_ids)

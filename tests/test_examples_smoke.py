@@ -14,11 +14,23 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
-EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+# Underscore-prefixed files are shared helpers (e.g. the ``_bootstrap``
+# sys.path shim every example imports first), not runnable examples.
+EXAMPLES = sorted(
+    p for p in EXAMPLES_DIR.glob("*.py") if not p.name.startswith("_")
+)
 
 
 def test_examples_exist():
     assert len(EXAMPLES) >= 8
+
+
+def test_examples_import_the_bootstrap_shim():
+    """Every example must bootstrap sys.path so it runs from any cwd."""
+    for path in EXAMPLES:
+        assert "import _bootstrap" in path.read_text(), (
+            f"{path.name} is missing the 'import _bootstrap' shim"
+        )
 
 
 @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)

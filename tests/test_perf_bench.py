@@ -1,0 +1,78 @@
+"""Tests for the bench suite, CLI subcommand, and GridResult.ratio edge
+cases fixed alongside the perf work."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf.bench import BenchRecord, bench_cases, run_bench
+from repro.workloads import GridResult
+
+
+class TestRunBench:
+    def test_quick_suite_records_and_schema(self, tmp_path):
+        out = tmp_path / "BENCH_perf.json"
+        records = run_bench(quick=True, repeat=1, out=out)
+        assert len(records) >= 4
+        assert all(isinstance(r, BenchRecord) for r in records)
+        for r in records:
+            assert r.events > 0 and r.wall_s >= 0
+            assert r.events_per_s > 0
+
+        payload = json.loads(out.read_text())
+        assert payload["quick"] is True
+        assert payload["schema"] == "{case, events, wall_s, events_per_s}"
+        for row in payload["results"]:
+            assert set(row) == {"case", "events", "wall_s", "events_per_s"}
+        cases = [row["case"] for row in payload["results"]]
+        assert "micro/event_queue" in cases
+        assert any(c.startswith("macro/e1_paper") for c in cases)
+
+    def test_no_out_means_no_file(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        records = run_bench(quick=True, repeat=1, out=None)
+        assert records and not list(tmp_path.iterdir())
+
+    def test_full_suite_includes_k2_macro(self):
+        names = [name for name, _ in bench_cases(quick=False)]
+        assert "macro/e1_paper_k2_batch" in names
+        quick_names = [name for name, _ in bench_cases(quick=True)]
+        assert "macro/e1_paper_k2_batch" not in quick_names  # CI stays fast
+
+
+class TestBenchCLI:
+    def test_python_m_repro_bench_quick(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = main(["bench", "--quick", "--repeat", "1", "--out", str(out)])
+        assert rc == 0
+        assert out.exists()
+        printed = capsys.readouterr().out
+        assert "events/s" in printed and "micro/event_queue" in printed
+
+
+class TestGridResultRatio:
+    @staticmethod
+    def cell(span: float, reference: float) -> GridResult:
+        return GridResult(
+            scheduler_name="s",
+            instance_name="i",
+            span=span,
+            reference=reference,
+            events=1,
+        )
+
+    def test_positive_reference(self):
+        assert self.cell(3.0, 2.0).ratio == 1.5
+
+    def test_zero_zero_is_exactly_one(self):
+        assert self.cell(0.0, 0.0).ratio == 1.0
+
+    def test_zero_reference_positive_span_is_inf(self):
+        assert self.cell(1.0, 0.0).ratio == float("inf")
+
+    def test_negative_reference_raises(self):
+        with pytest.raises(ValueError, match="negative reference"):
+            self.cell(1.0, -0.5).ratio

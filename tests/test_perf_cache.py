@@ -1,0 +1,170 @@
+"""Tests for the content-addressed reference cache (``repro.perf.cache``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.job import Instance, Job
+from repro.offline import exact_optimal_span, span_lower_bound
+from repro.perf import (
+    ReferenceCache,
+    cached_reference,
+    get_default_cache,
+    instance_fingerprint,
+    reset_default_cache,
+)
+from repro.perf.cache import CACHE_DIR_ENV, CACHE_ENABLE_ENV
+
+
+def small_instance(name: str = "inst") -> Instance:
+    return Instance.from_triples(
+        [(0, 2, 1), (1, 3, 2), (2, 1, 1), (4, 2, 3)], name=name
+    )
+
+
+class TestFingerprint:
+    def test_stable_across_equal_content(self):
+        assert instance_fingerprint(small_instance("a")) == instance_fingerprint(
+            small_instance("b")
+        )  # name excluded: content-addressed
+
+    def test_any_job_field_change_invalidates(self):
+        base = small_instance()
+        fp = instance_fingerprint(base)
+        jobs = list(base.jobs)
+        moved = jobs[1].with_length(jobs[1].length + 1.0)
+        changed = Instance(jobs[:1] + [moved] + jobs[2:], name=base.name)
+        assert instance_fingerprint(changed) != fp
+
+    def test_job_order_does_not_matter(self):
+        base = small_instance()
+        shuffled = Instance(reversed(base.jobs), name="shuffled")
+        assert instance_fingerprint(base) == instance_fingerprint(shuffled)
+
+
+class TestReferenceCache:
+    def test_hit_miss_counters(self):
+        cache = ReferenceCache()
+        inst = small_instance()
+        calls = []
+
+        def ref(instance):
+            calls.append(instance)
+            return span_lower_bound(instance)
+
+        first = cache.compute("lb", inst, ref)
+        second = cache.compute("lb", inst, ref)
+        assert first == second == span_lower_bound(inst)
+        assert len(calls) == 1  # second call was a hit
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.stats()["hit_rate"] == 0.5
+
+    def test_kind_separates_references(self):
+        cache = ReferenceCache()
+        inst = small_instance()
+        cache.put("a", instance_fingerprint(inst), 1.0)
+        assert cache.get("b", instance_fingerprint(inst)) is None
+
+    def test_fingerprint_change_invalidates(self):
+        cache = ReferenceCache()
+        inst = small_instance()
+        v1 = cache.compute("lb", inst, span_lower_bound)
+        grown = Instance(
+            list(inst.jobs)
+            + [Job(id=99, arrival=100.0, deadline=101.0, length=50.0)],
+            name=inst.name,
+        )
+        v2 = cache.compute("lb", grown, span_lower_bound)
+        assert v2 != v1  # recomputed, not served from the old entry
+        assert cache.misses == 2
+
+    def test_lru_eviction(self):
+        cache = ReferenceCache(maxsize=2)
+        cache.put("k", "f1", 1.0)
+        cache.put("k", "f2", 2.0)
+        assert cache.get("k", "f1") == 1.0  # f1 now most-recent
+        cache.put("k", "f3", 3.0)  # evicts f2
+        assert cache.get("k", "f2") is None
+        assert cache.get("k", "f1") == 1.0
+        assert len(cache) == 2
+
+    def test_disk_store_roundtrip(self, tmp_path):
+        inst = small_instance()
+        first = ReferenceCache(path=tmp_path)
+        value = first.compute("lb", inst, span_lower_bound)
+
+        # A brand-new cache (fresh process, conceptually) reads it back.
+        second = ReferenceCache(path=tmp_path)
+        calls = []
+
+        def never(instance):  # pragma: no cover - must not run
+            calls.append(instance)
+            return -1.0
+
+        assert second.compute("lb", inst, never) == value
+        assert not calls and second.hits == 1
+
+        store = json.loads((tmp_path / "reference_cache.json").read_text())
+        assert any(k.startswith("lb:") for k in store)
+
+
+class TestCachedReference:
+    def test_wrapper_matches_uncached(self):
+        inst = small_instance()
+        ref = cached_reference(span_lower_bound, cache=ReferenceCache())
+        assert ref(inst) == span_lower_bound(inst)
+        assert ref(inst) == span_lower_bound(inst)  # from cache
+
+    def test_kwargs_fold_into_kind(self):
+        a = cached_reference(exact_optimal_span, cache=ReferenceCache())
+        b = cached_reference(
+            exact_optimal_span, cache=ReferenceCache(), node_budget=10_000
+        )
+        assert a.kind != b.kind  # parameterisations never collide
+
+    def test_exact_reference_cached(self):
+        inst = Instance.from_triples(
+            [(0, 2, 1), (1, 1, 2), (3, 2, 1)], name="tiny-int"
+        )
+        cache = ReferenceCache()
+        ref = cached_reference(exact_optimal_span, cache=cache)
+        v1 = ref(inst)
+        v2 = ref(inst)
+        assert v1 == v2 == exact_optimal_span(inst)
+        assert cache.hits == 1
+
+    def test_picklable_for_process_pools(self):
+        import pickle
+
+        ref = cached_reference(span_lower_bound, cache=ReferenceCache())
+        clone = pickle.loads(pickle.dumps(ref))
+        assert clone(small_instance()) == span_lower_bound(small_instance())
+
+
+class TestDefaultCacheEnv:
+    @pytest.fixture(autouse=True)
+    def _reset(self):
+        reset_default_cache()
+        yield
+        reset_default_cache()
+
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENABLE_ENV, raising=False)
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert get_default_cache() is not None
+
+    def test_disable_knob(self, monkeypatch):
+        monkeypatch.setenv(CACHE_ENABLE_ENV, "0")
+        assert get_default_cache() is None
+        # cached_reference still computes correctly with caching off.
+        ref = cached_reference(span_lower_bound)
+        assert ref(small_instance()) == span_lower_bound(small_instance())
+
+    def test_dir_knob_persists(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(CACHE_ENABLE_ENV, raising=False)
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        ref = cached_reference(span_lower_bound)
+        ref(small_instance())
+        assert (tmp_path / "reference_cache.json").exists()
