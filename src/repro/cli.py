@@ -16,6 +16,8 @@ Subcommands
 ``workload``  — generate a synthetic instance and save it as JSON.
 ``bench``     — time the pinned perf suite and write ``BENCH_perf.json``
                 (see ``repro.perf.bench``).
+``lint``      — domain-aware static analysis (clairvoyance contract,
+                determinism, float hygiene; see ``repro.lint``).
 
 Performance knobs honoured by ``compare``/``experiment`` (and any other
 grid-shaped command): ``REPRO_WORKERS`` fans simulation cells out over a
@@ -50,7 +52,7 @@ from .analysis import (
 )
 from .core import load_instance, save_instance, simulate
 from .offline import exact_optimal_span, span_lower_bound
-from .schedulers import SCHEDULERS, make_scheduler, scheduler_names
+from .schedulers import make_scheduler, scheduler_names
 from .workloads import WorkloadSpec, generate, ratio_stats, run_grid
 
 __all__ = ["main", "build_parser"]
@@ -159,6 +161,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--out", type=str, default="BENCH_perf.json", help="output JSON path"
     )
+
+    from .lint.cli import add_lint_parser
+
+    add_lint_parser(sub)
 
     p_w = sub.add_parser("workload", help="generate and save a synthetic instance")
     p_w.add_argument("out", help="output JSON path")
@@ -353,7 +359,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    from .experiments import experiment_ids, run_experiment
+    from .experiments import run_experiment
 
     try:
         print(run_experiment(args.id, quick=not args.full))
@@ -370,6 +376,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(render_records(records))
     print(f"\nwrote {args.out}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import cmd_lint
+
+    return cmd_lint(args)
 
 
 def _cmd_workload(args: argparse.Namespace) -> int:
@@ -398,6 +410,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "verify": _cmd_verify,
         "bench": _cmd_bench,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -6,7 +6,7 @@ invariants, unhelpful when *diagnosing* a schedule produced elsewhere
 auditor runs every check, collects all findings, and summarises:
 
 * **violations** — feasibility failures (job outside its window, missing
-  or duplicated jobs, inconsistent lengths);
+  or unknown jobs, unresolved or mismatching lengths);
 * **observations** — non-fatal structure facts (idle gaps inside the
   busy hull, jobs started strictly at deadlines, peak concurrency).
 
@@ -74,13 +74,39 @@ class AuditReport:
         return "\n".join(lines)
 
 
-def audit(instance: Instance, starts: Mapping[int, float]) -> AuditReport:
+def audit(
+    instance: Instance,
+    starts: Mapping[int, float],
+    lengths: Mapping[int, float] | None = None,
+) -> AuditReport:
     """Audit a start-time assignment against an instance.
 
     Performs every check regardless of earlier failures and computes
     summary statistics over the valid subset of jobs.
+
+    Parameters
+    ----------
+    instance, starts:
+        The instance and the start-time assignment under audit.
+    lengths:
+        Optional *executed* processing lengths (e.g. recorded by an
+        external runner).  When given, they resolve adversary-controlled
+        jobs (``length=None``) and are cross-checked against committed
+        instance lengths: a disagreement beyond ``1e-12`` yields a
+        ``length-mismatch`` violation, and an executed length for a job
+        the instance doesn't contain yields ``unknown-length-record``.
     """
     report = AuditReport()
+    if lengths is not None:
+        for jid in sorted(set(lengths) - set(instance.job_ids)):
+            report.findings.append(
+                Finding(
+                    "violation",
+                    "unknown-length-record",
+                    "executed length refers to no job",
+                    jid,
+                )
+            )
     inst_ids = set(instance.job_ids)
     sched_ids = set(starts)
 
@@ -97,7 +123,23 @@ def audit(instance: Instance, starts: Mapping[int, float]) -> AuditReport:
     for jid in sorted(inst_ids & sched_ids):
         job = instance[jid]
         s = starts[jid]
-        if job.length is None:
+        executed = lengths.get(jid) if lengths is not None else None
+        length = job.length if job.length is not None else executed
+        if (
+            job.length is not None
+            and executed is not None
+            and abs(executed - job.length) > 1e-12
+        ):
+            report.findings.append(
+                Finding(
+                    "violation",
+                    "length-mismatch",
+                    f"executed length {executed:g} disagrees with committed "
+                    f"length {job.length:g}",
+                    jid,
+                )
+            )
+        if length is None:
             report.findings.append(
                 Finding(
                     "violation",
@@ -126,7 +168,7 @@ def audit(instance: Instance, starts: Mapping[int, float]) -> AuditReport:
                 )
             )
         else:
-            placed.append((s, job.length))
+            placed.append((s, length))
             if s == job.deadline and job.laxity > 0:
                 report.findings.append(
                     Finding(

@@ -36,10 +36,26 @@ after the current time), request wake-ups, and commit the length of any
 job it created with ``length=None``.  Lengths are committed at an
 ``ASSIGN`` event whose time the adversary chooses when the job starts
 (the §3.1 construction assigns lengths one time unit after start).
+
+Strict mode (the clairvoyance oracle)
+-------------------------------------
+The non-clairvoyant contract is enforced structurally only when the run
+itself is non-clairvoyant.  A scheduler that *declares*
+``requires_clairvoyance = False`` but is executed with
+``clairvoyant=True`` (e.g. in a mixed comparison grid) could silently
+read lengths it claims not to need.  Under ``strict=True`` — or
+``REPRO_STRICT=1`` in the environment — the engine attaches a
+:class:`ClairvoyanceGuard` that records every pre-completion
+``JobView.length`` read by such a scheduler and raises
+:class:`ClairvoyanceError` on the spot.  This is the runtime oracle that
+cross-validates the static RL001 rule in :mod:`repro.lint`: both must
+agree on any scheduler, and the lint test suite checks them against each
+other on shared fixtures.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Iterable, Protocol, runtime_checkable
 
@@ -57,6 +73,7 @@ from .schedule import Schedule
 from .trace import Trace, TraceKind
 
 __all__ = [
+    "ClairvoyanceGuard",
     "JobView",
     "SchedulerContext",
     "AdversaryResponse",
@@ -64,6 +81,7 @@ __all__ = [
     "SimulationResult",
     "Simulator",
     "simulate",
+    "strict_mode_enabled",
 ]
 
 #: Hard cap on processed events, guarding against runaway scheduler/adversary
@@ -78,6 +96,44 @@ _ARRIVAL = int(EventKind.ARRIVAL)
 _DEADLINE = int(EventKind.DEADLINE)
 _TIMER = int(EventKind.TIMER)
 _ADVERSARY = int(EventKind.ADVERSARY)
+
+
+def strict_mode_enabled() -> bool:
+    """Whether ``REPRO_STRICT`` requests the clairvoyance oracle."""
+    return os.environ.get("REPRO_STRICT", "").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "off",
+    )
+
+
+class ClairvoyanceGuard:
+    """Runtime oracle for the non-clairvoyant information model.
+
+    Attached to every job state when a :class:`Simulator` runs in strict
+    mode with a scheduler declaring ``requires_clairvoyance = False``.
+    Any ``JobView.length`` read before the job completes is recorded in
+    :attr:`accesses` as ``(job_id, time)`` and then rejected with
+    :class:`ClairvoyanceError` — the dynamic twin of the static RL001
+    rule in :mod:`repro.lint`.
+    """
+
+    __slots__ = ("accesses", "scheduler_name", "_sim")
+
+    def __init__(self, sim: "Simulator", scheduler_name: str) -> None:
+        self.accesses: list[tuple[int, float]] = []
+        self.scheduler_name = scheduler_name
+        self._sim = sim
+
+    def record(self, job_id: int) -> None:
+        self.accesses.append((job_id, self._sim._now))
+        raise ClairvoyanceError(
+            f"strict mode: scheduler {self.scheduler_name!r} declares "
+            f"requires_clairvoyance=False but read job {job_id}'s length "
+            f"at t={self._sim._now:g}, before the job completed "
+            "(REPRO_STRICT clairvoyance oracle)"
+        )
 
 
 class JobView:
@@ -118,13 +174,22 @@ class JobView:
 
     @property
     def length(self) -> float:
-        """``p(J)``; raises :class:`ClairvoyanceError` when still hidden."""
+        """``p(J)``; raises :class:`ClairvoyanceError` when still hidden.
+
+        In strict mode (``REPRO_STRICT=1``) a read by a scheduler that
+        declared ``requires_clairvoyance = False`` is additionally
+        recorded and rejected even when the run is clairvoyant — see
+        :class:`ClairvoyanceGuard`.
+        """
         st = self._state
         if not st.length_visible:
             raise ClairvoyanceError(
                 f"job {self._job.id}: processing length is hidden in the "
                 "non-clairvoyant setting until the job completes"
             )
+        guard = st.guard
+        if guard is not None and not st.completed:
+            guard.record(self._job.id)
         assert st.length is not None
         return st.length
 
@@ -172,9 +237,10 @@ class _JobState:
         "completion",
         "completed",
         "view",
+        "guard",
     )
 
-    def __init__(self, job: Job) -> None:
+    def __init__(self, job: Job, guard: ClairvoyanceGuard | None = None) -> None:
         self.job = job
         self.length: float | None = None  # committed processing length
         self.length_visible = False  # may the scheduler read it?
@@ -182,6 +248,7 @@ class _JobState:
         self.start: float | None = None
         self.completion: float | None = None
         self.completed = False
+        self.guard = guard  # strict-mode clairvoyance oracle (or None)
         self.view = JobView(job, self)
 
 
@@ -335,6 +402,10 @@ class Simulator:
     trace:
         When true, record a :class:`~repro.core.trace.Trace` of every
         event and scheduler action (exposed on the result).
+    strict:
+        Enable the clairvoyance oracle (see module docstring).  ``None``
+        (the default) defers to the ``REPRO_STRICT`` environment
+        variable, so test runs can switch the whole suite on at once.
     """
 
     def __init__(
@@ -346,6 +417,7 @@ class Simulator:
         clairvoyant: bool = False,
         max_events: int = MAX_EVENTS_DEFAULT,
         trace: bool = False,
+        strict: bool | None = None,
     ) -> None:
         if (instance is None) == (adversary is None):
             raise SimulationError(
@@ -356,6 +428,13 @@ class Simulator:
         self._adversary = adversary
         self._clairvoyant = clairvoyant
         self._max_events = max_events
+        if strict is None:
+            strict = strict_mode_enabled()
+        self._guard: ClairvoyanceGuard | None = None
+        if strict and not getattr(
+            type(scheduler), "requires_clairvoyance", False
+        ):
+            self._guard = ClairvoyanceGuard(self, type(scheduler).__name__)
 
         self._trace: Trace | None = Trace() if trace else None
         self._queue = EventQueue()
@@ -379,6 +458,15 @@ class Simulator:
     def _resolve_hook(self, name: str) -> Any:
         hook = getattr(self._scheduler, name, None)
         return hook if callable(hook) else None
+
+    @property
+    def strict_guard(self) -> ClairvoyanceGuard | None:
+        """The clairvoyance oracle, when strict mode armed one.
+
+        Its ``accesses`` list survives an aborted run, so tests can
+        inspect exactly which pre-completion reads occurred.
+        """
+        return self._guard
 
     # ------------------------------------------------------------------ run
     def run(self) -> SimulationResult:
@@ -461,7 +549,7 @@ class Simulator:
                     "adversary-controlled lengths are incompatible with the "
                     "clairvoyant information model"
                 )
-        st = _JobState(job)
+        st = _JobState(job, self._guard)
         if job.length is not None:
             st.length = job.length
             st.length_visible = self._clairvoyant
@@ -653,6 +741,7 @@ def simulate(
     clairvoyant: bool = False,
     max_events: int = MAX_EVENTS_DEFAULT,
     trace: bool = False,
+    strict: bool | None = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulator`.
 
@@ -672,4 +761,5 @@ def simulate(
         clairvoyant=clairvoyant,
         max_events=max_events,
         trace=trace,
+        strict=strict,
     ).run()

@@ -72,8 +72,11 @@ class Event:
     payload: Any = field(compare=False, default=None)
 
 
-#: The in-heap representation: ``(time, kind, seq, payload)``.
-RawEvent = tuple  # typing alias; kept loose for speed
+#: The in-heap representation: ``(time, kind, seq, payload)``.  ``kind``
+#: is typed ``int`` (not :class:`EventKind`) because the hot loop pushes
+#: and compares raw ints; ``EventKind`` values are ``int`` subclasses so
+#: both spellings satisfy the alias.
+RawEvent = tuple[float, int, int, Any]
 
 
 class EventQueue:

@@ -209,11 +209,14 @@ class Instance:
         return any(j.length is None for j in self.jobs)
 
     def _lengths(self) -> list[float]:
-        if self.has_unknown_lengths:
-            raise InvalidInstanceError(
-                f"instance {self.name!r} contains adversary-controlled lengths"
-            )
-        return [j.length for j in self.jobs]  # type: ignore[misc]
+        out: list[float] = []
+        for j in self.jobs:
+            if j.length is None:
+                raise InvalidInstanceError(
+                    f"instance {self.name!r} contains adversary-controlled lengths"
+                )
+            out.append(j.length)
+        return out
 
     @property
     def mu(self) -> float:

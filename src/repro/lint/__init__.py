@@ -1,0 +1,68 @@
+"""Domain-aware static analysis for the FJS reproduction.
+
+The paper's two information models (non-clairvoyant §3 vs clairvoyant
+§4) are a *contract*: a scheduler that declares
+``requires_clairvoyance = False`` must never read ``job.length`` before
+the job completes, or every competitive-ratio measurement it produces is
+silently invalid.  This package proves that contract — and a family of
+related reproduction invariants — at review time with an AST-based
+analyzer (stdlib :mod:`ast` only, no third-party dependencies).
+
+Rules
+-----
+========  ===============================================================
+RL001     clairvoyance-leak — a scheduler whose ``requires_clairvoyance``
+          is falsy reads ``.length`` / calls ``.with_length`` in a method
+          reachable before ``on_completion``.
+RL002     nondeterminism — unseeded ``random`` / wall-clock reads /
+          iteration over bare ``set``s in scheduler or adversary
+          decision paths.
+RL003     float-hygiene — ``==`` / ``!=`` between float-typed
+          expressions in theorem-certification code, where exact
+          ``Fraction`` comparison or a documented tolerance is required.
+RL004     state-mutation — assignment to ``JobView`` / ``Job``
+          attributes inside a scheduler (jobs are immutable inputs).
+RL005     reset-contract — a scheduler subclass ``reset()`` that never
+          calls ``super().reset()``.
+RL006     unused-import — an imported name never used in the module
+          (generic hygiene; ``__init__.py`` re-export hubs exempt).
+========  ===============================================================
+
+Suppression: append ``# lint: ignore[RL003]`` (or ``# noqa: RL003``) to
+the offending line.  Grandfathered findings live in a baseline file (see
+:mod:`repro.lint.baseline`); the CLI gate only fails on *new* findings.
+
+The static RL001 verdicts are cross-validated by a runtime oracle: under
+``REPRO_STRICT=1`` the engine records (and rejects) pre-completion
+``.length`` reads by schedulers declaring ``requires_clairvoyance =
+False`` — see :mod:`repro.core.engine`.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, load_baseline, write_baseline
+from .findings import LintFinding, LintReport
+from .base import ALL_RULES, FileContext, Rule, rule_by_code
+from .runner import default_target, lint_paths, lint_source
+
+# Importing the rule modules registers them with the registry.
+from . import rules_clairvoyance  # noqa: F401  (registration side effect)
+from . import rules_determinism  # noqa: F401
+from . import rules_floats  # noqa: F401
+from . import rules_schedstate  # noqa: F401
+from . import rules_generic  # noqa: F401
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "FileContext",
+    "LintFinding",
+    "LintReport",
+    "Rule",
+    "default_target",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "rule_by_code",
+    "write_baseline",
+]

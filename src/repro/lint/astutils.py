@@ -1,0 +1,341 @@
+"""Shared AST analysis helpers for the domain rules.
+
+The helpers encode the *domain knowledge* that makes the rules precise
+without a full type checker:
+
+* which classes are online schedulers (transitive subclasses of
+  :class:`~repro.schedulers.base.OnlineScheduler` within a module);
+* which methods are reachable *before* ``on_completion`` (the
+  pre-completion call graph rooted at ``setup`` / ``on_arrival`` /
+  ``on_deadline`` / ``on_timer``);
+* which local expressions denote *jobs* (parameters annotated
+  ``JobView`` / ``Job``, loop variables over ``ctx.pending()`` /
+  ``ctx.running()``, simple aliases thereof);
+* which expressions are *float-typed* (float literals, true division,
+  ``math.*`` calls, locally-annotated names, and the model's known
+  float attributes such as ``.span`` / ``.laxity`` / ``.measure``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "JOB_TYPE_NAMES",
+    "KNOWN_FLOAT_ATTRS",
+    "SCHEDULER_ENTRY_METHODS",
+    "dotted_name",
+    "truthy_constant",
+    "scheduler_classes",
+    "class_methods",
+    "pre_completion_methods",
+    "job_name_visitor",
+    "FloatTyper",
+    "walk_functions",
+]
+
+#: Annotations that mark a parameter as a job object.
+JOB_TYPE_NAMES = {"JobView", "Job"}
+
+#: Model attributes statically known to be floats (paper quantities).
+KNOWN_FLOAT_ATTRS = {
+    "arrival",
+    "deadline",
+    "laxity",
+    "length",
+    "size",
+    "span",
+    "measure",
+    "left",
+    "right",
+    "mu",
+    "total_work",
+    "max_length",
+    "min_length",
+    "horizon",
+    "start_time",
+    "lower",
+    "upper",
+    "width",
+}
+
+#: Hooks the engine may invoke before any job has completed.
+SCHEDULER_ENTRY_METHODS = ("setup", "on_arrival", "on_deadline", "on_timer")
+
+#: ``ctx`` accessor calls whose elements are job views.
+_JOB_LIST_CALLS = {"pending", "running"}
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for nested Name/Attribute chains, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def truthy_constant(node: ast.expr) -> bool | None:
+    """The truthiness of a constant expression, or ``None`` if dynamic."""
+    if isinstance(node, ast.Constant):
+        return bool(node.value)
+    return None
+
+
+def scheduler_classes(tree: ast.Module) -> list[ast.ClassDef]:
+    """Transitive ``OnlineScheduler`` subclasses defined in the module.
+
+    Resolution is name-based and intra-module: a class is a scheduler if
+    any base is ``OnlineScheduler`` (possibly dotted, e.g.
+    ``base.OnlineScheduler``) or another scheduler class defined in the
+    same module.  A fixpoint loop handles forward references.
+    """
+    classes = [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]
+    sched_names = {"OnlineScheduler"}
+    result: dict[str, ast.ClassDef] = {}
+    changed = True
+    while changed:
+        changed = False
+        for cls in classes:
+            if cls.name in result:
+                continue
+            for base in cls.bases:
+                name = dotted_name(base)
+                if name is None:
+                    continue
+                leaf = name.rsplit(".", 1)[-1]
+                if leaf in sched_names:
+                    result[cls.name] = cls
+                    sched_names.add(cls.name)
+                    changed = True
+                    break
+    return [cls for cls in classes if cls.name in result]
+
+
+def class_methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    """Directly-defined methods by name (async defs included)."""
+    out: dict[str, ast.FunctionDef] = {}
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out[node.name] = node  # type: ignore[assignment]
+    return out
+
+
+def pre_completion_methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    """Methods reachable before any job completes.
+
+    BFS over ``self.<m>(...)`` call edges starting from the
+    pre-completion entry hooks.  ``on_completion`` itself (and helpers
+    reachable *only* from it) are excluded; a helper reachable from both
+    sides is included — it can run pre-completion, so it must honour the
+    non-clairvoyant contract.
+    """
+    methods = class_methods(cls)
+    queue = [m for m in SCHEDULER_ENTRY_METHODS if m in methods]
+    reachable: dict[str, ast.FunctionDef] = {}
+    while queue:
+        name = queue.pop()
+        if name in reachable or name == "on_completion":
+            continue
+        fn = methods.get(name)
+        if fn is None:
+            continue
+        reachable[name] = fn
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+                and node.func.attr in methods
+            ):
+                queue.append(node.func.attr)
+    return reachable
+
+
+def _annotation_leaf(node: ast.expr | None) -> str | None:
+    """The rightmost identifier of an annotation (handles strings/Optional)."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.strip().rsplit(".", 1)[-1].rstrip("]").strip('"')
+    if isinstance(node, ast.Subscript):  # Optional[JobView] etc.
+        return _annotation_leaf(node.slice)
+    name = dotted_name(node)
+    if name is not None:
+        return name.rsplit(".", 1)[-1]
+    return None
+
+
+def job_name_visitor(fn: ast.FunctionDef) -> set[str]:
+    """Local names that denote job objects inside ``fn``.
+
+    Seeds: parameters annotated ``JobView``/``Job`` or literally named
+    ``job``.  Propagated through simple aliases (``j = job``), loop /
+    comprehension targets over ``*.pending()`` / ``*.running()`` calls,
+    and subscripts of those calls (``ctx.pending()[0]``).  Lambda
+    parameters named ``job``/``j``/``jv`` are included (sort keys).
+    """
+    names: set[str] = set()
+    args = fn.args
+    all_params = [
+        *args.posonlyargs,
+        *args.args,
+        *args.kwonlyargs,
+        *( [args.vararg] if args.vararg else [] ),
+        *( [args.kwarg] if args.kwarg else [] ),
+    ]
+    for a in all_params:
+        if a.arg in ("self", "ctx"):
+            continue
+        leaf = _annotation_leaf(a.annotation)
+        if (leaf in JOB_TYPE_NAMES) or a.arg == "job":
+            names.add(a.arg)
+
+    def is_job_list_expr(node: ast.expr) -> bool:
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            return node.func.attr in _JOB_LIST_CALLS
+        return False
+
+    def is_job_expr(node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in names
+        if isinstance(node, ast.Subscript):
+            return is_job_list_expr(node.value)
+        return False
+
+    def bind_target(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                bind_target(elt)
+
+    # Fixpoint over simple aliases / loop targets (two passes suffice for
+    # straight-line code; loop until stable for robustness).
+    changed = True
+    while changed:
+        before = len(names)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign):
+                if is_job_expr(node.value):
+                    for t in node.targets:
+                        bind_target(t)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                leaf = _annotation_leaf(node.annotation)
+                if leaf in JOB_TYPE_NAMES or is_job_expr(node.value):
+                    bind_target(node.target)
+            elif isinstance(node, ast.For):
+                if is_job_list_expr(node.iter) or is_job_expr(node.iter):
+                    bind_target(node.target)
+            elif isinstance(node, ast.comprehension):
+                if is_job_list_expr(node.iter) or is_job_expr(node.iter):
+                    bind_target(node.target)
+            elif isinstance(node, ast.Lambda):
+                for a in node.args.args:
+                    if a.arg in ("job", "j", "jv"):
+                        names.add(a.arg)
+        changed = len(names) != before
+    return names
+
+
+class FloatTyper:
+    """Heuristic float-typedness for RL003.
+
+    A conservative, annotation-driven local inference:
+
+    * float literals with any value, and true division ``/``;
+    * ``math.*`` calls (the module is all-float), ``float(...)``;
+    * names of parameters / locals annotated ``float``;
+    * locals assigned from calls to module functions whose *return
+      annotation* is ``float``;
+    * attributes in :data:`KNOWN_FLOAT_ATTRS` (the model's quantities).
+
+    ``is_float(node)`` answers for one expression; the typer is built per
+    module (for the return-annotation map) and then primed per function.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._float_returning: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _annotation_leaf(node.returns) == "float":
+                    self._float_returning.add(node.name)
+        self._float_names: set[str] = set()
+
+    def reset(self) -> None:
+        """Clear per-function state (module-level expressions)."""
+        self._float_names = set()
+
+    def prime(self, fn: ast.FunctionDef) -> None:
+        """Collect float-annotated / float-assigned local names of ``fn``."""
+        names: set[str] = set()
+        args = fn.args
+        for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if _annotation_leaf(a.annotation) == "float":
+                names.add(a.arg)
+        changed = True
+        while changed:
+            before = len(names)
+            self._float_names = names
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign) and self.is_float(node.value):
+                    for t in node.targets:
+                        if isinstance(t, ast.Name):
+                            names.add(t.id)
+                elif isinstance(node, ast.AnnAssign):
+                    if _annotation_leaf(node.annotation) == "float" and isinstance(
+                        node.target, ast.Name
+                    ):
+                        names.add(node.target.id)
+            changed = len(names) != before
+        self._float_names = names
+
+    def is_float(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.Name):
+            return node.id in self._float_names
+        if isinstance(node, ast.Attribute):
+            return node.attr in KNOWN_FLOAT_ATTRS
+        if isinstance(node, ast.UnaryOp):
+            return self.is_float(node.operand)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                return True
+            return self.is_float(node.left) or self.is_float(node.right)
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is None:
+                return False
+            if name.startswith("math.") and name != "math.isqrt":
+                return True
+            if name in ("float", "abs") and node.args:
+                return name == "float" or self.is_float(node.args[0])
+            leaf = name.rsplit(".", 1)[-1]
+            return leaf in self._float_returning
+        if isinstance(node, ast.IfExp):
+            return self.is_float(node.body) or self.is_float(node.orelse)
+        return False
+
+    def is_intlike(self, node: ast.expr) -> bool:
+        """Obviously-integer expressions (``len(...)``, int literals)."""
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, int) and not isinstance(node.value, bool)
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            return name in ("len", "int", "round", "math.isqrt", "ord", "id")
+        return False
+
+
+def walk_functions(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef]:
+    """Every (sync or async) function/method definition in the module."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node  # type: ignore[misc]

@@ -1,0 +1,88 @@
+"""Baseline file: grandfathered findings.
+
+When the gate is first enabled on a codebase, pre-existing findings can
+be *baselined* instead of fixed or suppressed inline.  The baseline maps
+finding fingerprints (line-number free, see
+:attr:`~repro.lint.findings.LintFinding.fingerprint`) to occurrence
+counts; a run only fails on findings **not** covered by the baseline, and
+fixing a baselined finding can never regress the gate.
+
+The file is plain JSON (sorted keys, one fingerprint per entry) so diffs
+review well::
+
+    {
+      "version": 1,
+      "findings": {
+        "RL003:src/repro/offline/anneal.py:anneal:exact == …": 1
+      }
+    }
+
+Ratcheting: ``python -m repro lint --update-baseline`` rewrites the file
+from the current findings; because fixed findings disappear from it, the
+baseline only ever shrinks in review.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import LintFinding
+
+__all__ = ["Baseline", "load_baseline", "write_baseline"]
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Fingerprint → allowed occurrence count."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def filter(
+        self, findings: list[LintFinding]
+    ) -> tuple[list[LintFinding], int]:
+        """Split findings into (new, number-baselined).
+
+        Each fingerprint absorbs up to its recorded count of findings
+        (two identical violations in one symbol share a fingerprint).
+        """
+        remaining = Counter(self.counts)
+        fresh: list[LintFinding] = []
+        absorbed = 0
+        for f in findings:
+            if remaining.get(f.fingerprint, 0) > 0:
+                remaining[f.fingerprint] -= 1
+                absorbed += 1
+            else:
+                fresh.append(f)
+        return fresh, absorbed
+
+    @classmethod
+    def from_findings(cls, findings: list[LintFinding]) -> "Baseline":
+        return cls(counts=dict(Counter(f.fingerprint for f in findings)))
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline."""
+    p = Path(path)
+    if not p.exists():
+        return Baseline()
+    data = json.loads(p.read_text())
+    if data.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported lint baseline version {data.get('version')!r} "
+            f"in {p} (expected {_VERSION})"
+        )
+    counts = data.get("findings", {})
+    if not isinstance(counts, dict):
+        raise ValueError(f"malformed lint baseline {p}: 'findings' not a map")
+    return Baseline(counts={str(k): int(v) for k, v in counts.items()})
+
+
+def write_baseline(baseline: Baseline, path: str | Path) -> None:
+    payload = {"version": _VERSION, "findings": dict(sorted(baseline.counts.items()))}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,124 @@
+"""``python -m repro lint`` — the CLI face of the analyzer.
+
+Exit codes: 0 clean, 1 findings, 2 usage error.  ``--format json``
+emits the machine-readable report (consumed by CI annotations and the
+lint tests); ``--update-baseline`` rewrites the baseline from current
+findings (the ratchet).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .base import ALL_RULES, rule_by_code
+from .baseline import Baseline, load_baseline, write_baseline
+from .runner import default_target, lint_paths
+
+__all__ = ["add_lint_parser", "cmd_lint"]
+
+#: Default baseline filename, looked up in the current directory.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def add_lint_parser(sub: argparse._SubParsersAction) -> None:  # type: ignore[type-arg]
+    p = sub.add_parser(
+        "lint",
+        help="run the domain-aware static analyzer (RL001-RL006)",
+        description=(
+            "AST-based static analysis of reproduction invariants: "
+            "clairvoyance contract (RL001), determinism (RL002), "
+            "float hygiene (RL003), job immutability (RL004), "
+            "reset contract (RL005), unused imports (RL006)."
+        ),
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default: text)",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: ./{DEFAULT_BASELINE} when it exists)"
+        ),
+    )
+    p.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report every finding)",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from current findings and exit 0",
+    )
+    p.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (e.g. RL001,RL003)",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.name:<18} {rule.description}")
+        return 0
+
+    rules = ALL_RULES
+    if args.select:
+        try:
+            rules = [rule_by_code(c.strip()) for c in args.select.split(",") if c.strip()]
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+
+    baseline_path: Path | None = None
+    if not args.no_baseline:
+        if args.baseline is not None:
+            baseline_path = Path(args.baseline)
+        elif Path(DEFAULT_BASELINE).exists():
+            baseline_path = Path(DEFAULT_BASELINE)
+
+    baseline: Baseline | None = None
+    if baseline_path is not None and not args.update_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    paths = args.paths if args.paths else [default_target()]
+    report = lint_paths(paths, rules=rules, baseline=baseline)
+
+    if args.update_baseline:
+        target = baseline_path or Path(DEFAULT_BASELINE)
+        write_baseline(Baseline.from_findings(report.findings), target)
+        print(
+            f"wrote {len(report.findings)} finding(s) to baseline {target}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render())
+    return 0 if report.clean else 1

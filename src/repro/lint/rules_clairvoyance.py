@@ -1,0 +1,106 @@
+"""RL001 — clairvoyance-leak.
+
+The paper's non-clairvoyant model (§3) hides ``p(J)`` until ``J``
+completes.  A scheduler declaring ``requires_clairvoyance = False`` that
+nevertheless reads ``job.length`` (or calls ``job.with_length``) in a
+method reachable before ``on_completion`` breaks the information model:
+run under ``clairvoyant=True`` (e.g. in a mixed comparison grid) it
+would silently exploit information it claims not to need, invalidating
+every Theorem-3.x measurement.
+
+The rule is intentionally *structural*: it tracks job-typed names (see
+:func:`repro.lint.astutils.job_name_visitor`) through the pre-completion
+call graph of every ``OnlineScheduler`` subclass.  Its verdicts are
+cross-validated at runtime by the engine's ``REPRO_STRICT`` guard.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .astutils import (
+    job_name_visitor,
+    pre_completion_methods,
+    scheduler_classes,
+    truthy_constant,
+)
+from .base import FileContext, Rule, register
+from .findings import LintFinding
+
+__all__ = ["ClairvoyanceLeakRule"]
+
+
+def _declared_clairvoyance(cls: ast.ClassDef) -> bool | None:
+    """The class's ``requires_clairvoyance`` declaration.
+
+    ``True``/``False`` for an explicit constant assignment, ``None`` when
+    absent (inherited — ``OnlineScheduler`` defaults to ``False``) or
+    dynamic.
+    """
+    for node in cls.body:
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                if isinstance(t, ast.Name) and t.id == "requires_clairvoyance":
+                    return truthy_constant(node.value)
+        elif isinstance(node, ast.AnnAssign):
+            if (
+                isinstance(node.target, ast.Name)
+                and node.target.id == "requires_clairvoyance"
+                and node.value is not None
+            ):
+                return truthy_constant(node.value)
+    return None
+
+
+@register
+class ClairvoyanceLeakRule(Rule):
+    code = "RL001"
+    name = "clairvoyance-leak"
+    severity = "error"
+    description = (
+        "a scheduler with requires_clairvoyance=False reads job.length "
+        "(or calls job.with_length) before the job completes"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[LintFinding]:
+        for cls in scheduler_classes(ctx.tree):
+            declared = _declared_clairvoyance(cls)
+            if declared is True:
+                continue  # clairvoyant scheduler: lengths visible at arrival
+            # declared False, or absent (inherits False from the base).
+            for mname, fn in sorted(pre_completion_methods(cls).items()):
+                job_names = job_name_visitor(fn)
+                symbol = f"{cls.name}.{mname}"
+                for node in ast.walk(fn):
+                    if isinstance(node, ast.Attribute):
+                        if (
+                            node.attr == "length"
+                            and isinstance(node.ctx, ast.Load)
+                            and isinstance(node.value, ast.Name)
+                            and node.value.id in job_names
+                        ):
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"non-clairvoyant scheduler {cls.name!r} reads "
+                                f"{node.value.id}.length in {mname}(), which "
+                                "runs before the job completes; use "
+                                ".length_if_known or declare "
+                                "requires_clairvoyance = True",
+                                symbol=symbol,
+                            )
+                        elif (
+                            node.attr == "with_length"
+                            and isinstance(node.value, ast.Name)
+                            and node.value.id in job_names
+                        ):
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"non-clairvoyant scheduler {cls.name!r} calls "
+                                f"{node.value.id}.with_length in {mname}() — "
+                                "committing lengths is the adversary's move, "
+                                "not the scheduler's",
+                                symbol=symbol,
+                            )

@@ -1,0 +1,205 @@
+"""RL002 — nondeterminism in decision paths.
+
+Competitive-ratio measurements must be reproducible run to run: the
+§3.1/§4.1 adversary games and every golden-trace test pin exact event
+orders.  Three classes of accidental nondeterminism are flagged inside
+scheduler and adversary modules:
+
+* **unseeded randomness** — calls through the global ``random`` module
+  state (``random.random()``, ``random.choice`` …) or legacy global
+  NumPy randomness (``np.random.rand`` …).  Constructing an explicitly
+  seeded generator (``random.Random(seed)``,
+  ``np.random.default_rng(seed)``) is the sanctioned pattern.
+* **wall-clock reads** — ``time.time`` / ``perf_counter`` /
+  ``monotonic`` / ``datetime.now`` inside decision code makes behaviour
+  depend on host speed.
+* **set-order iteration** — ``for x in {…}`` / ``for x in set(…)``:
+  Python set iteration order is insertion-and-hash dependent, so any
+  scheduling decision fed from it varies across processes (hash
+  randomization).  Sort first (the codebase convention is
+  ``sorted(..., key=lambda j: (j.deadline, j.arrival, j.id))``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .astutils import dotted_name, walk_functions
+from .base import FileContext, Rule, register
+from .findings import LintFinding
+
+__all__ = ["NondeterminismRule"]
+
+#: Sanctioned constructors on otherwise-global RNG namespaces.
+_SEEDED_OK = {
+    "random.Random",
+    "random.SystemRandom",
+    "np.random.default_rng",
+    "numpy.random.default_rng",
+    "np.random.Generator",
+    "numpy.random.Generator",
+    "np.random.SeedSequence",
+    "numpy.random.SeedSequence",
+}
+
+_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+}
+
+
+def _module_scope(path: str) -> bool:
+    norm = path.replace("\\", "/")
+    return "/schedulers/" in norm or "/adversaries/" in norm
+
+
+class _FunctionSetTracker:
+    """Names bound to bare-set expressions within one function."""
+
+    def __init__(self, fn: ast.AST) -> None:
+        self.set_names: set[str] = set()
+        self.discharged: set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+                for t in node.targets:
+                    if isinstance(t, ast.Name):
+                        self.set_names.add(t.id)
+            elif isinstance(node, ast.Call):
+                # sorted(s) / list(s) / min/max(s) discharge order concerns.
+                name = dotted_name(node.func)
+                if name in ("sorted", "min", "max", "sum", "len", "frozenset"):
+                    for arg in node.args:
+                        if isinstance(arg, ast.Name):
+                            self.discharged.add(arg.id)
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func) == "set"
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+@register
+class NondeterminismRule(Rule):
+    code = "RL002"
+    name = "nondeterminism"
+    severity = "error"
+    description = (
+        "unseeded randomness, wall-clock reads, or set-order iteration "
+        "in scheduler/adversary decision paths"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return _module_scope(path)
+
+    def check(self, ctx: FileContext) -> Iterator[LintFinding]:
+        yield from self._check_calls(ctx)
+        yield from self._check_set_iteration(ctx)
+
+    # -- unseeded RNG and clocks ----------------------------------------
+    def _check_calls(self, ctx: FileContext) -> Iterator[LintFinding]:
+        imported_random_funcs = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name not in ("Random", "SystemRandom"):
+                        imported_random_funcs.add(alias.asname or alias.name)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name in _SEEDED_OK:
+                continue
+            if name.startswith("random.") or name.startswith("np.random.") or name.startswith("numpy.random."):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"call to global-state RNG {name}(); construct a seeded "
+                    "generator instead (np.random.default_rng(seed) or "
+                    "random.Random(seed))",
+                    symbol=_enclosing_symbol(ctx.tree, node),
+                )
+            elif name in imported_random_funcs:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"call to {name}() imported from the random module uses "
+                    "the unseeded global RNG",
+                    symbol=_enclosing_symbol(ctx.tree, node),
+                )
+            elif name in _CLOCK_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock read {name}() in a decision path; simulation "
+                    "code must use ctx.now (host speed must not change "
+                    "schedules)",
+                    symbol=_enclosing_symbol(ctx.tree, node),
+                )
+
+    # -- set iteration ---------------------------------------------------
+    def _check_set_iteration(self, ctx: FileContext) -> Iterator[LintFinding]:
+        for fn in walk_functions(ctx.tree):
+            tracker = _FunctionSetTracker(fn)
+            for node in ast.walk(fn):
+                iter_node: ast.expr | None = None
+                if isinstance(node, ast.For):
+                    iter_node = node.iter
+                elif isinstance(node, ast.comprehension):
+                    iter_node = node.iter
+                if iter_node is None:
+                    continue
+                flagged = _is_set_expr(iter_node) or (
+                    isinstance(iter_node, ast.Name)
+                    and iter_node.id in tracker.set_names
+                    and iter_node.id not in tracker.discharged
+                )
+                if flagged:
+                    yield self.finding(
+                        ctx,
+                        iter_node,
+                        "iteration over a bare set: order is hash-dependent "
+                        "and varies across processes; sort first "
+                        "(e.g. sorted(s))",
+                        symbol=_enclosing_symbol(ctx.tree, node),
+                    )
+
+
+def _enclosing_symbol(tree: ast.Module, target: ast.AST) -> str:
+    """Best-effort ``Class.method`` label for a node (for fingerprints)."""
+    target_line = getattr(target, "lineno", None)
+    if target_line is None:
+        return ""
+    best: list[str] = []
+
+    def visit(node: ast.AST, stack: list[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+                start = child.lineno
+                end = getattr(child, "end_lineno", start)
+                if start <= target_line <= (end or start):
+                    stack.append(child.name)
+                    visit(child, stack)
+                    if len(stack) > len(best):
+                        best[:] = stack
+                    stack.pop()
+                    continue
+            visit(child, stack)
+
+    visit(tree, [])
+    return ".".join(best)

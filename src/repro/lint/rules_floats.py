@@ -1,0 +1,110 @@
+"""RL003 — float-hygiene in theorem-certification code.
+
+The certification stack (``analysis/theory.py``, ``analysis/certify.py``
+and everything under ``offline/``) turns measured spans into *verdicts*
+about the paper's theorems.  An exact ``==`` / ``!=`` between
+float-typed expressions there is a latent soundness bug: two
+mathematically equal spans computed along different operation orders
+differ in ULPs, silently flipping a certification.  The repo convention
+is exact :class:`fractions.Fraction` arithmetic where the theorem
+demands equality, or an explicit documented tolerance (``abs(a - b) <=
+1e-12``) where rounding is accepted.
+
+Float-typedness is inferred locally (annotations, float literals, true
+division, ``math.*`` calls, known model attributes) — see
+:class:`repro.lint.astutils.FloatTyper`.  Comparisons that are obviously
+integral (``len(x) == 0``, int literals both sides) are never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .astutils import FloatTyper, walk_functions
+from .base import FileContext, Rule, register
+from .findings import LintFinding
+
+__all__ = ["FloatHygieneRule"]
+
+_TARGET_SUFFIXES = (
+    "analysis/theory.py",
+    "analysis/certify.py",
+)
+
+
+def _in_scope(path: str) -> bool:
+    norm = path.replace("\\", "/")
+    if "/offline/" in norm:
+        return True
+    return any(norm.endswith(sfx) for sfx in _TARGET_SUFFIXES)
+
+
+@register
+class FloatHygieneRule(Rule):
+    code = "RL003"
+    name = "float-hygiene"
+    severity = "error"
+    description = (
+        "exact ==/!= between float-typed expressions in theorem "
+        "certification code; use Fraction or a documented tolerance"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return _in_scope(path)
+
+    def check(self, ctx: FileContext) -> Iterator[LintFinding]:
+        typer = FloatTyper(ctx.tree)
+        seen: set[int] = set()
+        for fn in walk_functions(ctx.tree):
+            typer.prime(fn)
+            for node in ast.walk(fn):
+                if id(node) in seen or not isinstance(node, ast.Compare):
+                    continue
+                seen.add(id(node))
+                yield from self._check_compare(ctx, typer, fn.name, node)
+        # Module-level comparisons (rare but possible in constants).
+        typer.reset()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Compare) and id(node) not in seen:
+                yield from self._check_compare(ctx, typer, "<module>", node)
+
+    def _check_compare(
+        self,
+        ctx: FileContext,
+        typer: FloatTyper,
+        symbol: str,
+        node: ast.Compare,
+    ) -> Iterator[LintFinding]:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            # Skip None / string / bool sentinels.
+            if _is_sentinel(left) or _is_sentinel(right):
+                continue
+            if typer.is_intlike(left) and typer.is_intlike(right):
+                continue
+            lf, rf = typer.is_float(left), typer.is_float(right)
+            if not (lf or rf):
+                continue
+            if (lf and typer.is_intlike(right)) or (rf and typer.is_intlike(left)):
+                # float vs int literal/len() — still exact, still flagged:
+                # `laxity == 0` misses laxity == 5e-17 jitter.
+                pass
+            opname = "==" if isinstance(op, ast.Eq) else "!="
+            yield self.finding(
+                ctx,
+                node,
+                f"exact {opname} between float-typed expressions in "
+                "certification code; compare Fractions or use a documented "
+                "tolerance (abs(a - b) <= 1e-12)",
+                symbol=symbol,
+            )
+
+
+def _is_sentinel(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and (
+        node.value is None
+        or isinstance(node.value, (str, bool))
+    )

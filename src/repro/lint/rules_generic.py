@@ -1,0 +1,108 @@
+"""RL006 — unused imports (generic hygiene).
+
+The only non-domain rule: an imported name never referenced in the
+module.  ``__init__.py`` files are exempt (re-export hubs), names listed
+in ``__all__`` count as used, ``from __future__`` imports are ignored,
+and binding an import to ``_`` (or a name starting with ``_``) signals
+intent and is skipped.  Equivalent in scope to ruff's ``F401`` — kept
+in-tree so the gate needs no third-party tooling.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import FileContext, Rule, register
+from .findings import LintFinding
+
+__all__ = ["UnusedImportRule"]
+
+
+@register
+class UnusedImportRule(Rule):
+    code = "RL006"
+    name = "unused-import"
+    severity = "error"
+    description = "an imported name is never used in the module"
+
+    def applies_to(self, path: str) -> bool:
+        return not path.replace("\\", "/").endswith("__init__.py")
+
+    def check(self, ctx: FileContext) -> Iterator[LintFinding]:
+        imported: dict[str, tuple[ast.AST, str]] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".", 1)[0]
+                    imported[bound] = (node, alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    imported[bound] = (node, f"{node.module or '.'}.{alias.name}")
+        if not imported:
+            return
+
+        used: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                used.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                root = node
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if isinstance(root, ast.Name):
+                    used.add(root.id)
+        used |= _all_exports(ctx.tree)
+        used |= _string_annotation_names(ctx.tree)
+
+        for bound, (node, qualified) in sorted(imported.items()):
+            if bound in used or bound.startswith("_"):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"imported name {bound!r} ({qualified}) is never used",
+                symbol=bound,
+            )
+
+
+def _all_exports(tree: ast.Module) -> set[str]:
+    """Names listed in a module-level ``__all__`` literal."""
+    out: set[str] = set()
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AugAssign):
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        if any(isinstance(t, ast.Name) and t.id == "__all__" for t in targets):
+            if isinstance(value, (ast.List, ast.Tuple)):
+                for elt in value.elts:
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                        out.add(elt.value)
+    return out
+
+
+def _string_annotation_names(tree: ast.Module) -> set[str]:
+    """Identifiers inside string annotations (``x: "Foo | None"``)."""
+    out: set[str] = set()
+    for node in ast.walk(tree):
+        for attr in ("annotation", "returns"):
+            ann = getattr(node, attr, None)
+            if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+                try:
+                    parsed = ast.parse(ann.value, mode="eval")
+                except SyntaxError:
+                    continue
+                for sub in ast.walk(parsed):
+                    if isinstance(sub, ast.Name):
+                        out.add(sub.id)
+    return out

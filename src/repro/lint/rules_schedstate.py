@@ -1,0 +1,114 @@
+"""RL004 — job-state mutation · RL005 — reset contract.
+
+**RL004.** :class:`~repro.core.engine.JobView` objects are the engine's
+*shared, reused* view of a job: one view per job, handed to every hook.
+A scheduler that assigns to a job attribute (``job.foo = …``) either
+fails at runtime (``JobView`` has ``__slots__``; ``Job`` is frozen) or —
+worse, if the model ever grew a writable attribute — leaks state between
+schedulers in a comparison grid.  Schedulers keep private state on
+``self``.
+
+**RL005.** ``OnlineScheduler.reset()`` clears ``flag_job_ids``; the
+docstring contract says *"Subclasses must call ``super().reset()``"*.
+A subclass ``reset`` that doesn't carries flag-job state across runs,
+corrupting the flag-forest lemma checks in ``repro.analysis``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .astutils import (
+    class_methods,
+    dotted_name,
+    job_name_visitor,
+    scheduler_classes,
+)
+from .base import FileContext, Rule, register
+from .findings import LintFinding
+
+__all__ = ["JobMutationRule", "ResetContractRule"]
+
+
+@register
+class JobMutationRule(Rule):
+    code = "RL004"
+    name = "state-mutation"
+    severity = "error"
+    description = "assignment to Job/JobView attributes inside a scheduler"
+
+    def check(self, ctx: FileContext) -> Iterator[LintFinding]:
+        for cls in scheduler_classes(ctx.tree):
+            for mname, fn in sorted(class_methods(cls).items()):
+                job_names = job_name_visitor(fn)
+                if not job_names:
+                    continue
+                symbol = f"{cls.name}.{mname}"
+                for node in ast.walk(fn):
+                    targets: list[ast.expr] = []
+                    if isinstance(node, ast.Assign):
+                        targets = node.targets
+                    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                        targets = [node.target]
+                    elif isinstance(node, ast.Delete):
+                        targets = node.targets
+                    for t in targets:
+                        if (
+                            isinstance(t, ast.Attribute)
+                            and isinstance(t.value, ast.Name)
+                            and t.value.id in job_names
+                        ):
+                            yield self.finding(
+                                ctx,
+                                t,
+                                f"scheduler {cls.name!r} mutates job state "
+                                f"({t.value.id}.{t.attr} = …) in {mname}(); "
+                                "jobs are immutable inputs — keep per-job "
+                                "state on self",
+                                symbol=symbol,
+                            )
+
+
+@register
+class ResetContractRule(Rule):
+    code = "RL005"
+    name = "reset-contract"
+    severity = "error"
+    description = "a scheduler reset() that never calls super().reset()"
+
+    def check(self, ctx: FileContext) -> Iterator[LintFinding]:
+        for cls in scheduler_classes(ctx.tree):
+            fn = class_methods(cls).get("reset")
+            if fn is None:
+                continue  # inherited reset is fine
+            if not _calls_super_reset(fn):
+                yield self.finding(
+                    ctx,
+                    fn,
+                    f"{cls.name}.reset() never calls super().reset(); "
+                    "flag_job_ids (and base-class state) survives across "
+                    "runs, corrupting flag-forest analysis",
+                    symbol=f"{cls.name}.reset",
+                )
+
+
+def _calls_super_reset(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "reset"):
+            continue
+        # super().reset()
+        if (
+            isinstance(func.value, ast.Call)
+            and dotted_name(func.value.func) == "super"
+        ):
+            return True
+        # OnlineScheduler.reset(self) — explicit base call also honours
+        # the contract.
+        base = dotted_name(func.value)
+        if base is not None and base.rsplit(".", 1)[-1] == "OnlineScheduler":
+            return True
+    return False

@@ -1,0 +1,129 @@
+"""File discovery and rule execution.
+
+``lint_paths`` is the programmatic entry (the CLI and tests call it);
+``lint_source`` lints one in-memory source string, which is what the
+rule unit tests use.  Paths in findings are reported relative to the
+common scan root so baselines are machine-independent.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .base import ALL_RULES, FileContext, Rule, run_rules
+from .baseline import Baseline
+from .findings import LintFinding, LintReport
+
+__all__ = ["default_target", "discover_files", "lint_paths", "lint_source"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".mypy_cache", ".ruff_cache", "build", "dist"}
+
+
+def default_target() -> Path:
+    """The installed ``repro`` package source tree (``…/src/repro``)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            for f in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in f.parts):
+                    out.add(f)
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+def _relative_to_root(file: Path, roots: Sequence[Path]) -> str:
+    resolved = file.resolve()
+    for root in roots:
+        try:
+            rel = resolved.relative_to(root.resolve())
+        except ValueError:
+            continue
+        if root.is_dir():
+            return str(Path(root.name) / rel)
+        # ``root`` is the file itself (rel == "."): anchor on its parent so
+        # single-file targets render as "pkg/mod.py", not ".".
+        return str(Path(root.parent.name) / root.name)
+    return str(file)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Iterable[Rule] | None = None,
+) -> list[LintFinding]:
+    """Lint one source string (unit-test entry point).
+
+    ``path`` participates in rule scoping (e.g. RL002 only fires for
+    paths under ``schedulers/`` or ``adversaries/``), so tests pass a
+    representative fake path.
+    """
+    tree = ast.parse(source, filename=path)
+    ctx = FileContext(path, source, tree)
+    return run_rules(ctx, list(rules) if rules is not None else ALL_RULES)
+
+
+def lint_paths(
+    paths: Sequence[str | Path] | None = None,
+    *,
+    rules: Iterable[Rule] | None = None,
+    baseline: Baseline | None = None,
+) -> LintReport:
+    """Lint files/directories and return an aggregate report.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories; defaults to the installed package tree.
+    rules:
+        Subset of rules to run (default: all registered rules).
+    baseline:
+        Grandfathered findings to absorb (see :mod:`repro.lint.baseline`).
+    """
+    targets = [Path(p) for p in (paths if paths else [default_target()])]
+    files = discover_files(targets)
+    active = list(rules) if rules is not None else ALL_RULES
+    report = LintReport()
+
+    suppressed = 0
+
+    def count_suppressed(_f: LintFinding) -> None:
+        nonlocal suppressed
+        suppressed += 1
+
+    for file in files:
+        source = file.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(file))
+        except SyntaxError as exc:
+            report.findings.append(
+                LintFinding(
+                    rule="RL000",
+                    severity="error",
+                    path=_relative_to_root(file, targets),
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            report.files_scanned += 1
+            continue
+        ctx = FileContext(_relative_to_root(file, targets), source, tree)
+        report.extend(run_rules(ctx, active, on_suppressed=count_suppressed))
+        report.files_scanned += 1
+
+    report.suppressed = suppressed
+    if baseline is not None:
+        fresh, absorbed = baseline.filter(report.findings)
+        report.findings = fresh
+        report.baselined = absorbed
+    report.sort()
+    return report

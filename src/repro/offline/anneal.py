@@ -80,7 +80,11 @@ def anneal(
 
     for _ in range(iterations):
         job = jobs[int(rng.integers(len(jobs)))]
-        if job.laxity == 0:
+        # Degenerate window: the job cannot move.  Tolerance rather than
+        # an exact float ==: laxity is a float subtraction, and perturbed
+        # workloads produce windows of width ~1e-16 that are zero in
+        # every sense that matters here (RL003).
+        if job.laxity <= 1e-12:
             temperature *= cooling
             continue
         old = starts[job.id]

@@ -151,7 +151,11 @@ def local_search(schedule: Schedule, max_sweeps: int = 20) -> Schedule:
                 if j.id != job.id
             )
             s = _best_start(job, others)
-            if s != starts[job.id]:
+            # Tolerance, not exact float !=: `s` comes from endpoint
+            # arithmetic over the other jobs' intervals, so a no-op move
+            # can differ from the stored start by ULPs; treating that as
+            # "moved" would defeat fixpoint detection (RL003).
+            if abs(s - starts[job.id]) > 1e-12:
                 old_cost = others.added_measure(
                     Interval(starts[job.id], starts[job.id] + job.known_length)
                 )

@@ -31,7 +31,6 @@ from __future__ import annotations
 import argparse
 import json
 import platform
-import sys
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path

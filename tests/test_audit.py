@@ -88,3 +88,75 @@ class TestAuditObservations:
         report = audit(inst, result.schedule.starts())
         assert report.feasible
         assert report.span == pytest.approx(result.span)
+
+
+class TestAuditEdgeCases:
+    def test_empty_instance_empty_starts(self):
+        report = audit(Instance([]), {})
+        assert report.feasible
+        assert report.findings == []
+        assert report.span is None
+        assert report.peak_concurrency is None
+        assert report.idle_within_hull is None
+
+    def test_empty_instance_with_spurious_starts(self):
+        report = audit(Instance([]), {0: 1.0, 1: 2.0})
+        assert not report.feasible
+        assert sorted(f.job_id for f in report.violations) == [0, 1]
+        assert all(f.code == "unknown-job" for f in report.violations)
+        assert report.span is None  # nothing placed
+
+    def test_duplicate_job_ids_rejected_at_instance_level(self):
+        # The auditor can never see duplicate ids: Instance refuses them,
+        # which is the invariant audit() relies on for its id set algebra.
+        from repro.core import InvalidInstanceError
+
+        with pytest.raises(InvalidInstanceError, match="duplicate job id 7"):
+            Instance([Job(7, 0.0, 1.0, 1.0), Job(7, 0.0, 2.0, 1.0)])
+
+    def test_start_exactly_at_deadline_is_feasible_with_observation(self):
+        inst = Instance.from_triples([(0, 3, 2)])
+        report = audit(inst, {0: 3.0})
+        assert report.feasible  # d(J) is the latest *permissible* start
+        assert any(
+            f.code == "deadline-start" and f.job_id == 0
+            for f in report.observations
+        )
+        assert report.span == pytest.approx(2.0)
+
+    def test_zero_laxity_deadline_start_not_flagged(self):
+        # A rigid job (a == d) always starts "at its deadline"; flagging
+        # it would be noise, so the observation requires laxity > 0.
+        inst = Instance.from_triples([(1, 0, 2)])
+        report = audit(inst, {0: 1.0})
+        assert report.feasible
+        assert not any(f.code == "deadline-start" for f in report.observations)
+
+    def test_length_mismatch_flagged(self):
+        inst = Instance([Job(0, 0.0, 2.0, 3.0)])
+        report = audit(inst, {0: 0.0}, lengths={0: 2.5})
+        assert not report.feasible
+        assert any(
+            f.code == "length-mismatch" and f.job_id == 0
+            for f in report.violations
+        )
+
+    def test_length_match_within_tolerance_clean(self):
+        inst = Instance([Job(0, 0.0, 2.0, 3.0)])
+        report = audit(inst, {0: 0.0}, lengths={0: 3.0 + 1e-14})
+        assert report.feasible
+
+    def test_executed_lengths_resolve_adversarial_jobs(self):
+        inst = Instance([Job(0, 0.0, 2.0, None)])
+        report = audit(inst, {0: 1.0}, lengths={0: 4.0})
+        assert report.feasible
+        assert report.span == pytest.approx(4.0)
+        assert not any(f.code == "unresolved-length" for f in report.findings)
+
+    def test_unknown_length_record_flagged(self):
+        inst = Instance([Job(0, 0.0, 2.0, 1.0)])
+        report = audit(inst, {0: 0.0}, lengths={0: 1.0, 9: 5.0})
+        assert any(
+            f.code == "unknown-length-record" and f.job_id == 9
+            for f in report.violations
+        )
