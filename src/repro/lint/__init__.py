@@ -26,7 +26,22 @@ RL005     reset-contract — a scheduler subclass ``reset()`` that never
           calls ``super().reset()``.
 RL006     unused-import — an imported name never used in the module
           (generic hygiene; ``__init__.py`` re-export hubs exempt).
+RL007     cross-module-clairvoyance-taint — the whole-program upgrade of
+          RL001: a leak laundered through helpers in *other* modules.
+RL008     pool-unsafe-work — a lambda, closure, or transitively impure
+          callable submitted to a ``ParallelRunner`` map.
+RL009     parameter-domain-violation — constant arguments outside a
+          callee's raise-guarded domain (``CDB(alpha<=1)``, …).
+RL010     heap-key-type-mix — ``heappush`` tuples on one heap mixing
+          un-orderable element types (``TypeError`` on a tie).
 ========  ===============================================================
+
+RL007–RL010 are *program rules* (:class:`~repro.lint.base.ProgramRule`):
+they run over the whole-program symbol table, call graph, and fixpoint
+analyses assembled by :mod:`repro.lint.dataflow` from per-file
+summaries.  The per-file phase is parallel (``lint --jobs N``) and
+incremental (content-hash cache, see
+:class:`~repro.lint.dataflow.AnalysisCache`).
 
 Suppression: append ``# lint: ignore[RL003]`` (or ``# noqa: RL003``) to
 the offending line.  Grandfathered findings live in a baseline file (see
@@ -42,7 +57,7 @@ from __future__ import annotations
 
 from .baseline import Baseline, load_baseline, write_baseline
 from .findings import LintFinding, LintReport
-from .base import ALL_RULES, FileContext, Rule, rule_by_code
+from .base import ALL_RULES, FileContext, ProgramRule, Rule, rule_by_code
 from .runner import default_target, lint_paths, lint_source
 
 # Importing the rule modules registers them with the registry.
@@ -51,14 +66,20 @@ from . import rules_determinism  # noqa: F401
 from . import rules_floats  # noqa: F401
 from . import rules_schedstate  # noqa: F401
 from . import rules_generic  # noqa: F401
+from . import dataflow  # noqa: F401  (registers RL007-RL010)
+from .dataflow import AnalysisCache, Program, default_cache_path
 
 __all__ = [
     "ALL_RULES",
+    "AnalysisCache",
     "Baseline",
     "FileContext",
     "LintFinding",
     "LintReport",
+    "Program",
+    "ProgramRule",
     "Rule",
+    "default_cache_path",
     "default_target",
     "lint_paths",
     "lint_source",

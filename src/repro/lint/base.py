@@ -29,6 +29,7 @@ from .findings import LintFinding
 __all__ = [
     "ALL_RULES",
     "FileContext",
+    "ProgramRule",
     "Rule",
     "register",
     "rule_by_code",
@@ -110,6 +111,56 @@ class Rule:
             path=ctx.path,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
+            message=message,
+            symbol=symbol,
+        )
+
+
+class ProgramRule(Rule):
+    """Base class for a *whole-program* rule (RL007+).
+
+    Unlike :class:`Rule`, which sees one file at a time, a program rule
+    receives the assembled :class:`~repro.lint.dataflow.Program` — the
+    cross-module symbol table, call graph, and fixpoint analyses — and
+    may report findings in any scanned file.  Program rules are executed
+    by the runner after the per-file phase; they are intentionally inert
+    under :func:`~repro.lint.runner.lint_source` (a single in-memory
+    string has no whole-program context) unless the rule opts in via
+    :meth:`check`.
+
+    Findings reuse the ordinary fingerprint/baseline/suppression
+    machinery: ``# lint: ignore[RL007]`` on the offending line works
+    because :class:`~repro.lint.dataflow.FileSummary` carries the
+    file's suppression table.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[LintFinding]:
+        return iter(())  # program rules do not run per-file
+
+    def check_program(self, program: "object") -> Iterator[LintFinding]:
+        """Yield findings over the whole program.
+
+        ``program`` is a :class:`repro.lint.dataflow.Program`; typed as
+        ``object`` here to keep :mod:`repro.lint.base` import-light (the
+        dataflow package imports this module).
+        """
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    # -- helpers for subclasses ------------------------------------------
+    def program_finding(
+        self,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        symbol: str = "",
+    ) -> LintFinding:
+        return LintFinding(
+            rule=self.code,
+            severity=self.severity,
+            path=path,
+            line=line,
+            col=col,
             message=message,
             symbol=symbol,
         )

@@ -9,11 +9,13 @@ findings (the ratchet).
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from pathlib import Path
 
 from .base import ALL_RULES, rule_by_code
 from .baseline import Baseline, load_baseline, write_baseline
+from .dataflow.cache import AnalysisCache, default_cache_path
 from .runner import default_target, lint_paths
 
 __all__ = ["add_lint_parser", "cmd_lint"]
@@ -25,12 +27,15 @@ DEFAULT_BASELINE = "lint-baseline.json"
 def add_lint_parser(sub: argparse._SubParsersAction) -> None:  # type: ignore[type-arg]
     p = sub.add_parser(
         "lint",
-        help="run the domain-aware static analyzer (RL001-RL006)",
+        help="run the domain-aware static analyzer (RL001-RL010)",
         description=(
             "AST-based static analysis of reproduction invariants: "
             "clairvoyance contract (RL001), determinism (RL002), "
             "float hygiene (RL003), job immutability (RL004), "
-            "reset contract (RL005), unused imports (RL006)."
+            "reset contract (RL005), unused imports (RL006), plus the "
+            "whole-program dataflow rules: cross-module clairvoyance "
+            "taint (RL007), pool-unsafe work (RL008), parameter domains "
+            "(RL009), heap key types (RL010)."
         ),
     )
     p.add_argument(
@@ -74,13 +79,56 @@ def add_lint_parser(sub: argparse._SubParsersAction) -> None:  # type: ignore[ty
         action="store_true",
         help="print the registered rules and exit",
     )
+    p.add_argument(
+        "--explain",
+        metavar="CODE",
+        default=None,
+        help="print a rule's rationale and a minimal offending snippet, "
+        "then exit (e.g. --explain RL007)",
+    )
+    p.add_argument(
+        "--jobs",
+        metavar="N",
+        default=None,
+        help="worker processes for the per-file phase "
+        "('auto' = all cores; default: serial)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for the incremental analysis cache "
+        "(default: ./.repro_lint_cache)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental analysis cache",
+    )
+
+
+def _explain(code: str) -> int:
+    """Print a rule's documentation (``--explain RLxxx``)."""
+    try:
+        rule = rule_by_code(code)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    doc = inspect.getdoc(type(rule)) or "(no documentation)"
+    print(f"{rule.code} {rule.name} ({rule.severity})")
+    print(f"  {rule.description}")
+    print()
+    print(doc)
+    return 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         for rule in ALL_RULES:
-            print(f"{rule.code}  {rule.name:<18} {rule.description}")
+            print(f"{rule.code}  {rule.name:<34} {rule.description}")
         return 0
+    if args.explain:
+        return _explain(args.explain.strip())
 
     rules = ALL_RULES
     if args.select:
@@ -105,8 +153,29 @@ def cmd_lint(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
+    jobs: int | None = None
+    if args.jobs is not None:
+        from repro.perf.parallel import resolve_workers
+
+        try:
+            jobs = resolve_workers(args.jobs)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    cache: AnalysisCache | None = None
+    if not args.no_cache:
+        cache_path = (
+            Path(args.cache_dir) / "cache.json"
+            if args.cache_dir is not None
+            else default_cache_path()
+        )
+        cache = AnalysisCache(cache_path)
+
     paths = args.paths if args.paths else [default_target()]
-    report = lint_paths(paths, rules=rules, baseline=baseline)
+    report = lint_paths(
+        paths, rules=rules, baseline=baseline, jobs=jobs, cache=cache
+    )
 
     if args.update_baseline:
         target = baseline_path or Path(DEFAULT_BASELINE)

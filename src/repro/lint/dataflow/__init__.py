@@ -1,0 +1,50 @@
+"""Whole-program dataflow analysis for :mod:`repro.lint`.
+
+PR 2's rules are *per-file*: RL001 tracks ``job.length`` reads through a
+scheduler class's own call graph, but a helper function in another
+module that returns ``job.length`` launders the leak invisibly.  This
+package closes that gap with an interprocedural, cross-module layer:
+
+* :mod:`~repro.lint.dataflow.summary` — per-file fact extraction into a
+  picklable, JSON-serialisable :class:`FileSummary` (symbols, imports,
+  class hierarchy, call sites, taint/effect/constant facts).  Summaries
+  are the *only* interface between files and the whole-program pass,
+  which makes both the parallel front-end (``lint --jobs N``) and the
+  incremental cache (:mod:`~repro.lint.dataflow.cache`) sound by
+  construction.
+* :mod:`~repro.lint.dataflow.program` — the whole-program symbol table
+  and call graph over all summaries: module-qualified function index,
+  import-alias resolution, method resolution (MRO) over the
+  ``OnlineScheduler``/``Adversary`` hierarchies, and three fixpoint
+  analyses (clairvoyance taint, purity/effects, constant resolution).
+* :mod:`~repro.lint.dataflow.rules_program` — the rules built on top:
+
+  ========  =========================================================
+  RL007     cross-module-clairvoyance-taint (whole-program RL001)
+  RL008     pool-unsafe-work submitted to ``ParallelRunner``
+  RL009     parameter-domain-violation (``CDB(alpha<=1)``, …)
+  RL010     heap-key-type-mix (un-orderable raw-tuple heap keys)
+  ========  =========================================================
+
+Program rules subclass :class:`repro.lint.base.ProgramRule` and receive
+the assembled :class:`Program`; findings reuse the existing
+fingerprint/baseline/suppression machinery unchanged.
+"""
+
+from __future__ import annotations
+
+from .cache import AnalysisCache, default_cache_path
+from .program import Program
+from .summary import FileSummary, extract_summary, module_name_for
+
+# Importing the rule module registers RL007-RL010 with the registry.
+from . import rules_program  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "AnalysisCache",
+    "FileSummary",
+    "Program",
+    "default_cache_path",
+    "extract_summary",
+    "module_name_for",
+]

@@ -1,0 +1,152 @@
+"""Incremental analysis cache for ``python -m repro lint``.
+
+The per-file phase (parse → per-file rules → :class:`FileSummary`
+extraction) is the expensive part of a lint run; the whole-program pass
+consumes *summaries only* and is cheap to re-run.  So the cache stores,
+per scanned file, a content-hash-keyed record of
+
+* the per-file findings (as dicts, replayable without re-parsing),
+* the number of findings dropped by inline suppressions,
+* the :class:`FileSummary` feeding the whole-program pass.
+
+A second run over an unchanged tree therefore re-analyzes **zero**
+files while still producing byte-identical reports — including the
+whole-program RL007–RL010 findings, which are recomputed from cached
+summaries every run (they are inherently cross-file, so per-file keying
+cannot memoise them soundly, but they cost milliseconds).
+
+The key is ``sha256(salt · rule codes · file bytes)``: the salt embeds
+the cache schema version, so any format change invalidates cleanly, and
+the active rule codes participate so ``--select RL003`` runs never
+replay findings from a different rule set.  Corrupt or version-skewed
+cache files are discarded silently — the cache is an accelerator, never
+a source of truth.
+
+CI persists ``.repro_lint_cache/`` between runs keyed on the source
+hashes (see ``.github/workflows/ci.yml``), which keeps the lint gate
+comfortably inside its wall-time budget as the tree grows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+__all__ = ["AnalysisCache", "default_cache_path", "file_key"]
+
+#: Bump when the summary schema or finding replay format changes.
+CACHE_VERSION = 1
+
+#: Directory name used by the CLI default (gitignored).
+CACHE_DIR_NAME = ".repro_lint_cache"
+
+
+def default_cache_path() -> Path:
+    """Default on-disk cache location: ``./.repro_lint_cache/cache.json``."""
+    return Path(CACHE_DIR_NAME) / "cache.json"
+
+
+def file_key(content: bytes, rule_codes: list[str]) -> str:
+    """Content hash keying one file's analysis record.
+
+    Embeds the schema version and the active rule-code set so stale
+    records can never replay across analyzer or selection changes.
+    """
+    h = hashlib.sha256()
+    h.update(f"repro-lint:{CACHE_VERSION}:".encode())
+    h.update(",".join(sorted(rule_codes)).encode())
+    h.update(b":")
+    h.update(content)
+    return h.hexdigest()
+
+
+class AnalysisCache:
+    """Disk-backed map ``relative path -> {key, findings, …}``.
+
+    The cache never invalidates the report: on a key mismatch the file
+    is simply re-analyzed and the record replaced.  ``hits``/``misses``
+    feed the ``files_reanalyzed`` statistic asserted by the incremental
+    tests.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.entries: dict[str, dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._load()
+
+    # -- persistence --------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict) or data.get("version") != CACHE_VERSION:
+            return
+        entries = data.get("entries")
+        if isinstance(entries, dict):
+            self.entries = entries
+
+    def save(self) -> None:
+        """Atomically persist the cache (best effort; failures ignored)."""
+        if not self._dirty:
+            return
+        payload = {"version": CACHE_VERSION, "entries": self.entries}
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.path.parent), prefix=".cache-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh, sort_keys=True)
+                os.replace(tmp, self.path)
+            finally:
+                if os.path.exists(tmp):  # pragma: no cover - error path
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+            self._dirty = False
+        except OSError:  # pragma: no cover - read-only CI scratch etc.
+            pass
+
+    # -- record access ------------------------------------------------------
+    def get(self, rel_path: str, key: str) -> dict[str, Any] | None:
+        """The cached record for ``rel_path`` iff its key matches."""
+        entry = self.entries.get(rel_path)
+        if entry is not None and entry.get("key") == key:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def put(
+        self,
+        rel_path: str,
+        key: str,
+        *,
+        findings: list[dict[str, Any]],
+        suppressed: int,
+        summary: dict[str, Any] | None,
+    ) -> None:
+        self.entries[rel_path] = {
+            "key": key,
+            "findings": findings,
+            "suppressed": suppressed,
+            "summary": summary,
+        }
+        self._dirty = True
+
+    def prune(self, live_paths: set[str]) -> None:
+        """Drop records for files no longer in the scan set."""
+        dead = [p for p in self.entries if p not in live_paths]
+        for p in dead:
+            del self.entries[p]
+            self._dirty = True

@@ -71,6 +71,19 @@ class LintFinding:
             "symbol": self.symbol,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "LintFinding":
+        """Inverse of :meth:`to_dict` (cache replay, JSON round-trips)."""
+        return cls(
+            rule=str(data["rule"]),
+            severity=str(data["severity"]),
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            col=int(data["col"]),  # type: ignore[arg-type]
+            message=str(data["message"]),
+            symbol=str(data.get("symbol", "")),
+        )
+
 
 @dataclass
 class LintReport:
@@ -78,6 +91,9 @@ class LintReport:
 
     findings: list[LintFinding] = field(default_factory=list)
     files_scanned: int = 0
+    #: files whose per-file phase actually ran this invocation (cache
+    #: misses); equals ``files_scanned`` when no incremental cache is used.
+    files_reanalyzed: int = 0
     suppressed: int = 0
     baselined: int = 0
 
@@ -108,6 +124,8 @@ class LintReport:
             f"in {self.files_scanned} file(s)"
         )
         extras = []
+        if self.files_reanalyzed != self.files_scanned:
+            extras.append(f"{self.files_reanalyzed} reanalyzed")
         if self.suppressed:
             extras.append(f"{self.suppressed} suppressed")
         if self.baselined:
@@ -122,6 +140,7 @@ class LintReport:
         payload = {
             "findings": [f.to_dict() for f in self.findings],
             "files_scanned": self.files_scanned,
+            "files_reanalyzed": self.files_reanalyzed,
             "suppressed": self.suppressed,
             "baselined": self.baselined,
             "errors": len(self.errors),

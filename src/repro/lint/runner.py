@@ -4,15 +4,31 @@
 ``lint_source`` lints one in-memory source string, which is what the
 rule unit tests use.  Paths in findings are reported relative to the
 common scan root so baselines are machine-independent.
+
+Since PR 4 a lint run has two phases:
+
+1. **Per-file** — parse, run the per-file rules (RL001–RL006), and
+   extract a :class:`~repro.lint.dataflow.FileSummary`.  This phase is
+   embarrassingly parallel (``jobs > 1`` fans out over
+   :class:`repro.perf.parallel.ParallelRunner`) and incremental (an
+   :class:`~repro.lint.dataflow.AnalysisCache` replays unchanged files
+   from their content hash — ``LintReport.files_reanalyzed`` counts the
+   misses).
+2. **Whole-program** — assemble the summaries into a
+   :class:`~repro.lint.dataflow.Program` and run the
+   :class:`~repro.lint.base.ProgramRule` set (RL007–RL010).  This phase
+   consumes summaries only, so its verdicts are identical whether the
+   per-file facts came from a fresh parse, a cache hit, or a worker
+   process.
 """
 
 from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
-from .base import ALL_RULES, FileContext, Rule, run_rules
+from .base import ALL_RULES, FileContext, ProgramRule, Rule, rule_by_code, run_rules
 from .baseline import Baseline
 from .findings import LintFinding, LintReport
 
@@ -64,11 +80,56 @@ def lint_source(
 
     ``path`` participates in rule scoping (e.g. RL002 only fires for
     paths under ``schedulers/`` or ``adversaries/``), so tests pass a
-    representative fake path.
+    representative fake path.  Program rules (RL007+) are inert here:
+    a lone source string has no whole-program context.
     """
     tree = ast.parse(source, filename=path)
     ctx = FileContext(path, source, tree)
     return run_rules(ctx, list(rules) if rules is not None else ALL_RULES)
+
+
+def _analyze_one(task: tuple[str, str, list[str]]) -> dict[str, Any]:
+    """Per-file phase for one file (top-level: picklable for ``--jobs``).
+
+    Returns a pure-data record — finding dicts, the suppression count,
+    and the :class:`FileSummary` dict — identical in shape to what the
+    incremental cache stores, so serial, parallel, and cached paths all
+    merge through the same code.
+    """
+    from .dataflow import extract_summary, module_name_for
+
+    rel, abspath, codes = task
+    source = Path(abspath).read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=abspath)
+    except SyntaxError as exc:
+        finding = LintFinding(
+            rule="RL000",
+            severity="error",
+            path=rel,
+            line=exc.lineno or 1,
+            col=exc.offset or 0,
+            message=f"syntax error: {exc.msg}",
+        )
+        return {"findings": [finding.to_dict()], "suppressed": 0, "summary": None}
+    ctx = FileContext(rel, source, tree)
+    rules = [rule_by_code(c) for c in codes]
+
+    suppressed = 0
+
+    def count_suppressed(_f: LintFinding) -> None:
+        nonlocal suppressed
+        suppressed += 1
+
+    findings = run_rules(ctx, rules, on_suppressed=count_suppressed)
+    summary = extract_summary(
+        rel, source, tree, module_name_for(Path(abspath)), ctx.suppressions
+    )
+    return {
+        "findings": [f.to_dict() for f in findings],
+        "suppressed": suppressed,
+        "summary": summary.to_dict(),
+    }
 
 
 def lint_paths(
@@ -76,6 +137,8 @@ def lint_paths(
     *,
     rules: Iterable[Rule] | None = None,
     baseline: Baseline | None = None,
+    jobs: int | None = None,
+    cache: "Any | None" = None,
 ) -> LintReport:
     """Lint files/directories and return an aggregate report.
 
@@ -87,38 +150,88 @@ def lint_paths(
         Subset of rules to run (default: all registered rules).
     baseline:
         Grandfathered findings to absorb (see :mod:`repro.lint.baseline`).
+    jobs:
+        Worker processes for the per-file phase (``None``/``1`` =
+        serial).  Parallel output is bit-identical to serial output.
+    cache:
+        An :class:`~repro.lint.dataflow.AnalysisCache`; unchanged files
+        replay from it and ``report.files_reanalyzed`` counts the rest.
     """
+    from .dataflow import FileSummary, Program
+
     targets = [Path(p) for p in (paths if paths else [default_target()])]
     files = discover_files(targets)
-    active = list(rules) if rules is not None else ALL_RULES
+    active = list(rules) if rules is not None else list(ALL_RULES)
+    per_file_codes = [r.code for r in active if not isinstance(r, ProgramRule)]
+    program_rules = [r for r in active if isinstance(r, ProgramRule)]
+    all_codes = [r.code for r in active]
     report = LintReport()
 
-    suppressed = 0
-
-    def count_suppressed(_f: LintFinding) -> None:
-        nonlocal suppressed
-        suppressed += 1
-
+    # -- per-file phase (cached + parallel) ---------------------------------
+    records: dict[str, dict[str, Any]] = {}
+    order: list[str] = []
+    misses: list[tuple[str, str, str]] = []  # (rel, abspath, key)
     for file in files:
-        source = file.read_text(encoding="utf-8")
-        try:
-            tree = ast.parse(source, filename=str(file))
-        except SyntaxError as exc:
-            report.findings.append(
-                LintFinding(
-                    rule="RL000",
-                    severity="error",
-                    path=_relative_to_root(file, targets),
-                    line=exc.lineno or 1,
-                    col=exc.offset or 0,
-                    message=f"syntax error: {exc.msg}",
-                )
+        rel = _relative_to_root(file, targets)
+        order.append(rel)
+        key = ""
+        if cache is not None:
+            from .dataflow.cache import file_key
+
+            key = file_key(file.read_bytes(), all_codes)
+            entry = cache.get(rel, key)
+            if entry is not None:
+                records[rel] = entry
+                continue
+        misses.append((rel, str(file), key))
+
+    tasks = [(rel, abspath, per_file_codes) for rel, abspath, _key in misses]
+    if jobs is not None and jobs > 1 and len(tasks) > 1:
+        from repro.perf.parallel import ParallelRunner
+
+        results = ParallelRunner(workers=jobs).map(_analyze_one, tasks)
+    else:
+        results = [_analyze_one(t) for t in tasks]
+    for (rel, _abspath, key), record in zip(misses, results):
+        records[rel] = record
+        if cache is not None:
+            cache.put(
+                rel,
+                key,
+                findings=record["findings"],
+                suppressed=record["suppressed"],
+                summary=record["summary"],
             )
-            report.files_scanned += 1
-            continue
-        ctx = FileContext(_relative_to_root(file, targets), source, tree)
-        report.extend(run_rules(ctx, active, on_suppressed=count_suppressed))
-        report.files_scanned += 1
+
+    report.files_scanned = len(files)
+    report.files_reanalyzed = len(misses)
+    suppressed = 0
+    summaries: list[FileSummary] = []
+    for rel in order:
+        record = records[rel]
+        report.findings.extend(
+            LintFinding.from_dict(f) for f in record["findings"]
+        )
+        suppressed += int(record["suppressed"])
+        raw_summary = record.get("summary")
+        if raw_summary is not None:
+            summaries.append(FileSummary.from_dict(raw_summary))
+
+    # -- whole-program phase ------------------------------------------------
+    if program_rules and summaries:
+        program = Program(summaries)
+        by_path = {s.path: s for s in summaries}
+        for rule in program_rules:
+            for finding in rule.check_program(program):
+                fs = by_path.get(finding.path)
+                if fs is not None and fs.is_suppressed(finding.line, finding.rule):
+                    suppressed += 1
+                    continue
+                report.findings.append(finding)
+
+    if cache is not None:
+        cache.prune(set(order))
+        cache.save()
 
     report.suppressed = suppressed
     if baseline is not None:

@@ -31,7 +31,7 @@ import os
 import tempfile
 from collections import OrderedDict
 from pathlib import Path
-from typing import Callable
+from typing import Any, Callable
 
 from ..core.job import Instance
 
@@ -82,7 +82,9 @@ class ReferenceCache:
         processes never observe a torn file.
     """
 
-    def __init__(self, maxsize: int = DEFAULT_MAXSIZE, path: str | Path | None = None):
+    def __init__(
+        self, maxsize: int = DEFAULT_MAXSIZE, path: str | Path | None = None
+    ) -> None:
         if maxsize <= 0:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
         self.maxsize = maxsize
@@ -198,7 +200,7 @@ class CachedReference:
         *,
         kind: str | None = None,
         cache: ReferenceCache | None = None,
-        **kwargs,
+        **kwargs: Any,
     ) -> None:
         self.fn = fn
         self.kwargs = dict(sorted(kwargs.items()))
@@ -210,7 +212,8 @@ class CachedReference:
         self._cache = cache
 
     @property
-    def cache(self) -> ReferenceCache:
+    def cache(self) -> ReferenceCache | None:
+        """The bound cache, the process default, or ``None`` when disabled."""
         return self._cache if self._cache is not None else get_default_cache()
 
     def __call__(self, instance: Instance) -> float:
@@ -221,10 +224,12 @@ class CachedReference:
             self.kind, instance, lambda inst: self.fn(inst, **self.kwargs)
         )
 
-    def __getstate__(self):
+    def __getstate__(self) -> tuple[Callable[..., float], str, dict[str, Any]]:
         return (self.fn, self.kind, self.kwargs)
 
-    def __setstate__(self, state):
+    def __setstate__(
+        self, state: tuple[Callable[..., float], str, dict[str, Any]]
+    ) -> None:
         self.fn, self.kind, self.kwargs = state
         self._cache = None
 
@@ -237,7 +242,7 @@ def cached_reference(
     *,
     kind: str | None = None,
     cache: ReferenceCache | None = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> CachedReference:
     """Wrap a reference function with fingerprint memoization.
 

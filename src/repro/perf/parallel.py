@@ -29,7 +29,7 @@ import hashlib
 import os
 import pickle
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence, TypeVar
+from typing import Any, Callable, Generic, Iterable, Sequence, TypeVar
 
 __all__ = [
     "WORKERS_ENV",
@@ -151,7 +151,8 @@ class ParallelRunner:
         """
         task_list = list(tasks)
         n = len(task_list)
-        workers = int(self.workers)  # resolved in __post_init__
+        # Resolved in __post_init__; re-resolving is a typed no-op for ints.
+        workers = resolve_workers(self.workers)
 
         if workers <= 1:
             return self._serial(fn, task_list, "workers<=1")
@@ -171,7 +172,7 @@ class ParallelRunner:
         )
         return results
 
-    def starmap(self, fn: Callable[..., R], tasks: Iterable[tuple]) -> list[R]:
+    def starmap(self, fn: Callable[..., R], tasks: Iterable[tuple[Any, ...]]) -> list[R]:
         """Like :meth:`map` for callables taking positional arguments."""
         return self.map(_StarCall(fn), list(tasks))
 
@@ -183,7 +184,7 @@ class ParallelRunner:
         return [fn(task) for task in tasks]
 
     @staticmethod
-    def _picklable(fn: Callable, tasks: list) -> bool:
+    def _picklable(fn: Callable[..., Any], tasks: list[Any]) -> bool:
         try:
             pickle.dumps(fn)
             for task in tasks:
@@ -206,15 +207,15 @@ class ParallelRunner:
         return results
 
 
-class _StarCall:
+class _StarCall(Generic[R]):
     """Picklable adapter turning ``fn(*args)`` into ``g(args)``."""
 
     __slots__ = ("fn",)
 
-    def __init__(self, fn: Callable) -> None:
+    def __init__(self, fn: Callable[..., R]) -> None:
         self.fn = fn
 
-    def __call__(self, args: tuple):
+    def __call__(self, args: tuple[Any, ...]) -> R:
         return self.fn(*args)
 
 

@@ -7,7 +7,7 @@ callables producing *fresh* scheduler instances, optionally parameterised
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any
 
 from .base import OnlineScheduler
 from .batch import Batch
@@ -30,7 +30,7 @@ __all__ = [
     "clairvoyant_schedulers",
 ]
 
-SCHEDULERS: dict[str, Callable[..., OnlineScheduler]] = {
+SCHEDULERS: dict[str, type[OnlineScheduler]] = {
     Eager.name: Eager,
     Lazy.name: Lazy,
     RandomStart.name: RandomStart,
@@ -67,12 +67,12 @@ def scheduler_names() -> list[str]:
 def nonclairvoyant_schedulers() -> list[str]:
     """Names of schedulers usable without length information."""
     return sorted(
-        name for name, f in SCHEDULERS.items() if not f.requires_clairvoyance  # type: ignore[union-attr]
+        name for name, cls in SCHEDULERS.items() if not cls.requires_clairvoyance
     )
 
 
 def clairvoyant_schedulers() -> list[str]:
     """Names of schedulers requiring length information at arrival."""
     return sorted(
-        name for name, f in SCHEDULERS.items() if f.requires_clairvoyance  # type: ignore[union-attr]
+        name for name, cls in SCHEDULERS.items() if cls.requires_clairvoyance
     )

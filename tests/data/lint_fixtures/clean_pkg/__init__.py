@@ -1,0 +1,9 @@
+"""RL007 negative fixture: a multi-module scheduler with no leak.
+
+Mirrors ``laundered_pkg`` structurally — the scheduler delegates to a
+helper module — but the helper only touches *visible* job fields
+pre-completion and only reads ``job.length`` from ``on_completion``,
+which every information model allows.  RL007 must report nothing here,
+and the strict-mode runtime guard must record zero accesses: the "both
+directions" half of the cross-validation contract.
+"""

@@ -1,0 +1,13 @@
+"""Helpers that stay inside the non-clairvoyant information model."""
+
+from __future__ import annotations
+
+
+def urgency(job, now: float) -> float:
+    """Deadline slack — visible in every information model."""
+    return job.deadline - now
+
+
+def record_length(job, sink: list) -> None:
+    """Reads ``job.length`` — callers must only use this post-completion."""
+    sink.append(job.length)

@@ -1,0 +1,45 @@
+"""An honest non-clairvoyant scheduler using cross-module helpers.
+
+``helpers.record_length`` *does* read ``job.length`` — but the only call
+site is ``on_completion``, outside the pre-completion reachability set,
+so RL007 stays silent.  A whole-program analysis that flagged every
+caller of a length-reading helper regardless of hook would fail this
+fixture.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.core.engine import JobView, SchedulerContext
+from repro.schedulers.base import OnlineScheduler
+
+from . import helpers
+
+
+class CleanPkgScheduler(OnlineScheduler):
+    """Starts by deadline slack; observes lengths only at completion."""
+
+    name: ClassVar[str] = "fixture-clean-pkg"
+    requires_clairvoyance: ClassVar[bool] = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.observed_lengths: list[float] = []
+
+    def reset(self) -> None:
+        super().reset()
+        self.observed_lengths = []
+
+    def on_arrival(self, ctx: SchedulerContext, job: JobView) -> None:
+        # Pre-completion use of a helper is fine: urgency() only touches
+        # arrival-visible fields.
+        if helpers.urgency(job, ctx.now) <= 0.0:
+            ctx.start(job.id)
+
+    def on_deadline(self, ctx: SchedulerContext, job: JobView) -> None:
+        for pending in ctx.pending():
+            ctx.start(pending.id)
+
+    def on_completion(self, ctx: SchedulerContext, job: JobView) -> None:
+        helpers.record_length(job, self.observed_lengths)

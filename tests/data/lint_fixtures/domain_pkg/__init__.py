@@ -1,0 +1,8 @@
+"""RL009 fixture package: parameter-domain violations.
+
+``local.py`` exercises the guard-derivation machinery on a
+self-contained class (no external resolution needed); ``paper.py``
+constructs the *real* ``CDB``/``Profit`` schedulers outside their
+theorem domains (α > 1, k > 1) and is linted together with the shipped
+``src/repro`` tree so the cross-module guard lookup resolves.
+"""

@@ -1,0 +1,52 @@
+"""Self-contained RL009 cases: guards derived from raise patterns."""
+
+from __future__ import annotations
+
+BAD_ALPHA = 1.0  # resolved through constant propagation
+GOOD_ALPHA = 2.0
+
+
+class Boxed:
+    """Mirrors the CDB constructor idiom: an open-domain guard."""
+
+    def __init__(self, alpha: float = 2.0, mu: float = 4.0) -> None:
+        if alpha <= 1:
+            raise ValueError("alpha must exceed 1 (Theorem 4.4 domain)")
+        if mu < 1:
+            raise ValueError("mu must be at least 1")
+        self.alpha = alpha
+        self.mu = mu
+
+
+def scaled(k: float) -> float:
+    if k <= 1:
+        raise ValueError("k must exceed 1 (Theorem 4.11 domain)")
+    return 2 * k + 2 + 1 / (k - 1)
+
+
+def bad_literal() -> Boxed:
+    return Boxed(alpha=1.0)  # flagged: alpha <= 1
+
+
+def bad_positional() -> Boxed:
+    return Boxed(0.5)  # flagged: alpha <= 1 (positional binding)
+
+
+def bad_const_ref() -> Boxed:
+    return Boxed(alpha=BAD_ALPHA)  # flagged through constant resolution
+
+
+def bad_mu() -> Boxed:
+    return Boxed(alpha=2.0, mu=0.25)  # flagged: mu < 1
+
+
+def bad_function_arg() -> float:
+    return scaled(k=1)  # flagged: k <= 1
+
+
+def good() -> Boxed:
+    return Boxed(alpha=GOOD_ALPHA, mu=4.0)  # inside the domain
+
+
+def good_expr(alpha: float) -> Boxed:
+    return Boxed(alpha=alpha)  # non-constant: not statically decidable

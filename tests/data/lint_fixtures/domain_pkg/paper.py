@@ -1,0 +1,34 @@
+"""RL009 against the shipped schedulers (lint together with src/repro).
+
+CDB's (3α+4+2/(α−1))-competitiveness needs α > 1 (Theorem 4.4) and
+Profit's (2k+2+1/(k−1))-competitiveness needs k > 1 (Theorem 4.11);
+both constructors raise at the boundary, and RL009 moves that failure
+from experiment time to review time — including through the
+``make_scheduler`` registry indirection.
+"""
+
+from __future__ import annotations
+
+from repro.schedulers import ClassifyByDurationBatchPlus, Profit
+from repro.schedulers.registry import make_scheduler
+
+
+def bad_cdb():
+    # flagged: Theorem 4.4 needs alpha > 1
+    return ClassifyByDurationBatchPlus(alpha=1.0)
+
+
+def bad_profit():
+    return Profit(k=1)  # flagged: Theorem 4.11 needs k > 1
+
+
+def bad_registry():
+    return make_scheduler("cdb", alpha=0.5)  # flagged via the registry
+
+
+def good_cdb():
+    return ClassifyByDurationBatchPlus(alpha=2.0)
+
+
+def good_profit():
+    return Profit(k=2.0)

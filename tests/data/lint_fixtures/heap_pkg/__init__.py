@@ -1,0 +1,8 @@
+"""RL010 fixture package: raw-tuple heap key hygiene.
+
+PR 1's engine hot path pushes raw tuples onto ``heapq`` event heaps;
+that is only safe when every tuple pushed onto one heap is orderable
+against every other.  ``events.py`` holds one heap whose pushes mix a
+string and an int at the tie-breaking slot (flagged) and one heap whose
+pushes keep every slot numeric (clean).
+"""

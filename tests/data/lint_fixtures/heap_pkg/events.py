@@ -1,0 +1,36 @@
+"""RL010 cases: one mixed-type heap (flagged), one disciplined heap."""
+
+from __future__ import annotations
+
+import heapq
+
+
+class MixedQueue:
+    """Pushes ("deadline", str) and (t, int) keys onto the *same* heap:
+    a tie on ``t`` compares ``"deadline" < 0`` and raises ``TypeError``
+    — but only on the adversarial instance that produces the tie."""
+
+    def __init__(self) -> None:
+        self._events: list = []
+
+    def add_deadline(self, t: float, job: object) -> None:
+        heapq.heappush(self._events, (t, "deadline", job))
+
+    def add_timer(self, t: float, job: object) -> None:
+        heapq.heappush(self._events, (t, 0, job))
+
+
+class CleanQueue:
+    """Every push keeps slot 1 numeric: ties always resolve."""
+
+    _DEADLINE = 1
+    _TIMER = 2
+
+    def __init__(self) -> None:
+        self._events: list = []
+
+    def add_deadline(self, t: float, job: object) -> None:
+        heapq.heappush(self._events, (t, 1, job))
+
+    def add_timer(self, t: float, job: object) -> None:
+        heapq.heappush(self._events, (t, 2, job))

@@ -1,0 +1,14 @@
+"""RL007 fixture package: a clairvoyance leak laundered across modules.
+
+``sched.py`` declares ``requires_clairvoyance = False`` but routes every
+pre-completion length read through :mod:`laundered_pkg.helpers` — which
+is exactly the blind spot of per-file RL001 and the *raison d'être* of
+whole-program RL007.  ``tests/test_lint_dataflow.py`` asserts three
+things on this package:
+
+* RL001 alone reports **nothing** (the leak is invisible per-file);
+* RL007 reports the laundered leak in ``sched.py``;
+* the runtime :class:`~repro.core.engine.ClairvoyanceGuard` agrees —
+  running :class:`laundered_pkg.sched.LaunderingScheduler` under strict
+  mode raises :class:`~repro.core.ClairvoyanceError`.
+"""

@@ -1,0 +1,8 @@
+"""RL008 fixture package: pool-safe vs pool-unsafe work functions.
+
+``work.py`` holds the work functions; ``driver.py`` submits them to a
+:class:`repro.perf.parallel.ParallelRunner`.  The purity analysis must
+flag the impure submissions (module-global write, unseeded RNG — also
+transitively, through a pure-looking wrapper) and the unpicklable ones
+(lambda, nested closure), while accepting the pure top-level function.
+"""

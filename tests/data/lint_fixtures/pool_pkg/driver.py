@@ -1,0 +1,40 @@
+"""Submission sites for the RL008 fixtures.
+
+Each ``bad_*`` function contains exactly one flagged submission; the
+``good`` function must produce no findings.
+"""
+
+from __future__ import annotations
+
+from repro.perf.parallel import ParallelRunner
+
+from . import work
+
+
+def good(cells: list[int]) -> list[float]:
+    runner = ParallelRunner(workers=2)
+    return runner.map(work.pure_cell, cells)
+
+
+def bad_global_write(cells: list[int]) -> list[float]:
+    runner = ParallelRunner(workers=2)
+    return runner.map(work.caching_cell, cells)  # RL008: global write
+
+
+def bad_transitive_rng(cells: list[int]) -> list[float]:
+    runner = ParallelRunner(workers=2)
+    return runner.map(work.wrapped_cell, cells)  # RL008: rng via callee
+
+
+def bad_lambda(cells: list[int]) -> list[float]:
+    runner = ParallelRunner(workers=2)
+    return runner.map(lambda c: c * 2.0, cells)  # RL008: unpicklable
+
+
+def bad_closure(cells: list[int], scale: float) -> list[float]:
+    runner = ParallelRunner(workers=2)
+
+    def scaled(c: int) -> float:
+        return c * scale  # captures `scale`
+
+    return runner.map(scaled, cells)  # RL008: closure capture

@@ -1,0 +1,28 @@
+"""Work functions of every flavour for the RL008 fixtures."""
+
+from __future__ import annotations
+
+import random
+
+_RESULTS: dict[int, float] = {}
+
+
+def pure_cell(cell: int) -> float:
+    """Pool-safe: top-level, no effects, depends only on its argument."""
+    return cell * 2.0
+
+
+def caching_cell(cell: int) -> float:
+    """Impure: memoises into a module global (diverges across workers)."""
+    _RESULTS[cell] = cell * 2.0
+    return _RESULTS[cell]
+
+
+def jittered_cell(cell: int) -> float:
+    """Impure: unseeded module-level RNG (non-deterministic)."""
+    return cell + random.random()
+
+
+def wrapped_cell(cell: int) -> float:
+    """Looks pure — the impurity is one call hop away."""
+    return jittered_cell(cell)

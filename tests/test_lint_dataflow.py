@@ -1,0 +1,559 @@
+"""Tests for the whole-program dataflow layer (``repro.lint.dataflow``).
+
+Covers the four program rules (RL007–RL010) on multi-module fixture
+packages, the RL001-vs-RL007 laundering gap, the static ⇄ runtime
+``ClairvoyanceGuard`` cross-validation in both directions, the
+incremental analysis cache (a second run on an unchanged tree
+re-analyzes zero files), the ``--jobs`` parallel front-end, and the
+``--explain`` CLI.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import json
+import math
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.core import ClairvoyanceError, Instance, Simulator
+from repro.lint import (
+    ALL_RULES,
+    AnalysisCache,
+    Program,
+    ProgramRule,
+    default_target,
+    lint_paths,
+    lint_source,
+    rule_by_code,
+)
+from repro.lint.dataflow import FileSummary, extract_summary, module_name_for
+from repro.lint.dataflow.cache import file_key
+
+FIXTURES = Path(__file__).parent / "data" / "lint_fixtures"
+LAUNDERED = FIXTURES / "laundered_pkg"
+CLEAN_PKG = FIXTURES / "clean_pkg"
+POOL_PKG = FIXTURES / "pool_pkg"
+DOMAIN_PKG = FIXTURES / "domain_pkg"
+HEAP_PKG = FIXTURES / "heap_pkg"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+PROGRAM_CODES = {"RL007", "RL008", "RL009", "RL010"}
+
+
+def codes(findings) -> set[str]:
+    return {f.rule for f in findings}
+
+
+def by_rule(findings, code: str):
+    return [f for f in findings if f.rule == code]
+
+
+def _import_fixture_module(dotted: str):
+    """Import ``laundered_pkg.sched``-style fixture packages."""
+    if str(FIXTURES) not in sys.path:
+        sys.path.insert(0, str(FIXTURES))
+    return importlib.import_module(dotted)
+
+
+@pytest.fixture
+def two_jobs() -> Instance:
+    return Instance.from_triples([(0, 2, 1), (0, 2, 3)], name="dataflow-probe")
+
+
+# ---------------------------------------------------------------------------
+# Registry / plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestProgramRulePlumbing:
+    def test_program_rules_registered(self):
+        assert PROGRAM_CODES <= {r.code for r in ALL_RULES}
+
+    def test_program_rules_are_program_rules(self):
+        for code in sorted(PROGRAM_CODES):
+            assert isinstance(rule_by_code(code), ProgramRule)
+
+    def test_program_rules_inert_in_lint_source(self):
+        # A lone source string has no whole-program context: RL007 must
+        # not fire even on a blatant leak routed through a local helper.
+        src = textwrap.dedent(
+            """
+            def peek(job):
+                return job.length
+
+            class S(OnlineScheduler):
+                requires_clairvoyance = False
+
+                def on_arrival(self, ctx, job):
+                    return peek(job)
+            """
+        )
+        assert not codes(lint_source(src)) & PROGRAM_CODES
+
+    def test_rule_docstrings_carry_snippets(self):
+        # --explain sources its payload from the class docstring; every
+        # program rule documents an offending and a clean snippet.
+        for code in sorted(PROGRAM_CODES):
+            doc = type(rule_by_code(code)).__doc__ or ""
+            assert "Offending" in doc and "Clean" in doc, code
+
+
+# ---------------------------------------------------------------------------
+# Summary extraction
+# ---------------------------------------------------------------------------
+
+
+class TestSummaryExtraction:
+    def test_module_name_for_package_file(self):
+        assert module_name_for(LAUNDERED / "sched.py") == "laundered_pkg.sched"
+        assert module_name_for(LAUNDERED / "__init__.py") == "laundered_pkg"
+
+    def test_summary_roundtrips_through_json(self):
+        path = LAUNDERED / "sched.py"
+        src = path.read_text()
+        summary = extract_summary(
+            "laundered_pkg/sched.py",
+            src,
+            ast.parse(src),
+            "laundered_pkg.sched",
+            None,
+        )
+        data = json.loads(json.dumps(summary.to_dict()))
+        restored = FileSummary.from_dict(data)
+        assert restored == summary
+
+    def test_guard_derivation(self):
+        src = textwrap.dedent(
+            """
+            def f(alpha, k):
+                if alpha <= 1:
+                    raise ValueError("bad alpha")
+                if 1 >= k:
+                    raise ValueError("bad k")
+                return alpha * k
+            """
+        )
+        summary = extract_summary("m.py", src, ast.parse(src), "m", None)
+        guards = {(g[0], g[1], g[2]) for g in summary.functions["f"].guards}
+        assert ("alpha", "<=", 1.0) in guards
+        assert ("k", "<=", 1.0) in guards  # flipped orientation
+
+    def test_constant_folding_through_math(self):
+        src = "X = 1 + math.sqrt(2.0 / 3.0)\n"
+        summary = extract_summary("m.py", src, ast.parse(src), "m", None)
+        assert summary.constants["X"]["v"] == pytest.approx(
+            1 + math.sqrt(2 / 3)
+        )
+
+    def test_relative_import_resolution_in_package_init(self):
+        # Regression: a level-1 import in __init__.py resolves against
+        # the package itself, not its parent.
+        src = "from .cdb import ClassifyByDurationBatchPlus\n"
+        summary = extract_summary(
+            "repro/schedulers/__init__.py",
+            src,
+            ast.parse(src),
+            "repro.schedulers",
+            None,
+        )
+        assert (
+            summary.imports["ClassifyByDurationBatchPlus"]
+            == "repro.schedulers.cdb.ClassifyByDurationBatchPlus"
+        )
+
+
+# ---------------------------------------------------------------------------
+# RL007: the laundering gap (the headline satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestLaunderedLeak:
+    def test_rl001_alone_misses_the_laundered_leak(self):
+        report = lint_paths([LAUNDERED], rules=[rule_by_code("RL001")])
+        assert report.clean, report.render()
+
+    def test_rl007_catches_the_laundered_leak(self):
+        report = lint_paths([LAUNDERED])
+        hits = by_rule(report.findings, "RL007")
+        assert hits, report.render()
+        (hit,) = hits
+        assert hit.path.endswith("sched.py")
+        assert "helpers.effective_weight" in hit.message
+        assert "helpers.py" in hit.message  # witness points into the helper
+
+    def test_clean_multi_module_package_not_flagged(self):
+        report = lint_paths([CLEAN_PKG])
+        assert report.clean, report.render()
+
+    def test_rl007_respects_inline_suppression(self, tmp_path):
+        pkg = tmp_path / "supp_pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "helpers.py").write_text("def peek(job):\n    return job.length\n")
+        (pkg / "sched.py").write_text(
+            textwrap.dedent(
+                """
+                from . import helpers
+
+                class S(OnlineScheduler):
+                    requires_clairvoyance = False
+
+                    def on_arrival(self, ctx, job):
+                        return helpers.peek(job)  # lint: ignore[RL007]
+                """
+            )
+        )
+        report = lint_paths([pkg])
+        assert not by_rule(report.findings, "RL007"), report.render()
+        assert report.suppressed >= 1
+        # Sanity: without the pragma the same package is flagged.
+        text = (pkg / "sched.py").read_text()
+        (pkg / "sched.py").write_text(text.replace("  # lint: ignore[RL007]", ""))
+        assert by_rule(lint_paths([pkg]).findings, "RL007")
+
+
+# ---------------------------------------------------------------------------
+# Static ⇄ runtime cross-validation (both directions)
+# ---------------------------------------------------------------------------
+
+
+class TestStaticDynamicAgreement:
+    def test_laundered_flagged_statically(self):
+        assert by_rule(lint_paths([LAUNDERED]).findings, "RL007")
+
+    def test_laundered_trips_runtime_guard(self, two_jobs):
+        mod = _import_fixture_module("laundered_pkg.sched")
+        sched = mod.LaunderingScheduler()
+        sim = Simulator(sched, instance=two_jobs, clairvoyant=True, strict=True)
+        with pytest.raises(ClairvoyanceError):
+            sim.run()
+        guard = sim.strict_guard
+        assert guard is not None and guard.accesses
+
+    def test_clean_pkg_passes_statically(self):
+        assert lint_paths([CLEAN_PKG]).clean
+
+    def test_clean_pkg_passes_runtime_guard(self, two_jobs):
+        mod = _import_fixture_module("clean_pkg.sched")
+        sched = mod.CleanPkgScheduler()
+        sim = Simulator(sched, instance=two_jobs, clairvoyant=True, strict=True)
+        result = sim.run()
+        guard = sim.strict_guard
+        assert guard is not None and guard.accesses == []
+        assert result.span > 0
+        assert sorted(sched.observed_lengths) == [1.0, 3.0]
+
+
+# ---------------------------------------------------------------------------
+# RL008: pool-unsafe work
+# ---------------------------------------------------------------------------
+
+
+class TestPoolUnsafeWork:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return lint_paths([POOL_PKG])
+
+    def test_flagged_symbols(self, report):
+        flagged = {f.symbol for f in by_rule(report.findings, "RL008")}
+        assert flagged == {
+            "bad_global_write",
+            "bad_transitive_rng",
+            "bad_lambda",
+            "bad_closure",
+        }
+
+    def test_global_write_witness(self, report):
+        (hit,) = [
+            f
+            for f in by_rule(report.findings, "RL008")
+            if f.symbol == "bad_global_write"
+        ]
+        assert "writes module-global state" in hit.message
+        assert "work.py" in hit.message
+
+    def test_transitive_rng_witness_names_call_chain(self, report):
+        (hit,) = [
+            f
+            for f in by_rule(report.findings, "RL008")
+            if f.symbol == "bad_transitive_rng"
+        ]
+        assert "unseeded RNG" in hit.message
+        assert "via jittered_cell()" in hit.message
+
+    def test_closure_capture_names_captured_variable(self, report):
+        (hit,) = [
+            f
+            for f in by_rule(report.findings, "RL008")
+            if f.symbol == "bad_closure"
+        ]
+        assert "scale" in hit.message
+
+    def test_real_perf_work_functions_pass(self):
+        # The shipped sweep/Monte-Carlo work functions must be pool-safe.
+        report = lint_paths([default_target()])
+        assert not by_rule(report.findings, "RL008"), report.render()
+
+
+# ---------------------------------------------------------------------------
+# RL009: parameter domains
+# ---------------------------------------------------------------------------
+
+
+class TestParameterDomain:
+    def test_local_fixture_flags(self):
+        report = lint_paths([DOMAIN_PKG / "local.py"])
+        flagged = {f.symbol for f in by_rule(report.findings, "RL009")}
+        assert flagged == {
+            "bad_literal",
+            "bad_positional",
+            "bad_const_ref",
+            "bad_mu",
+            "bad_function_arg",
+        }
+
+    def test_real_cdb_profit_construction_sites(self):
+        # Linted together with src/repro so the cross-module guard
+        # lookup resolves against the shipped constructors.
+        report = lint_paths([DOMAIN_PKG, default_target()])
+        hits = by_rule(report.findings, "RL009")
+        paper = {f.symbol for f in hits if f.path.endswith("paper.py")}
+        assert paper == {"bad_cdb", "bad_profit", "bad_registry"}
+        # Zero findings inside the shipped tree itself.
+        assert not [f for f in hits if f.path.startswith("repro/")]
+
+    def test_registry_indirection_message(self):
+        report = lint_paths([DOMAIN_PKG, default_target()])
+        (hit,) = [
+            f
+            for f in by_rule(report.findings, "RL009")
+            if f.symbol == "bad_registry"
+        ]
+        assert "make_scheduler('cdb'" in hit.message
+        assert "alpha <= 1" in hit.message
+
+
+# ---------------------------------------------------------------------------
+# RL010: heap key hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestHeapKeyTypeMix:
+    def test_mixed_queue_flagged_once(self):
+        report = lint_paths([HEAP_PKG])
+        hits = by_rule(report.findings, "RL010")
+        assert len(hits) == 1, report.render()
+        (hit,) = hits
+        assert "slot 1" in hit.message
+        assert "MixedQueue" in hit.symbol
+
+    def test_clean_queue_not_flagged(self):
+        report = lint_paths([HEAP_PKG])
+        assert not [
+            f
+            for f in by_rule(report.findings, "RL010")
+            if "CleanQueue" in f.symbol
+        ]
+
+    def test_engine_raw_tuple_heap_passes(self):
+        report = lint_paths([default_target()])
+        assert not by_rule(report.findings, "RL010"), report.render()
+
+
+# ---------------------------------------------------------------------------
+# Shipped tree: zero findings, no baseline growth
+# ---------------------------------------------------------------------------
+
+
+class TestShippedTree:
+    def test_no_program_rule_findings_and_no_baseline(self):
+        report = lint_paths([default_target()])
+        assert not codes(report.findings) & PROGRAM_CODES, report.render()
+        assert report.baselined == 0  # no baseline, no suppressions needed
+        # The scheduler hierarchy is actually being analysed (the
+        # cleanliness is a verdict, not a vacuous pass).
+        assert report.files_scanned > 50
+
+    def test_program_assembles_all_shipped_schedulers(self):
+        from repro.lint.runner import _analyze_one, discover_files
+
+        files = discover_files([default_target()])
+        summaries = []
+        for f in files:
+            record = _analyze_one((str(f), str(f), []))
+            if record["summary"] is not None:
+                summaries.append(FileSummary.from_dict(record["summary"]))
+        program = Program(summaries)
+        scheds = {c.rsplit(".", 1)[-1] for c in program.scheduler_classes()}
+        assert {"ClassifyByDurationBatchPlus", "Profit", "Batch"} <= scheds
+        # Clairvoyance declarations are resolved over the MRO.
+        cdb = next(
+            c for c in program.scheduler_classes() if c.endswith(".ClassifyByDurationBatchPlus")
+        )
+        assert program.requires_clairvoyance(cdb)
+
+
+# ---------------------------------------------------------------------------
+# Incremental cache
+# ---------------------------------------------------------------------------
+
+
+class TestIncrementalCache:
+    def test_second_run_reanalyzes_zero_files(self, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        cache = AnalysisCache(cache_file)
+        first = lint_paths([POOL_PKG], cache=cache)
+        assert first.files_reanalyzed == first.files_scanned > 0
+
+        cache2 = AnalysisCache(cache_file)
+        second = lint_paths([POOL_PKG], cache=cache2)
+        assert second.files_reanalyzed == 0
+        assert [f.render() for f in second.findings] == [
+            f.render() for f in first.findings
+        ]
+
+    def test_touched_file_reanalyzed_alone(self, tmp_path):
+        src_pkg = tmp_path / "pkg"
+        src_pkg.mkdir()
+        (src_pkg / "__init__.py").write_text("")
+        (src_pkg / "a.py").write_text("A = 1\n")
+        (src_pkg / "b.py").write_text("B = 2\n")
+        cache_file = tmp_path / "cache.json"
+        lint_paths([src_pkg], cache=AnalysisCache(cache_file))
+        (src_pkg / "b.py").write_text("B = 3\n")
+        report = lint_paths([src_pkg], cache=AnalysisCache(cache_file))
+        assert report.files_reanalyzed == 1
+
+    def test_cache_key_depends_on_rule_selection(self):
+        content = b"X = 1\n"
+        assert file_key(content, ["RL001"]) != file_key(content, ["RL002"])
+        assert file_key(content, ["RL001"]) == file_key(content, ["RL001"])
+
+    def test_corrupt_cache_is_ignored(self, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        cache_file.write_text("{not json")
+        report = lint_paths([POOL_PKG], cache=AnalysisCache(cache_file))
+        assert report.files_reanalyzed == report.files_scanned
+
+    def test_prune_drops_dead_entries(self, tmp_path):
+        src_pkg = tmp_path / "pkg"
+        src_pkg.mkdir()
+        (src_pkg / "__init__.py").write_text("")
+        (src_pkg / "a.py").write_text("A = 1\n")
+        cache_file = tmp_path / "cache.json"
+        lint_paths([src_pkg], cache=AnalysisCache(cache_file))
+        (src_pkg / "a.py").unlink()
+        lint_paths([src_pkg], cache=AnalysisCache(cache_file))
+        entries = json.loads(cache_file.read_text())["entries"]
+        assert not any(p.endswith("a.py") for p in entries)
+
+    def test_cached_run_keeps_program_findings(self, tmp_path):
+        # RL007-RL010 are recomputed from cached summaries — a warm
+        # cache must not swallow whole-program findings.
+        cache_file = tmp_path / "cache.json"
+        lint_paths([LAUNDERED], cache=AnalysisCache(cache_file))
+        warm = lint_paths([LAUNDERED], cache=AnalysisCache(cache_file))
+        assert warm.files_reanalyzed == 0
+        assert by_rule(warm.findings, "RL007")
+
+
+# ---------------------------------------------------------------------------
+# Parallel front-end
+# ---------------------------------------------------------------------------
+
+
+class TestParallelFrontEnd:
+    def test_jobs_output_identical_to_serial(self):
+        serial = lint_paths([POOL_PKG, HEAP_PKG, LAUNDERED])
+        parallel = lint_paths([POOL_PKG, HEAP_PKG, LAUNDERED], jobs=2)
+        assert [f.render() for f in parallel.findings] == [
+            f.render() for f in serial.findings
+        ]
+        assert parallel.files_scanned == serial.files_scanned
+
+
+# ---------------------------------------------------------------------------
+# CLI: --explain, --jobs, cache flags
+# ---------------------------------------------------------------------------
+
+
+def _run_cli(*argv: str, cwd: Path | None = None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *argv],
+        capture_output=True,
+        text=True,
+        cwd=str(cwd or REPO_ROOT),
+        env=env,
+    )
+
+
+class TestCLI:
+    def test_explain_prints_rule_doc(self):
+        proc = _run_cli("--explain", "RL007")
+        assert proc.returncode == 0, proc.stderr
+        assert "RL007 cross-module-clairvoyance-taint" in proc.stdout
+        assert "Offending" in proc.stdout
+        assert "helpers.peek(job)" in proc.stdout
+
+    def test_explain_works_for_per_file_rules_too(self):
+        proc = _run_cli("--explain", "RL001")
+        assert proc.returncode == 0, proc.stderr
+        assert "RL001" in proc.stdout
+
+    def test_explain_unknown_rule_is_usage_error(self):
+        proc = _run_cli("--explain", "RL999")
+        assert proc.returncode == 2
+        assert "RL999" in proc.stderr
+
+    def test_list_rules_includes_program_rules(self):
+        proc = _run_cli("--list-rules")
+        assert proc.returncode == 0
+        for code in sorted(PROGRAM_CODES):
+            assert code in proc.stdout
+
+    def test_jobs_auto_smoke(self, tmp_path):
+        proc = _run_cli(
+            "--jobs",
+            "auto",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            str(LAUNDERED),
+        )
+        assert proc.returncode == 1  # the laundered leak gates
+        assert "RL007" in proc.stdout
+
+    def test_cache_round_trip_via_cli(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        first = _run_cli(
+            "--format", "json", "--cache-dir", str(cache_dir), str(POOL_PKG)
+        )
+        second = _run_cli(
+            "--format", "json", "--cache-dir", str(cache_dir), str(POOL_PKG)
+        )
+        d1, d2 = json.loads(first.stdout), json.loads(second.stdout)
+        assert d1["files_reanalyzed"] == d1["files_scanned"] > 0
+        assert d2["files_reanalyzed"] == 0
+        assert d1["findings"] == d2["findings"]
+
+    def test_no_cache_flag(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        _run_cli("--cache-dir", str(cache_dir), str(POOL_PKG))
+        proc = _run_cli(
+            "--format",
+            "json",
+            "--no-cache",
+            "--cache-dir",
+            str(cache_dir),
+            str(POOL_PKG),
+        )
+        data = json.loads(proc.stdout)
+        assert data["files_reanalyzed"] == data["files_scanned"]

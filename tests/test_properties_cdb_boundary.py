@@ -1,0 +1,149 @@
+"""Property tests for CDB's boundary-tolerant duration classification.
+
+``duration_category`` (src/repro/schedulers/cdb.py) places a length into
+the category ``i`` with ``b·α^(i-1) < p <= b·α^i``.  A length lying
+*exactly* on a boundary ``b·α^i`` is the worst case: ``log`` rounding can
+push the raw index to either side, so the implementation absorbs it with
+a relative tolerance ``_BOUNDARY_RTOL = 1e-12``.  These tests pin the
+intended contract across the paper-relevant ratios
+``α ∈ {1 + √(2/3), 2, 10}`` (the Theorem 4.4 optimum, a typical doubling
+ratio, and a coarse one):
+
+* boundary-exact lengths land in category ``i`` — never ``i+1``;
+* perturbations well inside the tolerance (``|δ| <= 1e-13``) cannot flip
+  the category, perturbations well outside it (``δ >= 1e-9``) must;
+* the returned category always contains its length (up to tolerance) and
+  is monotone in the length.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulers import OPTIMAL_CDB_ALPHA, duration_category
+from repro.schedulers.cdb import _BOUNDARY_RTOL
+
+#: The ratios the satellite pins: Theorem 4.4's optimum, 2, and 10.
+ALPHAS = (OPTIMAL_CDB_ALPHA, 2.0, 10.0)
+
+#: Bases exercising b != 1 (category boundaries are anchored at b·α^i).
+BASES = (1.0, 3.0, 0.25)
+
+alphas = st.sampled_from(ALPHAS)
+bases = st.sampled_from(BASES)
+# Exponent range kept moderate so b·α^i stays far from overflow/underflow
+# even at α = 10 (10^18 · 3 is still exact-ish in double precision).
+exponents = st.integers(min_value=-12, max_value=18)
+
+
+def test_boundary_rtol_is_the_documented_magnitude() -> None:
+    # The properties below are calibrated against 1e-12: perturbations at
+    # 1e-13 must be absorbed, at 1e-9 must not.  If the tolerance moves,
+    # these tests must be re-derived, so pin it.
+    assert _BOUNDARY_RTOL == 1e-12
+
+
+@settings(max_examples=200)
+@given(alpha=alphas, base=bases, i=exponents)
+def test_boundary_exact_length_lands_in_lower_category(
+    alpha: float, base: float, i: int
+) -> None:
+    """``p = b·α^i`` belongs to category ``i`` (the interval's top end)."""
+    length = base * alpha**i
+    assert duration_category(length, alpha, base) == i
+
+
+@settings(max_examples=200)
+@given(
+    alpha=alphas,
+    base=bases,
+    i=exponents,
+    delta=st.floats(min_value=-1e-13, max_value=1e-13),
+)
+def test_sub_tolerance_perturbation_cannot_flip_the_category(
+    alpha: float, base: float, i: int, delta: float
+) -> None:
+    """Float noise an order of magnitude below the tolerance is absorbed."""
+    length = base * alpha**i * (1.0 + delta)
+    assert duration_category(length, alpha, base) == i
+
+
+@settings(max_examples=200)
+@given(
+    alpha=alphas,
+    base=bases,
+    i=st.integers(min_value=-12, max_value=15),
+    delta=st.floats(min_value=1e-9, max_value=1e-6),
+)
+def test_super_tolerance_excess_promotes_to_the_next_category(
+    alpha: float, base: float, i: int, delta: float
+) -> None:
+    """A length decisively above ``b·α^i`` belongs to category ``i+1``."""
+    length = base * alpha**i * (1.0 + delta)
+    assert duration_category(length, alpha, base) == i + 1
+
+
+@settings(max_examples=200)
+@given(
+    alpha=alphas,
+    base=bases,
+    i=exponents,
+    frac=st.floats(min_value=0.05, max_value=0.95),
+)
+def test_interior_lengths_are_unambiguous(
+    alpha: float, base: float, i: int, frac: float
+) -> None:
+    """Geometric interpolants of ``(b·α^(i-1), b·α^i)`` get category ``i``."""
+    length = base * alpha ** (i - 1 + frac)
+    assert duration_category(length, alpha, base) == i
+
+
+@settings(max_examples=200)
+@given(
+    alpha=alphas,
+    base=bases,
+    length=st.floats(min_value=1e-9, max_value=1e12),
+)
+def test_returned_category_contains_its_length(
+    alpha: float, base: float, length: float
+) -> None:
+    """Classification is sound: ``b·α^(i-1) < p <= b·α^i`` up to tolerance."""
+    i = duration_category(length, alpha, base)
+    tol = 10.0 * _BOUNDARY_RTOL
+    assert length <= base * alpha**i * (1.0 + tol)
+    assert length > base * alpha ** (i - 1) * (1.0 - tol)
+
+
+@settings(max_examples=200)
+@given(
+    alpha=alphas,
+    base=bases,
+    a=st.floats(min_value=1e-9, max_value=1e12),
+    b=st.floats(min_value=1e-9, max_value=1e12),
+)
+def test_category_is_monotone_in_length(
+    alpha: float, base: float, a: float, b: float
+) -> None:
+    lo, hi = (a, b) if a <= b else (b, a)
+    assert duration_category(lo, alpha, base) <= duration_category(hi, alpha, base)
+
+
+@pytest.mark.parametrize("alpha", ALPHAS)
+def test_adjacent_boundaries_differ_by_exactly_one(alpha: float) -> None:
+    """Deterministic sweep: consecutive boundary lengths step the index."""
+    cats = [duration_category(alpha**i, alpha) for i in range(-6, 13)]
+    assert cats == list(range(-6, 13))
+    assert all(b - a == 1 for a, b in zip(cats, cats[1:]))
+
+
+def test_optimal_alpha_matches_theorem_4_4_minimiser() -> None:
+    """``1 + √(2/3)`` minimises ``3α + 4 + 2/(α-1)`` (context for ALPHAS)."""
+    assert OPTIMAL_CDB_ALPHA == pytest.approx(1.0 + math.sqrt(2.0 / 3.0))
+    bound = lambda a: 3 * a + 4 + 2 / (a - 1)  # noqa: E731
+    at_opt = bound(OPTIMAL_CDB_ALPHA)
+    for eps in (-1e-3, 1e-3):
+        assert bound(OPTIMAL_CDB_ALPHA + eps) >= at_opt
