@@ -18,6 +18,12 @@ Subcommands
                 (see ``repro.perf.bench``).
 ``lint``      — domain-aware static analysis (clairvoyance contract,
                 determinism, float hygiene; see ``repro.lint``).
+``obs``       — observability tooling: summarize/explain/diff/export
+                JSONL traces, NullRecorder overhead ratchet (see
+                ``repro.obs``).  ``REPRO_TRACE=1`` makes ``run`` (and any
+                other simulation-shaped command) record a structured
+                trace; ``run`` writes it to ``<scheduler>.trace.jsonl``
+                under ``REPRO_TRACE_DIR`` (default: cwd).
 
 Performance knobs honoured by ``compare``/``experiment`` (and any other
 grid-shaped command): ``REPRO_WORKERS`` fans simulation cells out over a
@@ -161,10 +167,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--out", type=str, default="BENCH_perf.json", help="output JSON path"
     )
+    p_bench.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing output file even if its schema differs",
+    )
 
     from .lint.cli import add_lint_parser
+    from .obs.cli import add_obs_parser
 
     add_lint_parser(sub)
+    add_obs_parser(sub)
 
     p_w = sub.add_parser("workload", help="generate and save a synthetic instance")
     p_w.add_argument("out", help="output JSON path")
@@ -211,6 +224,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.trace and result.trace is not None:
         print()
         print(result.trace.render())
+    recorder = result.recorder
+    if recorder is not None and hasattr(recorder, "write_jsonl"):
+        from pathlib import Path
+
+        from .obs import trace_dir
+
+        out = Path(trace_dir()) / f"{args.scheduler}.trace.jsonl"
+        written = recorder.write_jsonl(
+            out, command="run", scheduler=args.scheduler, workload=inst.name
+        )
+        print(f"trace     : {written} ({len(recorder.records)} records)")
     return 0
 
 
@@ -372,7 +396,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .perf.bench import render_records, run_bench
 
-    records = run_bench(quick=args.quick, repeat=args.repeat, out=args.out)
+    try:
+        records = run_bench(
+            quick=args.quick, repeat=args.repeat, out=args.out, force=args.force
+        )
+    except FileExistsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(render_records(records))
     print(f"\nwrote {args.out}")
     return 0
@@ -382,6 +412,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint.cli import cmd_lint
 
     return cmd_lint(args)
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .obs.cli import cmd_obs
+
+    return cmd_obs(args)
 
 
 def _cmd_workload(args: argparse.Namespace) -> int:
@@ -411,6 +447,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "verify": _cmd_verify,
         "bench": _cmd_bench,
         "lint": _cmd_lint,
+        "obs": _cmd_obs,
     }
     return handlers[args.command](args)
 

@@ -72,6 +72,12 @@ from .job import Instance, Job
 from .schedule import Schedule
 from .trace import Trace, TraceKind
 
+# Submodule imports (not the ``repro.obs`` package facade) so the
+# engine <-> obs import cycle stays one-directional at module level:
+# ``repro.obs.explain`` imports ``repro.core.audit``, never the engine.
+from ..obs.recorder import Recorder
+from ..obs.runtime import get_recorder as _get_ambient_recorder
+
 __all__ = [
     "ClairvoyanceGuard",
     "JobView",
@@ -96,6 +102,17 @@ _ARRIVAL = int(EventKind.ARRIVAL)
 _DEADLINE = int(EventKind.DEADLINE)
 _TIMER = int(EventKind.TIMER)
 _ADVERSARY = int(EventKind.ADVERSARY)
+
+#: Per-kind dispatch counters (indexed by the raw event kind int) for the
+#: observability layer; only touched when a recorder is armed.
+_OBS_EVENT_COUNTERS = (
+    "engine.events.completion",  # 0
+    "engine.events.assign",      # 1
+    "engine.events.arrival",     # 2
+    "engine.events.deadline",    # 3
+    "engine.events.timer",       # 4
+    "engine.events.adversary",   # 5
+)
 
 
 def strict_mode_enabled() -> bool:
@@ -128,6 +145,15 @@ class ClairvoyanceGuard:
 
     def record(self, job_id: int) -> None:
         self.accesses.append((job_id, self._sim._now))
+        obs = self._sim._obs
+        if obs is not None:
+            obs.instant(
+                "engine.clairvoyance_guard",
+                t=self._sim._now,
+                job=job_id,
+                scheduler=self.scheduler_name,
+            )
+            obs.counter_add("engine.clairvoyance_guard.reads")
         raise ClairvoyanceError(
             f"strict mode: scheduler {self.scheduler_name!r} declares "
             f"requires_clairvoyance=False but read job {job_id}'s length "
@@ -375,6 +401,9 @@ class SimulationResult:
     events_processed: int
     scheduler: Any
     trace: Trace | None = None
+    #: The armed structured recorder (``None`` when observability was
+    #: off) — exposes ``records``/``metrics`` and the JSONL sink.
+    recorder: Any | None = None
 
     @property
     def span(self) -> float:
@@ -406,6 +435,15 @@ class Simulator:
         Enable the clairvoyance oracle (see module docstring).  ``None``
         (the default) defers to the ``REPRO_STRICT`` environment
         variable, so test runs can switch the whole suite on at once.
+    recorder:
+        A :class:`repro.obs.Recorder` for structured tracing, metrics,
+        and decision provenance.  ``None`` (the default) uses the
+        process's ambient recorder, which ``REPRO_TRACE=1`` arms — so
+        observability needs no code changes at call sites.  A disabled
+        recorder (``NullRecorder`` included) is mapped to ``None``
+        before the event loop starts: the hot path then carries exactly
+        one ``is not None`` test per event, which is what keeps the
+        golden trace bit-identical and the macro-bench overhead ≤2 %.
     """
 
     def __init__(
@@ -418,6 +456,7 @@ class Simulator:
         max_events: int = MAX_EVENTS_DEFAULT,
         trace: bool = False,
         strict: bool | None = None,
+        recorder: Recorder | None = None,
     ) -> None:
         if (instance is None) == (adversary is None):
             raise SimulationError(
@@ -430,6 +469,16 @@ class Simulator:
         self._max_events = max_events
         if strict is None:
             strict = strict_mode_enabled()
+
+        # Observability: resolve the recorder (explicit > ambient), then
+        # collapse "disabled" to None so the hot loop tests one local.
+        if recorder is None:
+            recorder = _get_ambient_recorder()
+        self._obs: Recorder | None = recorder if recorder.enabled else None
+        if self._obs is not None and hasattr(scheduler, "obs"):
+            # Arm the scheduler's decision-provenance channel.
+            scheduler.obs = self._obs
+
         self._guard: ClairvoyanceGuard | None = None
         if strict and not getattr(
             type(scheduler), "requires_clairvoyance", False
@@ -474,6 +523,7 @@ class Simulator:
         if self._started:
             raise SimulationError("a Simulator instance can only run once")
         self._started = True
+        obs = self._obs
 
         if self._instance is not None:
             initial = list(self._instance.jobs)
@@ -487,11 +537,24 @@ class Simulator:
         if callable(setup):
             setup(self._ctx)
 
+        if obs is not None:
+            obs.instant(
+                "engine.run_begin",
+                scheduler=type(self._scheduler).__name__,
+                clairvoyant=self._clairvoyant,
+                adversarial=self._adversary is not None,
+                initial_jobs=len(initial),
+            )
+
         # --- hot loop -----------------------------------------------------
         # Locals hoisted and events popped as raw tuples: at >10^5 events
         # per adversarial run, attribute lookups and Event construction
         # dominate otherwise (see repro/perf/bench.py for the tracked
-        # numbers).
+        # numbers).  When a recorder is armed (``obs is not None``), the
+        # loop additionally maintains per-kind dispatch counters and the
+        # heap high-water mark; disarmed, the extra cost is one local
+        # ``is not None`` test per event (ratcheted by
+        # ``python -m repro obs overhead``).
         heap = self._queue._heap
         max_events = self._max_events
         handlers = (
@@ -503,23 +566,48 @@ class Simulator:
             self._handle_adversary,   # 5 ADVERSARY
         )
         processed = self._events_processed
+        heap_peak = len(heap)
         try:
-            while heap:
-                time, kind, _seq, payload = heappop(heap)
-                processed += 1
-                if processed > max_events:
-                    raise SimulationError(
-                        f"event budget exceeded ({max_events}); "
-                        "likely a scheduler/adversary live-lock"
-                    )
-                if time < self._now:
-                    raise SimulationError(
-                        f"time went backwards: {time} < {self._now}"
-                    )
-                self._now = time
-                handlers[kind](payload)
+            if obs is not None:
+                with obs.span("engine.dispatch"):
+                    while heap:
+                        if len(heap) > heap_peak:
+                            heap_peak = len(heap)
+                        time, kind, _seq, payload = heappop(heap)
+                        processed += 1
+                        if processed > max_events:
+                            raise SimulationError(
+                                f"event budget exceeded ({max_events}); "
+                                "likely a scheduler/adversary live-lock"
+                            )
+                        if time < self._now:
+                            raise SimulationError(
+                                f"time went backwards: {time} < {self._now}"
+                            )
+                        self._now = time
+                        obs.counter_add(_OBS_EVENT_COUNTERS[kind])
+                        handlers[kind](payload)
+            else:
+                while heap:
+                    time, kind, _seq, payload = heappop(heap)
+                    processed += 1
+                    if processed > max_events:
+                        raise SimulationError(
+                            f"event budget exceeded ({max_events}); "
+                            "likely a scheduler/adversary live-lock"
+                        )
+                    if time < self._now:
+                        raise SimulationError(
+                            f"time went backwards: {time} < {self._now}"
+                        )
+                    self._now = time
+                    handlers[kind](payload)
         finally:
             self._events_processed = processed
+            if obs is not None:
+                obs.counter_add("engine.events_processed", processed)
+                obs.counter_add("engine.heap.pushes", self._queue._seq)
+                obs.gauge_set("engine.heap.peak", float(heap_peak))
 
         return self._finish()
 
@@ -558,12 +646,33 @@ class Simulator:
             self._trace.append(
                 self._now, TraceKind.RELEASE, job.id, f"arrival={job.arrival:g}"
             )
+        obs = self._obs
+        if obs is not None:
+            if st.length is not None:
+                obs.instant(
+                    "engine.release",
+                    t=self._now,
+                    job=job.id,
+                    arrival=job.arrival,
+                    deadline=job.deadline,
+                    length=st.length,
+                )
+            else:
+                obs.instant(
+                    "engine.release",
+                    t=self._now,
+                    job=job.id,
+                    arrival=job.arrival,
+                    deadline=job.deadline,
+                )
         return st
 
     def _admit_job(self, job: Job) -> None:
         """Register a job and schedule its arrival (and deadline) events."""
         self._validate_admission(job)
         self._queue.push(job.arrival, EventKind.ARRIVAL, job.id)
+        if self._obs is not None:
+            self._obs.counter_add("engine.jobs_admitted")
 
     def _admit_batch(self, jobs: list[Job]) -> None:
         """Admit many jobs at once, heapifying the arrival events in bulk.
@@ -574,6 +683,16 @@ class Simulator:
         for §3.1 adversarial iterations releases thousands of jobs at a
         single instant.
         """
+        obs = self._obs
+        if obs is not None:
+            with obs.span("engine.admit_batch", n=len(jobs)):
+                for job in jobs:
+                    self._validate_admission(job)
+                self._queue.extend(
+                    (job.arrival, EventKind.ARRIVAL, job.id) for job in jobs
+                )
+            obs.counter_add("engine.jobs_admitted", float(len(jobs)))
+            return
         for job in jobs:
             self._validate_admission(job)
         self._queue.extend(
@@ -613,6 +732,10 @@ class Simulator:
         self._running.pop(job_id, None)
         if self._trace is not None:
             self._trace.append(self._now, TraceKind.COMPLETION, job_id, "")
+        if self._obs is not None:
+            self._obs.instant(
+                "engine.completion", t=self._now, job=job_id, length=st.length
+            )
         if self._hook_completion is not None:
             self._hook_completion(self._ctx, st.view)
         if self._adversary is not None:
@@ -671,6 +794,8 @@ class Simulator:
         self._pending.pop(job_id, None)
         self._running[job_id] = st
         self._record(TraceKind.START, job_id)
+        if self._obs is not None:
+            self._obs.instant("engine.start", t=self._now, job=job_id)
         if st.length is not None:
             st.completion = self._now + st.length
             self._queue.push(st.completion, EventKind.COMPLETION, job_id)
@@ -724,12 +849,27 @@ class Simulator:
         )
         resolved = Instance(jobs, name=name)
         schedule = Schedule(resolved, starts)
+        obs = self._obs
+        if obs is not None:
+            obs.gauge_set("engine.span", schedule.span)
+            obs.counter_add("engine.jobs", float(len(jobs)))
+            for job in jobs:
+                assert job.length is not None
+                obs.histogram_observe("engine.job_length", job.length)
+            obs.instant(
+                "engine.run_end",
+                t=self._now,
+                span=schedule.span,
+                jobs=len(jobs),
+                events=self._events_processed,
+            )
         return SimulationResult(
             schedule=schedule,
             instance=resolved,
             events_processed=self._events_processed,
             scheduler=self._scheduler,
             trace=self._trace,
+            recorder=obs,
         )
 
 
@@ -742,6 +882,7 @@ def simulate(
     max_events: int = MAX_EVENTS_DEFAULT,
     trace: bool = False,
     strict: bool | None = None,
+    recorder: Recorder | None = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulator`.
 
@@ -762,4 +903,5 @@ def simulate(
         max_events=max_events,
         trace=trace,
         strict=strict,
+        recorder=recorder,
     ).run()

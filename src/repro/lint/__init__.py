@@ -34,6 +34,9 @@ RL009     parameter-domain-violation — constant arguments outside a
           callee's raise-guarded domain (``CDB(alpha<=1)``, …).
 RL010     heap-key-type-mix — ``heappush`` tuples on one heap mixing
           un-orderable element types (``TypeError`` on a tie).
+RL011     hot-path-print — ``print``/``logging``/raw stdio in
+          ``repro/core/`` or ``repro/schedulers/``; per-event output
+          belongs in the :mod:`repro.obs` recorder.
 ========  ===============================================================
 
 RL007–RL010 are *program rules* (:class:`~repro.lint.base.ProgramRule`):
@@ -66,6 +69,7 @@ from . import rules_determinism  # noqa: F401
 from . import rules_floats  # noqa: F401
 from . import rules_schedstate  # noqa: F401
 from . import rules_generic  # noqa: F401
+from . import rules_observability  # noqa: F401
 from . import dataflow  # noqa: F401  (registers RL007-RL010)
 from .dataflow import AnalysisCache, Program, default_cache_path
 

@@ -27,7 +27,7 @@ DEFAULT_BASELINE = "lint-baseline.json"
 def add_lint_parser(sub: argparse._SubParsersAction) -> None:  # type: ignore[type-arg]
     p = sub.add_parser(
         "lint",
-        help="run the domain-aware static analyzer (RL001-RL010)",
+        help="run the domain-aware static analyzer (RL001-RL011)",
         description=(
             "AST-based static analysis of reproduction invariants: "
             "clairvoyance contract (RL001), determinism (RL002), "
@@ -35,7 +35,9 @@ def add_lint_parser(sub: argparse._SubParsersAction) -> None:  # type: ignore[ty
             "reset contract (RL005), unused imports (RL006), plus the "
             "whole-program dataflow rules: cross-module clairvoyance "
             "taint (RL007), pool-unsafe work (RL008), parameter domains "
-            "(RL009), heap key types (RL010)."
+            "(RL009), heap key types (RL010); and hot-path output "
+            "discipline (RL011: no print/logging in engine or scheduler "
+            "code — use the repro.obs recorder)."
         ),
     )
     p.add_argument(

@@ -1,0 +1,181 @@
+"""RL011 — hot-path print/logging (observability discipline).
+
+The engine event loop and the scheduler hooks are the per-event hot
+path: a single ``print`` there runs hundreds of thousands of times on
+the §3.1 macro constructions, serialises the process pool on one file
+descriptor, and produces output that ``repro obs`` can neither merge,
+filter, nor diff.  Anything worth saying in
+``src/repro/core/`` or ``src/repro/schedulers/`` belongs in the
+structured recorder (``self.obs`` on a scheduler,
+``repro.obs.runtime.get_recorder()`` elsewhere), which is free when
+disarmed and mergeable when armed.
+
+Offending::
+
+    class MyScheduler(OnlineScheduler):
+        def on_deadline(self, ctx, job):
+            print(f"starting {job.id} at {ctx.now}")      # RL011
+            logging.getLogger(__name__).info("batch %s", job.id)  # RL011
+            ctx.start(job.id)
+
+Clean::
+
+    class MyScheduler(OnlineScheduler):
+        def on_deadline(self, ctx, job):
+            if self.obs.enabled:
+                self.obs.decision(
+                    "deadline-flag", job=job.id, t=ctx.now,
+                    scheduler=self._obs_scheduler,
+                )
+            ctx.start(job.id)
+
+The rule flags ``print(...)`` calls, any call rooted at the ``logging``
+module (``logging.info``, ``logging.getLogger(...).debug``), calls on
+names bound from ``logging.getLogger(...)``, and direct
+``sys.stdout`` / ``sys.stderr`` writes.  CLI-style rendering does not
+live in these packages, so there is no carve-out; a deliberate
+exception takes an explicit ``# lint: ignore[RL011]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import FileContext, Rule, register
+from .findings import LintFinding
+
+__all__ = ["HotPathOutputRule"]
+
+#: Package prefixes (path fragments) treated as the per-event hot path.
+HOT_PATH_FRAGMENTS = ("repro/core/", "repro/schedulers/")
+
+
+def _attr_chain_root(node: ast.expr) -> str | None:
+    """The leftmost name of an attribute chain (``a.b.c`` -> ``"a"``)."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Call):  # logging.getLogger(...).info
+        return _attr_chain_root(node.func)
+    return None
+
+
+def _logger_bindings(tree: ast.Module) -> set[str]:
+    """Names bound (module- or class-level) from ``logging.getLogger``."""
+    bound: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and _attr_chain_root(value.func) == "logging"
+        ):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+    return bound
+
+
+@register
+class HotPathOutputRule(Rule):
+    """RL011 — print/logging/raw stdio in the per-event hot path.
+
+    The engine event loop and the scheduler hooks run once per simulated
+    event: a single ``print`` there fires hundreds of thousands of times
+    on the §3.1 macro constructions, serialises the process pool on one
+    file descriptor, and produces output that ``repro obs`` can neither
+    merge, filter, nor diff.  Anything worth saying in
+    ``src/repro/core/`` or ``src/repro/schedulers/`` belongs in the
+    structured recorder — ``self.obs`` on a scheduler,
+    ``repro.obs.runtime.get_recorder()`` elsewhere — which is free when
+    disarmed and mergeable when armed.
+
+    Offending::
+
+        class MyScheduler(OnlineScheduler):
+            def on_deadline(self, ctx, job):
+                print(f"starting {job.id} at {ctx.now}")          # RL011
+                logging.getLogger(__name__).info("j %s", job.id)  # RL011
+                ctx.start(job.id)
+
+    Clean::
+
+        class MyScheduler(OnlineScheduler):
+            def on_deadline(self, ctx, job):
+                if self.obs.enabled:
+                    self.obs.decision(
+                        "deadline-flag", job=job.id, t=ctx.now,
+                        scheduler=self._obs_scheduler,
+                    )
+                ctx.start(job.id)
+
+    Flags ``print(...)``, any call rooted at the ``logging`` module
+    (``logging.info``, ``logging.getLogger(...).debug``), calls on names
+    bound from ``logging.getLogger(...)``, and direct ``sys.stdout`` /
+    ``sys.stderr`` writes.  CLI-style rendering does not live in these
+    packages, so there is no carve-out; a deliberate exception takes an
+    explicit ``# lint: ignore[RL011]``.
+    """
+
+    code = "RL011"
+    name = "hot-path-print"
+    severity = "error"
+    description = (
+        "print/logging in the engine or scheduler hot path — route "
+        "structured output through the repro.obs recorder instead"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        return any(frag in normalized for frag in HOT_PATH_FRAGMENTS)
+
+    def check(self, ctx: FileContext) -> Iterator[LintFinding]:
+        loggers = _logger_bindings(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            # print(...)
+            if isinstance(func, ast.Name) and func.id == "print":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "print() in the per-event hot path: use the structured "
+                    "recorder (self.obs / get_recorder()) — it is free when "
+                    "disarmed and mergeable when armed",
+                    symbol="print",
+                )
+                continue
+            if not isinstance(func, ast.Attribute):
+                continue
+            root = _attr_chain_root(func)
+            # logging.info(...) / logging.getLogger(...).debug(...)
+            if root == "logging" or root in loggers:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"logging call ({ast.unparse(func)}) in the per-event "
+                    "hot path: emit recorder instants/counters instead of "
+                    "log lines",
+                    symbol=root or "",
+                )
+                continue
+            # sys.stdout.write(...) / sys.stderr.write(...)
+            if (
+                root == "sys"
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr in ("stdout", "stderr")
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"direct sys.{func.value.attr} write in the per-event "
+                    "hot path: route output through the repro.obs recorder",
+                    symbol=f"sys.{func.value.attr}",
+                )

@@ -1,0 +1,242 @@
+"""Rollups and comparisons: trace summaries, merges, and regression diffs.
+
+Three consumers share this module:
+
+* ``repro obs summarize`` — :func:`summarize_trace` rolls a trace up
+  into per-span wall-clock totals, counter values, decision-rule counts,
+  and record-kind counts;
+* ``ParallelRunner`` — :func:`merge_metric_dicts` folds worker metric
+  snapshots into one registry (submission order ⇒ deterministic);
+* ``repro obs diff`` — :func:`diff_summaries` (two trace summaries) and
+  :func:`diff_bench` (two ``BENCH_perf.json`` payloads) compute relative
+  regressions against a threshold, returning structured
+  :class:`DiffEntry` rows the CLI turns into an exit code for CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Union
+
+from .jsonl import LoadedTrace
+from .metrics import MetricsRegistry
+from .recorder import TraceRecorder
+from .records import KIND_DECISION, KIND_SPAN_END
+
+__all__ = [
+    "DiffEntry",
+    "TraceSummary",
+    "diff_bench",
+    "diff_summaries",
+    "merge_metric_dicts",
+    "render_diff",
+    "render_summary",
+    "summarize_trace",
+]
+
+
+def merge_metric_dicts(
+    snapshots: Iterable[Mapping[str, Any] | None],
+    into: MetricsRegistry | None = None,
+) -> MetricsRegistry:
+    """Fold worker metric snapshots (``MetricsRegistry.to_dict`` forms,
+    ``None`` entries skipped) into one registry, in iteration order."""
+    registry = into if into is not None else MetricsRegistry()
+    for snap in snapshots:
+        if snap:
+            registry.merge(snap)
+    return registry
+
+
+@dataclass
+class TraceSummary:
+    """Aggregated view of one trace: what ``repro obs summarize`` prints."""
+
+    meta: dict[str, Any] = field(default_factory=dict)
+    record_count: int = 0
+    kind_counts: dict[str, int] = field(default_factory=dict)
+    #: span name -> {"count", "total_s", "mean_s", "max_s"}
+    spans: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: decision rule -> count
+    decisions: dict[str, int] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    #: histogram name -> {"count", "mean", "min", "max"}
+    histograms: dict[str, dict[str, float]] = field(default_factory=dict)
+
+
+def summarize_trace(trace: Union[TraceRecorder, LoadedTrace]) -> TraceSummary:
+    """Roll a trace up into a :class:`TraceSummary`."""
+    summary = TraceSummary(meta=dict(getattr(trace, "meta", {}) or {}))
+    summary.record_count = len(trace.records)
+    for record in trace.records:
+        summary.kind_counts[record.kind] = summary.kind_counts.get(record.kind, 0) + 1
+        if record.kind == KIND_DECISION:
+            summary.decisions[record.name] = summary.decisions.get(record.name, 0) + 1
+        elif record.kind == KIND_SPAN_END:
+            wall = float(record.attrs.get("wall_s", 0.0))
+            agg = summary.spans.setdefault(
+                record.name,
+                {"count": 0.0, "total_s": 0.0, "mean_s": 0.0, "max_s": 0.0},
+            )
+            agg["count"] += 1
+            agg["total_s"] += wall
+            agg["max_s"] = max(agg["max_s"], wall)
+    for agg in summary.spans.values():
+        if agg["count"]:
+            agg["mean_s"] = agg["total_s"] / agg["count"]
+    metrics = trace.metrics
+    summary.counters = dict(sorted(metrics.counters.items()))
+    summary.gauges = dict(sorted(metrics.gauges.items()))
+    for name, hist in sorted(metrics.histograms.items()):
+        summary.histograms[name] = {
+            "count": float(hist.count),
+            "mean": hist.mean,
+            "min": hist.vmin if hist.count else 0.0,
+            "max": hist.vmax if hist.count else 0.0,
+        }
+    return summary
+
+
+def render_summary(summary: TraceSummary) -> str:
+    """Fixed-width text rendering of a :class:`TraceSummary`."""
+    lines: list[str] = []
+    if summary.meta:
+        pairs = ", ".join(
+            f"{k}={v}" for k, v in sorted(summary.meta.items()) if k != "version"
+        )
+        lines.append(f"trace     : {pairs}")
+    lines.append(f"records   : {summary.record_count}")
+    if summary.kind_counts:
+        kinds = "  ".join(
+            f"{k}={v}" for k, v in sorted(summary.kind_counts.items())
+        )
+        lines.append(f"kinds     : {kinds}")
+    if summary.decisions:
+        lines.append("decisions :")
+        for rule, count in sorted(summary.decisions.items()):
+            lines.append(f"  {rule:<22} {count:>8}")
+    if summary.spans:
+        lines.append("spans     :")
+        lines.append(f"  {'name':<28} {'count':>7} {'total_s':>10} {'mean_s':>10}")
+        for name, agg in sorted(summary.spans.items()):
+            lines.append(
+                f"  {name:<28} {int(agg['count']):>7} "
+                f"{agg['total_s']:>10.4f} {agg['mean_s']:>10.6f}"
+            )
+    if summary.counters:
+        lines.append("counters  :")
+        for name, value in summary.counters.items():
+            rendered = f"{int(value)}" if float(value).is_integer() else f"{value:g}"
+            lines.append(f"  {name:<36} {rendered:>12}")
+    if summary.gauges:
+        lines.append("gauges    :")
+        for name, value in summary.gauges.items():
+            lines.append(f"  {name:<36} {value:>12g}")
+    if summary.histograms:
+        lines.append("histograms:")
+        for name, stats in summary.histograms.items():
+            lines.append(
+                f"  {name:<36} n={int(stats['count'])} mean={stats['mean']:.6g} "
+                f"min={stats['min']:.6g} max={stats['max']:.6g}"
+            )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------- diff
+@dataclass(frozen=True)
+class DiffEntry:
+    """One compared quantity between two traces/benches."""
+
+    kind: str  # "counter" | "span" | "bench"
+    name: str
+    before: float
+    after: float
+    #: Relative change, sign-normalised so positive = WORSE (regression).
+    regression: float
+
+    @property
+    def regressed(self) -> bool:
+        return self.regression > 0
+
+
+def _relative_regression(before: float, after: float, *, higher_is_better: bool) -> float:
+    """Signed relative change where positive means "got worse"."""
+    if before == 0:
+        return 0.0 if after == 0 else float("inf")
+    change = (after - before) / abs(before)
+    return -change if higher_is_better else change
+
+
+def diff_summaries(
+    before: TraceSummary, after: TraceSummary, *, threshold: float
+) -> list[DiffEntry]:
+    """Compare two trace summaries; entries exceeding ``threshold``.
+
+    Counters are compared as *work proxies* (more of a counter than the
+    baseline by > threshold is flagged — e.g. engine event counts
+    creeping up), span totals as *time* (slower by > threshold flagged).
+    Quantities missing on either side are skipped: a diff is a regression
+    gate, not a schema check.
+    """
+    out: list[DiffEntry] = []
+    for name, b in sorted(before.counters.items()):
+        a = after.counters.get(name)
+        if a is None:
+            continue
+        reg = _relative_regression(b, a, higher_is_better=False)
+        if abs(reg) > threshold:
+            out.append(DiffEntry("counter", name, b, a, reg))
+    for name, bagg in sorted(before.spans.items()):
+        aagg = after.spans.get(name)
+        if aagg is None:
+            continue
+        reg = _relative_regression(
+            bagg["total_s"], aagg["total_s"], higher_is_better=False
+        )
+        if abs(reg) > threshold:
+            out.append(DiffEntry("span", name, bagg["total_s"], aagg["total_s"], reg))
+    return out
+
+
+def diff_bench(
+    before: Mapping[str, Any], after: Mapping[str, Any], *, threshold: float
+) -> list[DiffEntry]:
+    """Compare two ``BENCH_perf.json`` payloads on ``events_per_s``.
+
+    Higher events/s is better; a relative drop beyond ``threshold`` on
+    any shared case is a regression entry.  Improvements beyond the
+    threshold are also returned (``regression < 0``) so the CLI can
+    report wins, but only positive entries gate the exit code.
+    """
+    before_cases = {
+        str(row["case"]): float(row["events_per_s"])
+        for row in before.get("results", [])
+    }
+    after_cases = {
+        str(row["case"]): float(row["events_per_s"])
+        for row in after.get("results", [])
+    }
+    out: list[DiffEntry] = []
+    for case, b in sorted(before_cases.items()):
+        a = after_cases.get(case)
+        if a is None:
+            continue
+        reg = _relative_regression(b, a, higher_is_better=True)
+        if abs(reg) > threshold:
+            out.append(DiffEntry("bench", case, b, a, reg))
+    return out
+
+
+def render_diff(entries: list[DiffEntry], *, threshold: float) -> str:
+    """Text rendering of diff entries (regressions first)."""
+    if not entries:
+        return f"no differences beyond threshold {threshold:.1%}"
+    lines = [f"{'kind':<8} {'name':<34} {'before':>14} {'after':>14} {'change':>9}"]
+    for e in sorted(entries, key=lambda e: -e.regression):
+        tag = "REGRESSION" if e.regressed else "improved"
+        lines.append(
+            f"{e.kind:<8} {e.name:<34} {e.before:>14,.1f} {e.after:>14,.1f} "
+            f"{e.regression:>+8.1%}  {tag}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Chrome ``trace_event`` exporter — open traces in Perfetto.
+
+Converts a :class:`~repro.obs.recorder.TraceRecorder` (or a
+:class:`~repro.obs.jsonl.LoadedTrace`) into the Trace Event Format that
+``chrome://tracing`` and https://ui.perfetto.dev consume: a JSON object
+with a ``traceEvents`` array.
+
+Mapping
+-------
+========================  ==============================================
+obs record                trace event
+========================  ==============================================
+``span_begin``            ``ph: "B"`` (duration begin)
+``span_end``              ``ph: "E"`` (duration end)
+``instant``               ``ph: "i"``, thread-scoped
+``decision``              ``ph: "i"``, category ``decision`` — the args
+                          carry the paper rule, job id, and sim time
+``metrics`` counters      one ``ph: "C"`` counter sample at trace end
+========================  ==============================================
+
+Timestamps are microseconds of wall-clock time since the recorder epoch
+(the format's native unit).  Simulation time rides in ``args.t`` so the
+Perfetto detail panel shows both clocks side by side.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Union
+
+from .jsonl import LoadedTrace
+from .recorder import TraceRecorder
+from .records import (
+    KIND_DECISION,
+    KIND_INSTANT,
+    KIND_SPAN_BEGIN,
+    KIND_SPAN_END,
+    ObsRecord,
+)
+
+__all__ = ["chrome_trace_events", "export_chrome_trace"]
+
+_PID = 1
+_TID = 1
+
+
+def _events_from_records(records: list[ObsRecord]) -> list[dict[str, Any]]:
+    events: list[dict[str, Any]] = []
+    for r in records:
+        ts_us = r.ts * 1e6
+        if r.kind == KIND_SPAN_BEGIN:
+            events.append(
+                {"name": r.name, "cat": "span", "ph": "B", "ts": ts_us,
+                 "pid": _PID, "tid": _TID, "args": r.attrs}
+            )
+        elif r.kind == KIND_SPAN_END:
+            events.append(
+                {"name": r.name, "cat": "span", "ph": "E", "ts": ts_us,
+                 "pid": _PID, "tid": _TID, "args": r.attrs}
+            )
+        elif r.kind == KIND_DECISION:
+            events.append(
+                {"name": f"decision:{r.name}", "cat": "decision", "ph": "i",
+                 "ts": ts_us, "pid": _PID, "tid": _TID, "s": "t",
+                 "args": r.attrs}
+            )
+        elif r.kind == KIND_INSTANT:
+            events.append(
+                {"name": r.name, "cat": "event", "ph": "i", "ts": ts_us,
+                 "pid": _PID, "tid": _TID, "s": "t", "args": r.attrs}
+            )
+    return events
+
+
+def chrome_trace_events(
+    trace: Union[TraceRecorder, LoadedTrace],
+) -> dict[str, Any]:
+    """The Trace Event Format payload (``{"traceEvents": [...], ...}``)."""
+    records = trace.records
+    events = _events_from_records(records)
+    last_ts = records[-1].ts * 1e6 if records else 0.0
+    metrics = trace.metrics
+    for name, value in sorted(metrics.counters.items()):
+        events.append(
+            {"name": name, "cat": "metric", "ph": "C", "ts": last_ts,
+             "pid": _PID, "tid": _TID, "args": {"value": value}}
+        )
+    events.append(
+        {"name": "process_name", "ph": "M", "ts": 0.0, "pid": _PID, "tid": _TID,
+         "args": {"name": "repro simulation"}}
+    )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"tool": "repro.obs", "format": "chrome-trace-event"},
+    }
+
+
+def export_chrome_trace(
+    trace: Union[TraceRecorder, LoadedTrace], path: "str | os.PathLike[str]"
+) -> str:
+    """Write the Chrome trace JSON to ``path``; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(chrome_trace_events(trace)) + "\n", encoding="utf-8")
+    return str(target)

@@ -1,0 +1,118 @@
+"""JSONL trace sink: one JSON object per line, self-describing.
+
+Layout of a trace file::
+
+    {"kind": "meta", "version": 1, "tool": "repro.obs", ...caller meta}
+    {"kind": "instant", "ts": ..., "name": ..., "attrs": {...}}
+    {"kind": "decision", "ts": ..., "name": "<rule>", "attrs": {...}}
+    ...
+    {"kind": "metrics", "data": {"counters": ..., "gauges": ..., "histograms": ...}}
+
+The first line is always ``meta`` (version-gated so readers can reject
+foreign files), the last is always the merged ``metrics`` registry, and
+everything between is the record stream in emission order.  The format
+round-trips losslessly through :func:`read_jsonl` (tested in
+``tests/test_obs_sinks.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from .metrics import MetricsRegistry
+from .records import ObsRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .recorder import TraceRecorder
+
+__all__ = ["JSONL_VERSION", "LoadedTrace", "read_jsonl", "write_jsonl"]
+
+JSONL_VERSION = 1
+
+
+class LoadedTrace:
+    """A trace file read back into memory: meta + records + metrics."""
+
+    __slots__ = ("meta", "records", "metrics", "path")
+
+    def __init__(
+        self,
+        meta: dict[str, Any],
+        records: list[ObsRecord],
+        metrics: MetricsRegistry,
+        path: str = "",
+    ) -> None:
+        self.meta = meta
+        self.records = records
+        self.metrics = metrics
+        self.path = path
+
+    def by_kind(self, kind: str) -> list[ObsRecord]:
+        """All records of one kind, in emission order."""
+        return [r for r in self.records if r.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def write_jsonl(
+    recorder: "TraceRecorder", path: "str | os.PathLike[str]", **meta: Any
+) -> str:
+    """Write a finished recorder to ``path``; returns the path written.
+
+    Parent directories are created; the write is atomic (temp file +
+    rename) so a crashed run never leaves a half-trace that a later
+    ``repro obs summarize`` chokes on.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    header = {"kind": "meta", "version": JSONL_VERSION, "tool": "repro.obs"}
+    header.update(meta)
+    tmp = target.with_suffix(target.suffix + ".tmp")
+    with tmp.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps(header) + "\n")
+        for record in recorder.records:
+            fh.write(json.dumps(record.to_dict()) + "\n")
+        fh.write(
+            json.dumps({"kind": "metrics", "data": recorder.metrics.to_dict()}) + "\n"
+        )
+    tmp.replace(target)
+    return str(target)
+
+
+def read_jsonl(path: "str | os.PathLike[str]") -> LoadedTrace:
+    """Read a JSONL trace file back (validating the meta header)."""
+    source = Path(path)
+    meta: dict[str, Any] = {}
+    records: list[ObsRecord] = []
+    metrics = MetricsRegistry()
+    with source.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{source}:{lineno}: invalid JSON: {exc}") from None
+            kind = obj.get("kind")
+            if lineno == 1:
+                if kind != "meta":
+                    raise ValueError(
+                        f"{source}: not a repro.obs trace (first line must be meta)"
+                    )
+                version = obj.get("version")
+                if version != JSONL_VERSION:
+                    raise ValueError(
+                        f"{source}: unsupported trace version {version!r} "
+                        f"(this reader speaks {JSONL_VERSION})"
+                    )
+                meta = {k: v for k, v in obj.items() if k != "kind"}
+            elif kind == "metrics":
+                metrics.merge(MetricsRegistry.from_dict(obj.get("data", {})))
+            else:
+                records.append(ObsRecord.from_dict(obj))
+    return LoadedTrace(meta, records, metrics, path=str(source))

@@ -1,0 +1,191 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a plain in-process aggregate — no
+background threads, no exporters, no global state.  It exists to be
+cheap, mergeable, and serialisable:
+
+* **cheap** — a counter increment is one dict update; a histogram
+  observation is a binary search over a fixed bucket-edge tuple;
+* **mergeable** — :meth:`MetricsRegistry.merge` folds another registry
+  (or its :meth:`to_dict` form) into this one, which is how
+  :class:`repro.perf.parallel.ParallelRunner` workers stream per-task
+  metrics back to the parent's merged sweep summary;
+* **serialisable** — :meth:`to_dict` / :meth:`from_dict` round-trip
+  through JSON so registries can cross process boundaries and land in
+  JSONL trace files.
+
+Histograms use *fixed* bucket edges chosen at first observation (default
+:data:`DEFAULT_BUCKETS`, a power-of-4 geometric ladder).  Fixed edges are
+what makes histograms mergeable without resampling: two histograms with
+the same edges merge by adding counts.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Mapping
+
+__all__ = ["DEFAULT_BUCKETS", "Histogram", "MetricsRegistry"]
+
+#: Default histogram bucket upper edges (geometric, base 4): values above
+#: the last edge land in the implicit +inf bucket.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-6, 4e-6, 1.6e-5, 6.4e-5, 2.56e-4, 1.024e-3, 4.096e-3, 1.6384e-2,
+    6.5536e-2, 0.262144, 1.048576, 4.194304, 16.777216, 67.108864,
+)
+
+
+class Histogram:
+    """A fixed-bucket histogram: counts per bucket plus sum/count/min/max.
+
+    ``edges`` are the inclusive upper bounds of the finite buckets; one
+    extra overflow bucket catches everything beyond the last edge.  Two
+    histograms merge iff their edges are identical.
+    """
+
+    __slots__ = ("edges", "counts", "total", "count", "vmin", "vmax")
+
+    def __init__(self, edges: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if list(edges) != sorted(edges) or len(set(edges)) != len(edges):
+            raise ValueError("histogram edges must be strictly increasing")
+        self.edges = tuple(float(e) for e in edges)
+        self.counts = [0] * (len(self.edges) + 1)  # +1 = overflow bucket
+        self.total = 0.0
+        self.count = 0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.total += value
+        self.count += 1
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        if other.edges != self.edges:
+            raise ValueError(
+                "cannot merge histograms with different bucket edges "
+                f"({len(self.edges)} vs {len(other.edges)} edges)"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.total += other.total
+        self.count += other.count
+        self.vmin = min(self.vmin, other.vmin)
+        self.vmax = max(self.vmax, other.vmax)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "total": self.total,
+            "count": self.count,
+            "min": self.vmin if self.count else None,
+            "max": self.vmax if self.count else None,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "Histogram":
+        h = cls(tuple(float(e) for e in d["edges"]))
+        h.counts = [int(c) for c in d["counts"]]
+        h.total = float(d["total"])
+        h.count = int(d["count"])
+        h.vmin = float(d["min"]) if d.get("min") is not None else float("inf")
+        h.vmax = float(d["max"]) if d.get("max") is not None else float("-inf")
+        return h
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms with merge semantics.
+
+    Merge semantics per instrument: counters **add**, gauges keep the
+    **last-set** value (worker gauges overwrite in merge order, which is
+    deterministic because :class:`~repro.perf.parallel.ParallelRunner`
+    merges snapshots in task-submission order), histograms **add
+    bucket-wise**.
+    """
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------ instruments
+    def counter_add(self, name: str, value: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge_set(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def histogram_observe(
+        self, name: str, value: float, edges: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(edges)
+        hist.observe(value)
+
+    # --------------------------------------------------------------- plumbing
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.histograms)
+
+    def merge(self, other: "MetricsRegistry | Mapping[str, Any]") -> None:
+        """Fold ``other`` (a registry or its ``to_dict`` form) into this."""
+        if not isinstance(other, MetricsRegistry):
+            other = MetricsRegistry.from_dict(other)
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0.0) + value
+        for name, value in other.gauges.items():
+            self.gauges[name] = value
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                clone = Histogram(hist.edges)
+                clone.merge(hist)
+                self.histograms[name] = clone
+            else:
+                mine.merge(hist)
+
+    def snapshot(self, *, reset: bool = False) -> dict[str, Any]:
+        """The ``to_dict`` form; with ``reset=True`` also clears state.
+
+        Snapshot-and-reset is the worker-side half of cross-process
+        aggregation: each :func:`repro.perf.parallel._run_chunk` ships
+        the delta accumulated during its chunk and starts fresh.
+        """
+        out = self.to_dict()
+        if reset:
+            self.counters = {}
+            self.gauges = {}
+            self.histograms = {}
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: hist.to_dict()
+                for name, hist in sorted(self.histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "MetricsRegistry":
+        reg = cls()
+        reg.counters = {str(k): float(v) for k, v in d.get("counters", {}).items()}
+        reg.gauges = {str(k): float(v) for k, v in d.get("gauges", {}).items()}
+        reg.histograms = {
+            str(k): Histogram.from_dict(v)
+            for k, v in d.get("histograms", {}).items()
+        }
+        return reg

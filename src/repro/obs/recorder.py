@@ -1,0 +1,240 @@
+"""The recorder protocol: zero overhead when disabled, structured when on.
+
+Two concrete recorders:
+
+* :class:`NullRecorder` — the default.  Every method is a no-op and
+  ``enabled`` is ``False``.  Instrumentation sites are written as
+
+  .. code-block:: python
+
+      obs = self._obs          # None when disarmed
+      if obs is not None:
+          obs.instant("engine.start", t=now, job=job_id)
+
+  so a disabled recorder costs exactly one ``is not None`` test on the
+  hot path — the engine maps any disabled recorder (including an
+  explicit ``NullRecorder``) to ``None`` before the event loop starts.
+  This is what keeps the golden engine trace bit-identical and the
+  ``macro/e1_paper_k2_batch`` overhead within the ≤2 % budget
+  (``python -m repro obs overhead`` measures it).
+
+* :class:`TraceRecorder` — an in-memory structured recorder: an
+  append-only list of :class:`~repro.obs.records.ObsRecord` plus a
+  :class:`~repro.obs.metrics.MetricsRegistry`.  Sinks are separate:
+  :meth:`TraceRecorder.write_jsonl` and
+  :func:`repro.obs.chrome.export_chrome_trace` consume a finished
+  recorder.
+
+Arming
+------
+``REPRO_TRACE=1`` arms tracing process-wide (the ambient recorder in
+:mod:`repro.obs.runtime`); ``Simulator(recorder=...)`` arms one run
+explicitly.  ``REPRO_TRACE_DIR`` names the directory the CLI writes
+JSONL traces into (default: the working directory).
+"""
+
+from __future__ import annotations
+
+import os
+import time as _time
+from typing import Any, Iterator
+
+from contextlib import contextmanager
+
+from .metrics import DEFAULT_BUCKETS, MetricsRegistry
+from .records import (
+    KIND_DECISION,
+    KIND_INSTANT,
+    KIND_SPAN_BEGIN,
+    KIND_SPAN_END,
+    ObsRecord,
+)
+
+__all__ = [
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "TRACE_DIR_ENV",
+    "TRACE_ENV",
+    "TraceRecorder",
+    "trace_dir",
+    "trace_enabled",
+]
+
+#: Environment variable arming process-wide tracing.
+TRACE_ENV = "REPRO_TRACE"
+#: Environment variable naming the CLI's trace output directory.
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+_FALSEY = ("", "0", "false", "off")
+
+
+def trace_enabled() -> bool:
+    """Whether ``REPRO_TRACE`` requests structured tracing."""
+    return os.environ.get(TRACE_ENV, "").strip().lower() not in _FALSEY
+
+
+def trace_dir() -> str:
+    """The directory CLI trace files go to (``REPRO_TRACE_DIR`` or cwd)."""
+    return os.environ.get(TRACE_DIR_ENV, "").strip() or "."
+
+
+class Recorder:
+    """Base recorder: the full protocol, all no-ops.
+
+    Subclasses override what they store.  ``enabled`` is the *contract*
+    flag: instrumentation may (and the engine does) skip every call when
+    it is ``False``, so a disabled recorder must never rely on being
+    invoked.
+    """
+
+    enabled: bool = False
+
+    # -- structured records --------------------------------------------------
+    def instant(self, name: str, **attrs: Any) -> None:
+        """A point-in-time structured event."""
+
+    def decision(
+        self, rule: str, *, job: int, t: float, scheduler: str, **attrs: Any
+    ) -> None:
+        """A scheduler start-decision with its paper rule (provenance)."""
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[None]:
+        """A wall-clock span (context manager)."""
+        yield
+
+    # -- metrics -------------------------------------------------------------
+    def counter_add(self, name: str, value: float = 1.0) -> None:
+        """Increment a monotonic counter."""
+
+    def gauge_set(self, name: str, value: float) -> None:
+        """Set a last-value-wins gauge."""
+
+    def histogram_observe(
+        self, name: str, value: float, edges: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        """Observe a value into a fixed-bucket histogram."""
+
+    # -- cross-process plumbing ----------------------------------------------
+    def metrics_snapshot(self, *, reset: bool = False) -> dict[str, Any] | None:
+        """The metrics registry as a dict (``None`` when there is none).
+
+        Worker processes call this (with ``reset=True``) at the end of a
+        :func:`repro.perf.parallel._run_chunk` so per-task metrics stream
+        back to the parent for merging.
+        """
+        return None
+
+    def merge_metrics(self, snapshot: "dict[str, Any] | None") -> None:
+        """Fold a worker's metrics snapshot into this recorder (no-op here)."""
+
+
+class NullRecorder(Recorder):
+    """The do-nothing recorder (default everywhere).
+
+    Identity guarantee, tested in ``tests/test_obs_recorder.py``: running
+    any simulation with a :class:`NullRecorder` produces byte-identical
+    results, traces, and schedules to running with no recorder at all —
+    the engine treats both as "disarmed".
+    """
+
+    enabled = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NullRecorder()"
+
+
+#: Shared singleton — a ``NullRecorder`` is stateless, so one suffices.
+NULL_RECORDER = NullRecorder()
+
+
+class TraceRecorder(Recorder):
+    """In-memory structured recorder: records + metrics registry.
+
+    Parameters
+    ----------
+    max_records:
+        Cap on stored records (sweeps route thousands of simulations
+        through one ambient recorder; unbounded growth would turn the
+        observability layer into the memory bottleneck it is meant to
+        find).  Beyond the cap, records are dropped and counted in the
+        ``obs.records_dropped`` counter — metrics keep aggregating.
+    """
+
+    enabled = True
+
+    def __init__(self, *, max_records: int = 1_000_000) -> None:
+        self.records: list[ObsRecord] = []
+        self.metrics = MetricsRegistry()
+        self.max_records = max_records
+        self.epoch = _time.perf_counter()
+
+    # -- internals -----------------------------------------------------------
+    def _now(self) -> float:
+        return _time.perf_counter() - self.epoch
+
+    def _append(self, kind: str, name: str, attrs: dict[str, Any]) -> None:
+        if len(self.records) >= self.max_records:
+            self.metrics.counter_add("obs.records_dropped")
+            return
+        self.records.append(ObsRecord(self._now(), kind, name, attrs))
+
+    # -- structured records --------------------------------------------------
+    def instant(self, name: str, **attrs: Any) -> None:
+        self._append(KIND_INSTANT, name, attrs)
+
+    def decision(
+        self, rule: str, *, job: int, t: float, scheduler: str, **attrs: Any
+    ) -> None:
+        attrs["job"] = job
+        attrs["t"] = t
+        attrs["scheduler"] = scheduler
+        self._append(KIND_DECISION, rule, attrs)
+        self.metrics.counter_add(f"decision.{rule}")
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[None]:
+        self._append(KIND_SPAN_BEGIN, name, attrs)
+        t0 = _time.perf_counter()
+        try:
+            yield
+        finally:
+            wall = _time.perf_counter() - t0
+            self._append(KIND_SPAN_END, name, {"wall_s": wall})
+            self.metrics.histogram_observe(f"span.{name}.wall_s", wall)
+
+    # -- metrics -------------------------------------------------------------
+    def counter_add(self, name: str, value: float = 1.0) -> None:
+        self.metrics.counter_add(name, value)
+
+    def gauge_set(self, name: str, value: float) -> None:
+        self.metrics.gauge_set(name, value)
+
+    def histogram_observe(
+        self, name: str, value: float, edges: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        self.metrics.histogram_observe(name, value, edges)
+
+    # -- cross-process plumbing ----------------------------------------------
+    def metrics_snapshot(self, *, reset: bool = False) -> dict[str, Any] | None:
+        if not self.metrics:
+            return None
+        return self.metrics.snapshot(reset=reset)
+
+    def merge_metrics(self, snapshot: "dict[str, Any] | None") -> None:
+        if snapshot:
+            self.metrics.merge(snapshot)
+
+    # -- sinks ---------------------------------------------------------------
+    def write_jsonl(self, path: "str | os.PathLike[str]", **meta: Any) -> str:
+        """Write the trace as JSONL (see :mod:`repro.obs.jsonl`)."""
+        from .jsonl import write_jsonl
+
+        return write_jsonl(self, path, **meta)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TraceRecorder({len(self.records)} records)"

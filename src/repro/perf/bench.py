@@ -6,6 +6,16 @@ compare like against like.  Each record follows the schema
 
     {"case": str, "events": int, "wall_s": float, "events_per_s": float}
 
+and the payload carries a ``provenance`` block (git SHA,
+``REPRO_WORKERS``, whether a structured recorder was armed) so a bench
+number can always be traced back to the tree and configuration that
+produced it.  Numbers timed with ``REPRO_TRACE=1`` are *not* comparable
+to disarmed runs — the recorder adds per-event work — which is exactly
+why the recorder state is part of the provenance.  An existing output
+file written under a *different* schema version is never silently
+overwritten: pass ``--force`` to replace it (``repro obs diff`` consumes
+these files, and a silent schema change would corrupt the trend line).
+
 Cases
 -----
 micro/event_queue
@@ -30,15 +40,30 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import subprocess
+import sys
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
-__all__ = ["BenchRecord", "bench_cases", "run_bench", "main"]
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchRecord",
+    "bench_cases",
+    "bench_provenance",
+    "run_bench",
+    "main",
+]
 
 DEFAULT_OUT = "BENCH_perf.json"
+
+#: The payload schema identifier.  v2 added the ``provenance`` block
+#: (git SHA, REPRO_WORKERS, recorder state); v1 was the bare
+#: ``{case, events, wall_s, events_per_s}`` rows.
+BENCH_SCHEMA = "v2:{case, events, wall_s, events_per_s} + provenance"
 
 #: Wall-clock events/s of ``macro/e1_paper_k2_batch`` measured on the
 #: pre-optimisation engine (dataclass-comparison heap, per-event getattr
@@ -118,6 +143,34 @@ def bench_cases(quick: bool) -> list[tuple[str, Callable[[], int]]]:
 
 
 # ------------------------------------------------------------------- harness
+def _git_sha() -> str:
+    """The current commit SHA (``"unknown"`` outside a git checkout)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except OSError:
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def bench_provenance() -> dict[str, Any]:
+    """The provenance block: what tree/configuration produced the numbers."""
+    from ..obs.runtime import get_recorder
+
+    return {
+        "git_sha": _git_sha(),
+        "workers": os.environ.get("REPRO_WORKERS", "").strip() or None,
+        "recorder_armed": get_recorder().enabled,
+    }
+
+
 def _time_case(fn: Callable[[], int], repeat: int, warmup: bool) -> tuple[int, float]:
     """Best-of-``repeat`` wall time; returns ``(events, wall_s)``."""
     if warmup:
@@ -133,10 +186,43 @@ def _time_case(fn: Callable[[], int], repeat: int, warmup: bool) -> tuple[int, f
     return events, best
 
 
+def _check_overwrite(out: Path, force: bool) -> None:
+    """Refuse to overwrite an ``out`` written under a different schema.
+
+    A corrupt/unparseable existing file is also protected (it is not
+    ours to destroy); ``force=True`` overrides in both cases.
+    """
+    if force or not out.exists():
+        return
+    try:
+        existing = json.loads(out.read_text(encoding="utf-8"))
+        schema = existing.get("schema") if isinstance(existing, dict) else None
+    except (OSError, json.JSONDecodeError):
+        schema = None
+    if schema != BENCH_SCHEMA:
+        raise FileExistsError(
+            f"{out} exists with schema {schema!r} (current: {BENCH_SCHEMA!r}); "
+            "refusing to overwrite a different-schema bench file — "
+            "pass --force to replace it"
+        )
+
+
 def run_bench(
-    *, quick: bool = False, repeat: int = 3, out: str | Path | None = DEFAULT_OUT
+    *,
+    quick: bool = False,
+    repeat: int = 3,
+    out: str | Path | None = DEFAULT_OUT,
+    force: bool = False,
 ) -> list[BenchRecord]:
-    """Run the suite; write ``out`` (unless ``None``); return the records."""
+    """Run the suite; write ``out`` (unless ``None``); return the records.
+
+    Raises :class:`FileExistsError` when ``out`` already exists under a
+    different (or unreadable) schema and ``force`` is false.  The
+    overwrite check runs *before* the timing loop, so a refused write
+    does not waste a full bench run.
+    """
+    if out is not None:
+        _check_overwrite(Path(out), force)
     records: list[BenchRecord] = []
     for name, fn in bench_cases(quick):
         warmup = name.startswith("micro/") or quick
@@ -151,11 +237,12 @@ def run_bench(
         )
     if out is not None:
         payload = {
-            "schema": "{case, events, wall_s, events_per_s}",
+            "schema": BENCH_SCHEMA,
             "python": platform.python_version(),
             "platform": platform.platform(),
             "quick": quick,
             "repeat": repeat,
+            "provenance": bench_provenance(),
             "baselines": {
                 "macro/e1_paper_k2_batch": E1_K2_BASELINE_EVENTS_PER_S,
             },
@@ -199,8 +286,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--out", type=str, default=DEFAULT_OUT, help="output JSON path"
     )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing output file even if its schema differs",
+    )
     args = parser.parse_args(argv)
-    records = run_bench(quick=args.quick, repeat=args.repeat, out=args.out)
+    try:
+        records = run_bench(
+            quick=args.quick, repeat=args.repeat, out=args.out, force=args.force
+        )
+    except FileExistsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(render_records(records))
     print(f"\nwrote {args.out}")
     return 0

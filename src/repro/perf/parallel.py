@@ -21,6 +21,30 @@ three hard guarantees:
 The worker count defaults to the ``REPRO_WORKERS`` environment variable
 (``0``/``auto`` ⇒ all cores; unset ⇒ ``1`` = serial), so test suites and
 benches opt in without code changes.
+
+Observability
+-------------
+When the ambient recorder is armed (``REPRO_TRACE=1``), the runner
+reports sweep progress and streams worker metrics back to the parent:
+
+* every completed task bumps the ``runner.tasks_completed`` counter —
+  in the worker's own ambient recorder under the pool (workers inherit
+  the environment, so they arm themselves), directly in the parent's
+  when serial;
+* :func:`_run_chunk` ships each worker's metrics *delta*
+  (``metrics_snapshot(reset=True)``) back with the chunk's results, and
+  the parent merges the snapshots **in submission order** after every
+  future has succeeded — so parallel and serial runs of the same grid
+  produce identical merged counters, gauges, and histogram bucket
+  counts (histogram *sums* agree only to float rounding: cross-process
+  addition is not associative), and a pool that fails mid-flight falls
+  back to serial without double-counting partial worker metrics.
+  Worker processes start from a fresh recorder (``_worker_init``), so
+  the ``fork`` start method cannot re-ship the parent's own metrics.
+
+Structured *records* (spans, instants, decisions) stay in the worker
+processes — only metrics cross the process boundary.  Trace a single
+cell serially when you need per-event records.
 """
 
 from __future__ import annotations
@@ -30,6 +54,8 @@ import os
 import pickle
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generic, Iterable, Sequence, TypeVar
+
+from ..obs.runtime import get_recorder
 
 __all__ = [
     "WORKERS_ENV",
@@ -92,10 +118,41 @@ def chunked(seq: Sequence[T], size: int) -> list[list[T]]:
     return [list(seq[i : i + size]) for i in range(0, len(seq), size)]
 
 
-def _run_chunk(fn: Callable[[T], R], chunk: list[T]) -> list[R]:
+def _worker_init() -> None:
+    """Pool-worker initializer: start from a *fresh* recorder.
+
+    Under the ``fork`` start method a worker inherits the parent's
+    ambient recorder — including every metric the parent has already
+    accumulated — so the worker's first ``metrics_snapshot(reset=True)``
+    would ship the parent's own numbers back for a second counting.
+    Swapping in a fresh recorder of the same armed-ness (armed stays
+    armed, disarmed stays disarmed) makes fork behave like spawn: each
+    worker streams only the metrics it produced itself.
+    """
+    from ..obs.recorder import NULL_RECORDER, TraceRecorder
+    from ..obs.runtime import set_recorder
+
+    set_recorder(TraceRecorder() if get_recorder().enabled else NULL_RECORDER)
+
+
+def _run_chunk(
+    fn: Callable[[T], R], chunk: list[T]
+) -> tuple[list[R], dict[str, Any] | None]:
     """Worker-side body: apply ``fn`` to one chunk (must stay top-level
-    so it is picklable under the spawn start method)."""
-    return [fn(task) for task in chunk]
+    so it is picklable under the spawn start method).
+
+    Returns the chunk's results plus the worker's metrics *delta* since
+    its previous chunk (``None`` when the worker's ambient recorder is
+    disarmed), so per-task metrics stream back to the parent for merging.
+    """
+    obs = get_recorder()
+    if not obs.enabled:
+        return [fn(task) for task in chunk], None
+    results: list[R] = []
+    for task in chunk:
+        results.append(fn(task))
+        obs.counter_add("runner.tasks_completed")
+    return results, obs.metrics_snapshot(reset=True)
 
 
 @dataclass
@@ -181,7 +238,15 @@ class ParallelRunner:
         self.last_stats = RunnerStats(
             mode="serial", reason=reason, workers=1, tasks=len(tasks), chunks=1
         )
-        return [fn(task) for task in tasks]
+        obs = get_recorder()
+        if not obs.enabled:
+            return [fn(task) for task in tasks]
+        results: list[R] = []
+        with obs.span("runner.map", mode="serial", reason=reason, tasks=len(tasks)):
+            for task in tasks:
+                results.append(fn(task))
+                obs.counter_add("runner.tasks_completed")
+        return results
 
     @staticmethod
     def _picklable(fn: Callable[..., Any], tasks: list[Any]) -> bool:
@@ -199,11 +264,27 @@ class ParallelRunner:
     ) -> list[R]:
         from concurrent.futures import ProcessPoolExecutor
 
+        obs = get_recorder()
         results: list[R] = []
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
-            for future in futures:  # submission order == task order
-                results.extend(future.result())
+        snapshots: list[dict[str, Any] | None] = []
+        with obs.span(
+            "runner.map", mode="parallel", workers=workers, chunks=len(chunks)
+        ):
+            with ProcessPoolExecutor(
+                max_workers=workers, initializer=_worker_init
+            ) as pool:
+                futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+                for future in futures:  # submission order == task order
+                    chunk_results, snapshot = future.result()
+                    results.extend(chunk_results)
+                    snapshots.append(snapshot)
+        # Merge worker metric deltas only once every future has succeeded:
+        # a pool failure falls back to serial re-execution, and merging
+        # partial worker metrics first would double-count that work.
+        if obs.enabled:
+            for snapshot in snapshots:
+                obs.merge_metrics(snapshot)
+            obs.gauge_set("runner.workers", float(workers))
         return results
 
 

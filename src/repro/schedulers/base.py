@@ -17,6 +17,7 @@ import copy
 from typing import Any, ClassVar
 
 from ..core.engine import JobView, SchedulerContext
+from ..obs.recorder import NULL_RECORDER, Recorder
 
 __all__ = ["OnlineScheduler"]
 
@@ -41,6 +42,16 @@ class OnlineScheduler:
         #: Flag jobs in designation order (meaningful for batch-style
         #: schedulers; empty otherwise).
         self.flag_job_ids: list[int] = []
+        #: Decision-provenance channel.  The engine replaces this with the
+        #: armed recorder before the run starts (``Simulator.__init__``);
+        #: disarmed it stays the shared ``NULL_RECORDER``, and
+        #: instrumentation sites guard with ``if self.obs.enabled`` so a
+        #: disarmed scheduler pays one attribute read per decision site.
+        self.obs: Recorder = NULL_RECORDER
+        #: Label used in decision records.  Defaults to the registry
+        #: ``name``; composite schedulers (CDB) relabel their inner
+        #: per-category instances (e.g. ``"cdb/cat3"``).
+        self._obs_scheduler: str = type(self).name
 
     # -- lifecycle ---------------------------------------------------------
     def setup(self, ctx: SchedulerContext) -> None:
@@ -59,6 +70,7 @@ class OnlineScheduler:
     def reset(self) -> None:
         """Clear per-run state.  Subclasses must call ``super().reset()``."""
         self.flag_job_ids = []
+        self.obs = NULL_RECORDER
 
     # -- hooks (no-op defaults) ---------------------------------------------
     def on_arrival(self, ctx: SchedulerContext, job: JobView) -> None:

@@ -53,9 +53,33 @@ class Batch(OnlineScheduler):
         # deadline is by construction the earliest-deadline pending job.
         self.flag_job_ids.append(job.id)
         record = IterationRecord(flag_id=job.id, start_time=ctx.now)
-        for pending in ctx.pending():
-            record.batch_job_ids.append(pending.id)
-            ctx.start(pending.id)
+        obs = self.obs
+        if obs.enabled:
+            now = ctx.now
+            label = self._obs_scheduler
+            for pending in ctx.pending():
+                if pending.id == job.id:
+                    obs.decision(
+                        "deadline-flag",
+                        job=pending.id,
+                        t=now,
+                        scheduler=label,
+                        deadline=pending.deadline,
+                    )
+                else:
+                    obs.decision(
+                        "batch-start",
+                        job=pending.id,
+                        t=now,
+                        scheduler=label,
+                        flag=job.id,
+                    )
+                record.batch_job_ids.append(pending.id)
+                ctx.start(pending.id)
+        else:
+            for pending in ctx.pending():
+                record.batch_job_ids.append(pending.id)
+                ctx.start(pending.id)
         self.iterations.append(record)
 
     def describe(self) -> str:

@@ -66,6 +66,14 @@ class BatchPlus(OnlineScheduler):
     def on_arrival(self, ctx: SchedulerContext, job: JobView) -> None:
         if self._active_flag is not None:
             self.iterations[-1].open_started_job_ids.append(job.id)
+            if self.obs.enabled:
+                self.obs.decision(
+                    "open-phase",
+                    job=job.id,
+                    t=ctx.now,
+                    scheduler=self._obs_scheduler,
+                    flag=self._active_flag,
+                )
             ctx.start(job.id)
         else:
             # Buffer: the job pends until some pending job's deadline fires.
@@ -81,9 +89,33 @@ class BatchPlus(OnlineScheduler):
         self.iterations.append(record)
         batch = list(self._pending.values())
         self._pending.clear()
-        for pending in batch:
-            record.batch_job_ids.append(pending.id)
-            ctx.start(pending.id)
+        obs = self.obs
+        if obs.enabled:
+            now = ctx.now
+            label = self._obs_scheduler
+            for pending in batch:
+                if pending.id == job.id:
+                    obs.decision(
+                        "deadline-flag",
+                        job=pending.id,
+                        t=now,
+                        scheduler=label,
+                        deadline=pending.deadline,
+                    )
+                else:
+                    obs.decision(
+                        "batch-start",
+                        job=pending.id,
+                        t=now,
+                        scheduler=label,
+                        flag=job.id,
+                    )
+                record.batch_job_ids.append(pending.id)
+                ctx.start(pending.id)
+        else:
+            for pending in batch:
+                record.batch_job_ids.append(pending.id)
+                ctx.start(pending.id)
 
     def on_completion(self, ctx: SchedulerContext, job: JobView) -> None:
         if job.id == self._active_flag:

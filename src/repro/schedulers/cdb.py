@@ -107,10 +107,28 @@ class ClassifyByDurationBatchPlus(OnlineScheduler):
         sub = self._categories.get(cat)
         if sub is None:
             sub = BatchPlus()
+            # Propagate the decision-provenance channel: the category's
+            # Batch+ emits the actual start rules, labelled with its
+            # category so the narrative reads "cdb/cat3 batched J17".
+            sub.obs = self.obs
+            sub._obs_scheduler = f"{self._obs_scheduler}/cat{cat}"
             self._categories[cat] = sub
         return sub
 
     def on_arrival(self, ctx: SchedulerContext, job: JobView) -> None:
+        if self.obs.enabled and job.id not in self._job_category:
+            cat = duration_category(job.length, self.alpha, self.base)
+            self._job_category[job.id] = cat
+            self.obs.decision(
+                "class-boundary",
+                job=job.id,
+                t=ctx.now,
+                scheduler=self._obs_scheduler,
+                category=cat,
+                length=job.length,
+                alpha=self.alpha,
+                base=self.base,
+            )
         self._category_of(job).on_arrival(ctx, job)
 
     def on_deadline(self, ctx: SchedulerContext, job: JobView) -> None:

@@ -60,10 +60,19 @@ class EpochBatch(OnlineScheduler):
         if tag != _EPOCH_TAG:
             return
         pending = ctx.pending()
+        obs = self.obs
         for job in pending:
             # a pending job whose deadline precedes the *next* epoch must
             # not wait for it (its own deadline backstop would fire, but
             # batching it now keeps starts aligned to epochs).
+            if obs.enabled:
+                obs.decision(
+                    "epoch",
+                    job=job.id,
+                    t=ctx.now,
+                    scheduler=self._obs_scheduler,
+                    period=self.period,
+                )
             ctx.start(job.id)
         if pending:
             # keep ticking while there was work; otherwise re-arm lazily
@@ -73,6 +82,15 @@ class EpochBatch(OnlineScheduler):
 
     def on_deadline(self, ctx: SchedulerContext, job: JobView) -> None:
         # Backstop: a deadline strictly between epochs forces the start.
+        if self.obs.enabled:
+            self.obs.decision(
+                "deadline-backstop",
+                job=job.id,
+                t=ctx.now,
+                scheduler=self._obs_scheduler,
+                deadline=job.deadline,
+                period=self.period,
+            )
         ctx.start(job.id)
 
     def describe(self) -> str:

@@ -106,6 +106,19 @@ class Profit(OnlineScheduler):
         flag_id = self._profitable_flag_for_arrival(job, ctx.now)
         if flag_id is not None:
             self.attribution[job.id] = flag_id
+            if self.obs.enabled:
+                flag = self._active_flags[flag_id]
+                self.obs.decision(
+                    "profit-gain",
+                    job=job.id,
+                    t=ctx.now,
+                    scheduler=self._obs_scheduler,
+                    flag=flag_id,
+                    test="arrival",
+                    length=job.length,
+                    slack=flag.end - ctx.now,
+                    k=self.k,
+                )
             ctx.start(job.id)
         else:
             self._pending[job.id] = job
@@ -128,6 +141,16 @@ class Profit(OnlineScheduler):
         self.attribution[flag_job.id] = flag_job.id
         flag = _ActiveFlag(flag_job.id, now, flag_job.length)
         self._active_flags[flag_job.id] = flag
+        obs = self.obs
+        if obs.enabled:
+            obs.decision(
+                "deadline-flag",
+                job=flag_job.id,
+                t=now,
+                scheduler=self._obs_scheduler,
+                deadline=flag_job.deadline,
+                length=flag.length,
+            )
         ctx.start(flag_job.id)
 
         # Start every pending job profitable to the new flag.
@@ -136,6 +159,18 @@ class Profit(OnlineScheduler):
             if other.length <= threshold:
                 del self._pending[other.id]
                 self.attribution[other.id] = flag.job_id
+                if obs.enabled:
+                    obs.decision(
+                        "profit-gain",
+                        job=other.id,
+                        t=now,
+                        scheduler=self._obs_scheduler,
+                        flag=flag.job_id,
+                        test="flag-start",
+                        length=other.length,
+                        threshold=threshold,
+                        k=self.k,
+                    )
                 ctx.start(other.id)
 
     def on_completion(self, ctx: SchedulerContext, job: JobView) -> None:

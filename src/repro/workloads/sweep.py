@@ -23,6 +23,7 @@ import numpy as np
 
 from ..core.engine import simulate
 from ..core.job import Instance
+from ..obs.runtime import get_recorder
 from ..perf.parallel import ParallelRunner, get_default_runner
 from ..schedulers.base import OnlineScheduler
 
@@ -122,6 +123,15 @@ def run_grid(
         mode = needs if clairvoyant is None else clairvoyant
         for inst, ref in zip(inst_list, refs):
             cells.append((proto.clone(), inst, mode, proto.name, ref))
+    obs = get_recorder()
+    if obs.enabled:
+        obs.instant(
+            "sweep.grid",
+            schedulers=len(schedulers),
+            instances=len(inst_list),
+            cells=len(cells),
+        )
+        obs.counter_add("sweep.cells", float(len(cells)))
     return runner.map(_run_cell, cells)
 
 

@@ -333,6 +333,97 @@ class TestRL006:
         assert lint_source(src, "pkg/__init__.py") == []
 
 
+HOT = "src/repro/core/engine.py"
+
+
+class TestRL011:
+    def test_print_in_core_flagged(self):
+        src = "def dispatch(ev):\n    print(ev)\n"
+        assert codes(lint_source(src, HOT)) == {"RL011"}
+
+    def test_print_in_schedulers_flagged(self):
+        src = "def on_deadline(self, ctx, job):\n    print(job.id)\n"
+        findings = lint_source(src, "src/repro/schedulers/batch.py")
+        assert "RL011" in codes(findings)
+
+    def test_module_logging_call_flagged(self):
+        src = textwrap.dedent(
+            """
+            import logging
+
+            def dispatch(ev):
+                logging.info("event %s", ev)
+            """
+        )
+        assert codes(lint_source(src, HOT)) == {"RL011"}
+
+    def test_chained_get_logger_flagged(self):
+        src = textwrap.dedent(
+            """
+            import logging
+
+            def dispatch(ev):
+                logging.getLogger(__name__).debug("event %s", ev)
+            """
+        )
+        assert codes(lint_source(src, HOT)) == {"RL011"}
+
+    def test_bound_logger_flagged(self):
+        src = textwrap.dedent(
+            """
+            import logging
+
+            log = logging.getLogger(__name__)
+
+            def dispatch(ev):
+                log.warning("event %s", ev)
+            """
+        )
+        assert codes(lint_source(src, HOT)) == {"RL011"}
+
+    def test_stdio_writes_flagged(self):
+        src = textwrap.dedent(
+            """
+            import sys
+
+            def dispatch(ev):
+                sys.stdout.write(str(ev))
+                sys.stderr.write(str(ev))
+            """
+        )
+        findings = [f for f in lint_source(src, HOT) if f.rule == "RL011"]
+        assert len(findings) == 2
+        assert {f.symbol for f in findings} == {"sys.stdout", "sys.stderr"}
+
+    def test_non_hot_path_ignored(self):
+        src = "def render(report):\n    print(report)\n"
+        assert lint_source(src, "src/repro/workloads/profiles.py") == []
+        assert lint_source(src, "src/repro/cli.py") == []
+
+    def test_recorder_usage_clean(self):
+        src = textwrap.dedent(
+            """
+            def on_deadline(self, ctx, job):
+                if self.obs.enabled:
+                    self.obs.decision(
+                        "deadline-flag", job=job.id, t=ctx.now,
+                        scheduler=self._obs_scheduler,
+                    )
+                ctx.start(job.id)
+            """
+        )
+        assert lint_source(src, "src/repro/schedulers/batch.py") == []
+
+    def test_inline_ignore_suppresses(self):
+        src = "def dispatch(ev):\n    print(ev)  # lint: ignore[RL011]\n"
+        assert lint_source(src, HOT) == []
+
+    def test_windows_separators_normalized(self):
+        src = "def dispatch(ev):\n    print(ev)\n"
+        findings = lint_source(src, "src\\repro\\core\\engine.py")
+        assert codes(findings) == {"RL011"}
+
+
 # ---------------------------------------------------------------------------
 # Suppressions, baseline, runner
 # ---------------------------------------------------------------------------

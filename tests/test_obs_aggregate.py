@@ -1,0 +1,169 @@
+"""Aggregation invariants: summaries, metric merges, and regression diffs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import simulate
+from repro.obs import (
+    DiffEntry,
+    MetricsRegistry,
+    TraceRecorder,
+    diff_bench,
+    diff_summaries,
+    merge_metric_dicts,
+    render_diff,
+    render_summary,
+    summarize_trace,
+)
+from repro.schedulers import Batch
+
+
+@pytest.fixture
+def summary(simple_instance):
+    rec = TraceRecorder()
+    simulate(Batch(), simple_instance, recorder=rec)
+    return summarize_trace(rec)
+
+
+class TestSummarize:
+    def test_counts_and_kinds(self, summary, simple_instance):
+        assert summary.record_count > 0
+        assert sum(summary.kind_counts.values()) == summary.record_count
+        assert summary.kind_counts["decision"] == len(simple_instance)
+        assert set(summary.decisions) <= {"deadline-flag", "batch-start"}
+        assert sum(summary.decisions.values()) == len(simple_instance)
+
+    def test_span_aggregates_are_consistent(self, summary):
+        dispatch = summary.spans["engine.dispatch"]
+        assert dispatch["count"] >= 1
+        assert dispatch["total_s"] >= dispatch["max_s"] >= 0
+        assert dispatch["mean_s"] == pytest.approx(
+            dispatch["total_s"] / dispatch["count"]
+        )
+
+    def test_metrics_carried_over_sorted(self, summary):
+        assert list(summary.counters) == sorted(summary.counters)
+        assert "engine.events_processed" in summary.counters
+        assert "engine.span" in summary.gauges
+        hist = summary.histograms["engine.job_length"]
+        assert hist["count"] == 4.0
+        assert hist["min"] <= hist["mean"] <= hist["max"]
+
+    def test_render_summary_mentions_key_sections(self, summary):
+        text = render_summary(summary)
+        for token in ("records", "decisions", "spans", "counters", "gauges"):
+            assert token in text
+
+
+class TestMergeMetricDicts:
+    def test_merges_in_order_skipping_none(self):
+        a = MetricsRegistry()
+        a.counter_add("c", 1.0)
+        a.gauge_set("g", 1.0)
+        b = MetricsRegistry()
+        b.counter_add("c", 2.0)
+        b.gauge_set("g", 9.0)
+        merged = merge_metric_dicts([a.to_dict(), None, b.to_dict()])
+        assert merged.counters["c"] == 3.0
+        assert merged.gauges["g"] == 9.0  # last-set wins, in iteration order
+
+    def test_merges_into_existing_registry(self):
+        into = MetricsRegistry()
+        into.counter_add("c", 5.0)
+        src = MetricsRegistry()
+        src.counter_add("c", 1.0)
+        out = merge_metric_dicts([src.to_dict()], into=into)
+        assert out is into
+        assert into.counters["c"] == 6.0
+
+
+class TestDiffSummaries:
+    @staticmethod
+    def _summary(counters=None, spans=None):
+        from repro.obs import TraceSummary
+
+        s = TraceSummary()
+        s.counters = dict(counters or {})
+        s.spans = {
+            name: {"count": 1.0, "total_s": total, "mean_s": total, "max_s": total}
+            for name, total in (spans or {}).items()
+        }
+        return s
+
+    def test_counter_growth_is_a_regression(self):
+        before = self._summary(counters={"engine.events_processed": 100.0})
+        after = self._summary(counters={"engine.events_processed": 150.0})
+        entries = diff_summaries(before, after, threshold=0.10)
+        assert [e.name for e in entries] == ["engine.events_processed"]
+        assert entries[0].regressed
+        assert entries[0].regression == pytest.approx(0.5)
+
+    def test_within_threshold_is_silent(self):
+        before = self._summary(counters={"c": 100.0}, spans={"s": 1.0})
+        after = self._summary(counters={"c": 105.0}, spans={"s": 1.05})
+        assert diff_summaries(before, after, threshold=0.10) == []
+
+    def test_span_slowdown_flagged_and_speedup_negative(self):
+        before = self._summary(spans={"slow": 1.0, "fast": 1.0})
+        after = self._summary(spans={"slow": 2.0, "fast": 0.5})
+        entries = {e.name: e for e in diff_summaries(before, after, threshold=0.10)}
+        assert entries["slow"].regressed
+        assert not entries["fast"].regressed
+        assert entries["fast"].regression < 0
+
+    def test_missing_quantities_skipped(self):
+        before = self._summary(counters={"only.before": 1.0})
+        after = self._summary(counters={"only.after": 99.0})
+        assert diff_summaries(before, after, threshold=0.0) == []
+
+
+class TestDiffBench:
+    @staticmethod
+    def _payload(**cases: float) -> dict:
+        return {
+            "schema": "test",
+            "results": [
+                {"case": name, "events": 1, "wall_s": 1.0, "events_per_s": eps}
+                for name, eps in cases.items()
+            ],
+        }
+
+    def test_injected_ten_percent_regression_is_flagged(self):
+        before = self._payload(**{"macro/e1": 100_000.0, "micro/q": 1_000_000.0})
+        after = self._payload(**{"macro/e1": 88_000.0, "micro/q": 1_000_000.0})
+        entries = diff_bench(before, after, threshold=0.10)
+        assert [e.name for e in entries] == ["macro/e1"]
+        assert entries[0].regressed
+        assert entries[0].regression == pytest.approx(0.12)
+
+    def test_improvement_reported_but_not_regressed(self):
+        before = self._payload(**{"macro/e1": 100_000.0})
+        after = self._payload(**{"macro/e1": 200_000.0})
+        (entry,) = diff_bench(before, after, threshold=0.10)
+        assert not entry.regressed
+        assert entry.regression == pytest.approx(-1.0)
+
+    def test_unshared_cases_skipped(self):
+        before = self._payload(**{"gone": 1.0})
+        after = self._payload(**{"new": 1.0})
+        assert diff_bench(before, after, threshold=0.0) == []
+
+    def test_zero_baseline_edge(self):
+        before = self._payload(**{"z": 0.0})
+        after = self._payload(**{"z": 0.0})
+        assert diff_bench(before, after, threshold=0.10) == []
+
+
+class TestRenderDiff:
+    def test_empty_renders_threshold(self):
+        assert "10.0%" in render_diff([], threshold=0.10)
+
+    def test_regressions_sorted_first_and_tagged(self):
+        entries = [
+            DiffEntry("bench", "win", 1.0, 2.0, -0.5),
+            DiffEntry("bench", "loss", 2.0, 1.0, 0.5),
+        ]
+        text = render_diff(entries, threshold=0.10)
+        assert text.index("loss") < text.index("win")
+        assert "REGRESSION" in text and "improved" in text

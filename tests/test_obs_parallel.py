@@ -1,0 +1,115 @@
+"""Cross-process aggregation: parallel and serial sweeps must merge to
+the same metrics (the ParallelRunner determinism contract, extended to
+observability)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import NULL_RECORDER, TraceRecorder, set_recorder
+from repro.offline import span_lower_bound
+from repro.perf.parallel import ParallelRunner
+from repro.schedulers import make_scheduler
+from repro.workloads import WorkloadSpec, generate, run_grid
+
+
+@pytest.fixture(autouse=True)
+def _restore_ambient():
+    previous = set_recorder(NULL_RECORDER)
+    yield
+    set_recorder(previous)
+
+
+def grid_metrics(workers: int, monkeypatch) -> tuple[list, dict, ParallelRunner]:
+    """Run the reference grid under an armed ambient recorder.
+
+    ``REPRO_TRACE=1`` is exported so pool workers arm themselves from the
+    environment they inherit; the parent's recorder is installed
+    explicitly so the test owns it.
+    """
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    recorder = TraceRecorder()
+    set_recorder(recorder)
+    spec = WorkloadSpec(n=30, laxity_scale=2.0)
+    instances = [generate(spec, seed=s) for s in range(6)]
+    protos = [make_scheduler(n) for n in ("batch", "batch+", "eager")]
+    runner = ParallelRunner(workers=workers)
+    results = run_grid(protos, instances, span_lower_bound, runner=runner)
+    return results, recorder.metrics.snapshot(), runner
+
+
+def sim_only(metrics: dict) -> dict:
+    """Strip wall-clock-dependent quantities before comparing runs.
+
+    Span wall-times and the worker-count gauge legitimately differ
+    between serial and parallel execution; everything else must match.
+    """
+    return {
+        "counters": {
+            k: v
+            for k, v in metrics["counters"].items()
+            if not k.startswith("span.")
+        },
+        "gauges": {
+            k: v for k, v in metrics["gauges"].items() if k != "runner.workers"
+        },
+        "histograms": {
+            k: v
+            for k, v in metrics["histograms"].items()
+            if not k.startswith("span.")
+        },
+    }
+
+
+class TestParallelSerialMetricEquality:
+    def test_merged_metrics_match_serial(self, monkeypatch):
+        serial_results, serial_metrics, _ = grid_metrics(1, monkeypatch)
+        par_results, par_metrics, runner = grid_metrics(4, monkeypatch)
+
+        # The runner contract: identical result streams either way.
+        key = lambda r: (r.scheduler_name, r.instance_name, r.span, r.reference)
+        assert [key(r) for r in serial_results] == [key(r) for r in par_results]
+        assert runner.last_stats.mode == "parallel"
+
+        a, b = sim_only(serial_metrics), sim_only(par_metrics)
+        # Counters and gauges merge exactly.
+        assert a["counters"] == b["counters"]
+        assert a["gauges"] == b["gauges"]
+        # Histograms: bucket counts, count, min, max exactly; totals only
+        # to float rounding (cross-process addition is not associative).
+        assert set(a["histograms"]) == set(b["histograms"])
+        for name in a["histograms"]:
+            ha, hb = a["histograms"][name], b["histograms"][name]
+            assert ha["counts"] == hb["counts"], name
+            assert ha["count"] == hb["count"], name
+            assert ha["min"] == hb["min"] and ha["max"] == hb["max"], name
+            assert ha["total"] == pytest.approx(hb["total"], rel=1e-9), name
+
+    def test_progress_counter_counts_every_task(self, monkeypatch):
+        _, metrics, _ = grid_metrics(1, monkeypatch)
+        # 6 reference evaluations + 3 schedulers x 6 instances = 24 tasks.
+        assert metrics["counters"]["runner.tasks_completed"] == 24.0
+        assert metrics["counters"]["sweep.cells"] == 18.0
+
+    def test_parallel_sets_worker_gauge(self, monkeypatch):
+        _, metrics, runner = grid_metrics(4, monkeypatch)
+        assert runner.last_stats.mode == "parallel"
+        assert metrics["gauges"]["runner.workers"] == 4.0
+        assert metrics["counters"]["runner.tasks_completed"] == 24.0
+
+    def test_serial_armed_map_emits_span(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        recorder = TraceRecorder()
+        set_recorder(recorder)
+        runner = ParallelRunner(workers=1)
+        assert runner.map(abs, [-1, 2, -3]) == [1, 2, 3]
+        assert recorder.metrics.counters["runner.tasks_completed"] == 3.0
+        spans = [r for r in recorder.records if r.name == "runner.map"]
+        assert spans and spans[0].attrs["mode"] == "serial"
+
+    def test_disarmed_runner_records_nothing(self):
+        recorder = TraceRecorder()  # NOT installed as ambient
+        runner = ParallelRunner(workers=1)
+        runner.map(abs, [-1, 2])
+        assert len(recorder.records) == 0
+        assert not recorder.metrics

@@ -1,0 +1,193 @@
+"""Sink invariants: JSONL round-trip and Chrome trace_event export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.engine import simulate
+from repro.obs import (
+    JSONL_VERSION,
+    LoadedTrace,
+    TraceRecorder,
+    chrome_trace_events,
+    export_chrome_trace,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.schedulers import BatchPlus
+
+
+@pytest.fixture
+def recorded(simple_instance) -> TraceRecorder:
+    """A recorder holding a real run: instants, decisions, spans, metrics."""
+    rec = TraceRecorder()
+    with rec.span("test.outer", instance="simple"):
+        simulate(BatchPlus(), simple_instance, recorder=rec)
+    rec.gauge_set("test.gauge", 3.5)
+    return rec
+
+
+class TestJsonlRoundTrip:
+    def test_lossless_round_trip(self, recorded, tmp_path):
+        path = tmp_path / "run.trace.jsonl"
+        written = write_jsonl(recorded, path, command="test", scheduler="batch+")
+        assert written == str(path)
+        loaded = read_jsonl(path)
+
+        # meta: version-gated header plus caller keys
+        assert loaded.meta["version"] == JSONL_VERSION
+        assert loaded.meta["tool"] == "repro.obs"
+        assert loaded.meta["command"] == "test"
+        assert loaded.meta["scheduler"] == "batch+"
+
+        # records: exact equality in emission order
+        assert len(loaded) == len(recorded.records)
+        assert loaded.records == recorded.records
+
+        # metrics: identical registry contents
+        assert loaded.metrics.to_dict() == recorded.metrics.to_dict()
+
+    def test_recorder_write_jsonl_method(self, recorded, tmp_path):
+        path = tmp_path / "via_method.jsonl"
+        recorded.write_jsonl(path, origin="method")
+        assert read_jsonl(path).meta["origin"] == "method"
+
+    def test_layout_meta_first_metrics_last(self, recorded, tmp_path):
+        path = tmp_path / "layout.jsonl"
+        write_jsonl(recorded, path)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["kind"] == "meta"
+        assert lines[-1]["kind"] == "metrics"
+        assert all(
+            l["kind"] not in ("meta", "metrics") for l in lines[1:-1]
+        )
+
+    def test_write_creates_parent_dirs_and_no_tmp_left(self, recorded, tmp_path):
+        path = tmp_path / "deep" / "nested" / "run.jsonl"
+        write_jsonl(recorded, path)
+        assert path.exists()
+        assert not list(path.parent.glob("*.tmp"))
+
+    def test_by_kind_filters_in_order(self, recorded, tmp_path):
+        path = tmp_path / "kinds.jsonl"
+        write_jsonl(recorded, path)
+        loaded = read_jsonl(path)
+        decisions = loaded.by_kind("decision")
+        assert decisions and all(r.kind == "decision" for r in decisions)
+        instants = loaded.by_kind("instant")
+        assert [r.ts for r in instants] == sorted(r.ts for r in instants)
+
+    def test_empty_recorder_round_trips(self, tmp_path):
+        rec = TraceRecorder()
+        path = tmp_path / "empty.jsonl"
+        write_jsonl(rec, path)
+        loaded = read_jsonl(path)
+        assert len(loaded) == 0
+        assert not loaded.metrics
+
+
+class TestJsonlValidation:
+    def test_rejects_non_meta_first_line(self, tmp_path):
+        path = tmp_path / "foreign.jsonl"
+        path.write_text('{"kind": "instant", "ts": 0, "name": "x"}\n')
+        with pytest.raises(ValueError, match="first line must be meta"):
+            read_jsonl(path)
+
+    def test_rejects_unsupported_version(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps({"kind": "meta", "version": 99}) + "\n")
+        with pytest.raises(ValueError, match="unsupported trace version 99"):
+            read_jsonl(path)
+
+    def test_rejects_invalid_json_with_line_number(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text(
+            json.dumps({"kind": "meta", "version": JSONL_VERSION}) + "\n"
+            + "{not json\n"
+        )
+        with pytest.raises(ValueError, match=r"corrupt\.jsonl:2: invalid JSON"):
+            read_jsonl(path)
+
+    def test_blank_lines_are_tolerated(self, recorded, tmp_path):
+        path = tmp_path / "blanks.jsonl"
+        write_jsonl(recorded, path)
+        path.write_text(path.read_text().replace("\n", "\n\n", 1))
+        assert len(read_jsonl(path)) == len(recorded.records)
+
+
+class TestChromeExport:
+    @staticmethod
+    def _payload(trace):
+        payload = chrome_trace_events(trace)
+        assert set(payload) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["format"] == "chrome-trace-event"
+        return payload
+
+    def test_schema_of_every_event(self, recorded):
+        payload = self._payload(recorded)
+        for event in payload["traceEvents"]:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+            assert event["ph"] in ("B", "E", "i", "C", "M")
+            assert event["ts"] >= 0.0
+            if event["ph"] == "i":
+                assert event["s"] == "t"  # thread-scoped instants
+
+    def test_span_begin_end_pairing(self, recorded):
+        payload = self._payload(recorded)
+        begins = [e for e in payload["traceEvents"] if e["ph"] == "B"]
+        ends = [e for e in payload["traceEvents"] if e["ph"] == "E"]
+        assert [e["name"] for e in begins] and (
+            sorted(e["name"] for e in begins) == sorted(e["name"] for e in ends)
+        )
+
+    def test_decisions_named_and_categorised(self, recorded):
+        payload = self._payload(recorded)
+        decisions = [
+            e for e in payload["traceEvents"] if e.get("cat") == "decision"
+        ]
+        assert decisions
+        for event in decisions:
+            assert event["name"].startswith("decision:")
+            assert event["ph"] == "i"
+            assert "job" in event["args"] and "t" in event["args"]
+
+    def test_counters_sampled_and_metadata_present(self, recorded):
+        payload = self._payload(recorded)
+        counters = [e for e in payload["traceEvents"] if e["ph"] == "C"]
+        names = {e["name"] for e in counters}
+        assert "engine.events_processed" in names
+        for event in counters:
+            assert set(event["args"]) == {"value"}
+        metas = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert metas[-1]["name"] == "process_name"
+
+    def test_timestamps_are_microseconds(self, recorded):
+        payload = self._payload(recorded)
+        by_name = {
+            (e["name"], e["ph"]): e["ts"] for e in payload["traceEvents"]
+        }
+        record = recorded.records[0]
+        assert by_name[(record.name, "B")] == pytest.approx(record.ts * 1e6)
+
+    def test_export_from_loaded_trace_matches_recorder(
+        self, recorded, tmp_path
+    ):
+        path = tmp_path / "rt.jsonl"
+        write_jsonl(recorded, path)
+        loaded = read_jsonl(path)
+        assert isinstance(loaded, LoadedTrace)
+        assert chrome_trace_events(loaded) == chrome_trace_events(recorded)
+
+    def test_export_writes_valid_json_file(self, recorded, tmp_path):
+        out = tmp_path / "chrome" / "trace.json"
+        written = export_chrome_trace(recorded, out)
+        assert written == str(out)
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"]
+
+    def test_empty_trace_exports_metadata_only(self):
+        payload = chrome_trace_events(TraceRecorder())
+        assert [e["ph"] for e in payload["traceEvents"]] == ["M"]

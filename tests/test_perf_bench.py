@@ -8,7 +8,7 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.perf.bench import BenchRecord, bench_cases, run_bench
+from repro.perf.bench import BENCH_SCHEMA, BenchRecord, bench_cases, run_bench
 from repro.workloads import GridResult
 
 
@@ -24,12 +24,34 @@ class TestRunBench:
 
         payload = json.loads(out.read_text())
         assert payload["quick"] is True
-        assert payload["schema"] == "{case, events, wall_s, events_per_s}"
+        assert payload["schema"] == BENCH_SCHEMA
         for row in payload["results"]:
             assert set(row) == {"case", "events", "wall_s", "events_per_s"}
         cases = [row["case"] for row in payload["results"]]
         assert "micro/event_queue" in cases
         assert any(c.startswith("macro/e1_paper") for c in cases)
+
+    def test_provenance_block(self, tmp_path):
+        out = tmp_path / "BENCH_perf.json"
+        run_bench(quick=True, repeat=1, out=out)
+        prov = json.loads(out.read_text())["provenance"]
+        assert set(prov) == {"git_sha", "workers", "recorder_armed"}
+        assert isinstance(prov["git_sha"], str) and prov["git_sha"]
+        assert prov["recorder_armed"] is False  # tests run disarmed
+
+    def test_refuses_to_overwrite_foreign_schema(self, tmp_path):
+        out = tmp_path / "BENCH_perf.json"
+        out.write_text('{"schema": "v0:ancient", "results": []}')
+        with pytest.raises(FileExistsError, match="--force"):
+            run_bench(quick=True, repeat=1, out=out)
+        # corrupt files are protected too
+        out.write_text("not json at all")
+        with pytest.raises(FileExistsError, match="--force"):
+            run_bench(quick=True, repeat=1, out=out)
+        # --force replaces; same-schema rewrites need no force
+        run_bench(quick=True, repeat=1, out=out, force=True)
+        assert json.loads(out.read_text())["schema"] == BENCH_SCHEMA
+        run_bench(quick=True, repeat=1, out=out)
 
     def test_no_out_means_no_file(self, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)
