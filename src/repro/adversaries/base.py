@@ -22,8 +22,9 @@ An adversary may:
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Iterable, Sequence
 
+from ..core.columnar import JobBatch
 from ..core.engine import AdversaryResponse
 from ..core.job import Job
 
@@ -70,3 +71,75 @@ class BaseAdversary:
             f"{type(self).__name__} released a job with an adversary-"
             "controlled length but does not implement assign_length()"
         )
+
+    # -- columnar batch hooks (optional) -----------------------------------
+    # The columnar engine core offers whole same-time cohorts to the
+    # adversary in one call.  The defaults return ``NotImplemented``,
+    # which tells the core to fall back to the scalar hooks above,
+    # one event at a time, in exactly the object core's order — so an
+    # adversary that ignores this section behaves identically on both
+    # cores.  An adversary that *does* override a batch hook asserts the
+    # contract that the batch call is observationally equivalent to the
+    # scalar calls it replaces (same state evolution, and a single
+    # response equal to the merge of the per-job responses).  A batch
+    # hook may also return ``NotImplemented`` per call to demand the
+    # scalar path for one specific cohort (e.g. §3.1 when the earmarked
+    # job is inside a completion cohort).
+
+    def initial_batch(self) -> JobBatch | None:
+        """Initial releases as a columnar batch, or ``None``.
+
+        The columnar core prefers this over :meth:`initial_jobs`; the
+        object core only ever calls :meth:`initial_jobs`.  Exactly one
+        of the two is invoked per run, so release bookkeeping may live
+        in a shared helper.
+        """
+        return None
+
+    def on_start_batch(self, job_ids: Sequence[int], t: float) -> Any:
+        """All of ``job_ids`` started at time ``t`` (cohort form)."""
+        return NotImplemented
+
+    def on_completion_batch(self, job_ids: Sequence[int], t: float) -> Any:
+        """All of ``job_ids`` completed at time ``t`` (cohort form)."""
+        return NotImplemented
+
+    def assign_lengths_batch(self, job_ids: Sequence[int], t: float) -> Any:
+        """Lengths for a same-time ASSIGN cohort, in ``job_ids`` order.
+
+        Return an array/sequence of positive floats, or
+        ``NotImplemented`` to fall back to per-job
+        :meth:`assign_length` calls.
+        """
+        return NotImplemented
+
+    def length_decision_times_batch(
+        self, job_ids: Sequence[int], start: float
+    ) -> Any:
+        """Commit times for a cohort started at ``start``.
+
+        The default vectorises ``start + assignment_delay`` — but only
+        when :meth:`length_decision_time` itself is not overridden, so a
+        subclass customising the scalar rule keeps exact behaviour
+        without having to know about this hook.
+        """
+        if (
+            type(self).length_decision_time
+            is not BaseAdversary.length_decision_time
+        ):
+            return NotImplemented
+        return [start + self.assignment_delay] * len(job_ids)
+
+
+# Capability markers: the columnar core must know *before* gathering an
+# ASSIGN cohort whether the adversary can take it whole (gathering is
+# irreversible once the events are popped).  The inherited defaults are
+# marked as fallbacks; overriding a hook clears the marker because the
+# override is a different function object.
+for _m in (
+    BaseAdversary.on_start_batch,
+    BaseAdversary.on_completion_batch,
+    BaseAdversary.assign_lengths_batch,
+):
+    setattr(_m, "_repro_fallback", True)
+del _m

@@ -43,8 +43,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Any, Iterable, Sequence
 
+import numpy as np
+
+from ..core.columnar import JobBatch
 from ..core.engine import AdversaryResponse
 from ..core.job import Instance, Job
 from ..core.schedule import Schedule
@@ -183,12 +186,19 @@ class NonClairvoyantLowerBoundAdversary(BaseAdversary):
         self.release_times: list[float] = []
 
         self._next_id = 0
-        self._iteration_of: dict[int, int] = {}  # job id -> iteration (1-based; 0 = final)
+        #: Release blocks ``(iteration, lo, hi)`` — ids are consecutive
+        #: per release, so a dict id->iteration would be pure overhead
+        #: at §3.1 scale (65 536 inserts per k=2 iteration).
+        self._blocks: list[tuple[int, int, int]] = []
+        self._block_lo = 0  # id range of the live iteration
+        self._block_hi = 0
         self._running_current: set[int] = set()  # running jobs of the live iteration
         self._assigned: dict[int, float] = {}  # committed lengths
         self._live = False  # current iteration still unearmarked & releasing?
         self._earmark_pending = False
         self._earmarked_current: int | None = None
+        #: Per-count laxity ladders (Python floats — see _laxity_ladder).
+        self._laxity_cache: dict[int, list[float]] = {}
 
     # -- construction helpers ---------------------------------------------------
     def _laxity(self, j: int) -> float:
@@ -198,55 +208,87 @@ class NonClairvoyantLowerBoundAdversary(BaseAdversary):
             return self.laxity_cap
         return self.alpha**j
 
-    def _release_iteration(self, i: int, t: float) -> tuple[Job, ...]:
+    def _laxity_ladder(self, count: int) -> list[float]:
+        """``[α^1 … α^count]`` (capped), cached per count.
+
+        Computed with scalar :meth:`_laxity` — **not** ``np.power`` —
+        because both engine cores must see the exact floats the original
+        per-job construction produced (``libm`` vs NumPy ``power`` may
+        differ in the last ulp, which golden traces would surface).
+        """
+        ladder = self._laxity_cache.get(count)
+        if ladder is None:
+            log_alpha = math.log(self.alpha)
+            log_cap = math.log(self.laxity_cap)
+            # Smallest j with j·log(α) ≥ log(cap): every later rung is the
+            # cap, so only the head of the ladder needs a real power —
+            # O(log_α cap) instead of O(count) pow calls.
+            j_cap = 1
+            while j_cap * log_alpha < log_cap:
+                j_cap += 1
+            head = min(count, j_cap - 1)
+            ladder = [self.alpha**j for j in range(1, head + 1)]
+            ladder.extend([self.laxity_cap] * (count - head))
+            self._laxity_cache[count] = ladder
+        return ladder
+
+    def _release_batch(
+        self, iteration: int, count: int, t: float, length: float | None
+    ) -> JobBatch:
+        """One release (adaptive iteration or final) as a columnar batch."""
+        base = self._next_id
+        ids = np.arange(base, base + count, dtype=np.int64)
+        deadline = t + np.asarray(
+            self._laxity_ladder(count), dtype=np.float64
+        )
+        batch = JobBatch(
+            ids=ids, arrival=float(t), deadline=deadline, length=length
+        )
+        self._blocks.append((iteration, base, base + count))
+        self._next_id = base + count
+        self.release_times.append(t)
+        return batch
+
+    def _release_iteration(self, i: int, t: float) -> JobBatch:
         """Jobs of adaptive iteration ``i`` released at time ``t``."""
         spec = self.profile.iterations[i - 1]
-        jobs = []
-        for j in range(1, spec.count + 1):
-            job = Job(
-                id=self._next_id,
-                arrival=t,
-                deadline=t + self._laxity(j),
-                length=None,  # adversary-controlled
-            )
-            self._iteration_of[job.id] = i
-            self._next_id += 1
-            jobs.append(job)
+        batch = self._release_batch(i, spec.count, t, length=None)
         self.iterations_released = i
-        self.release_times.append(t)
+        self._block_lo = self._next_id - spec.count
+        self._block_hi = self._next_id
         self._running_current = set()
         self._live = True
         self._earmarked_current = None
         self._earmark_pending = False
-        return tuple(jobs)
+        return batch
 
-    def _release_final(self, t: float) -> tuple[Job, ...]:
+    def _release_final(self, t: float) -> JobBatch:
         """The final iteration: fixed length-1 jobs."""
-        jobs = []
-        for j in range(1, self.profile.final_count + 1):
-            job = Job(
-                id=self._next_id,
-                arrival=t,
-                deadline=t + self._laxity(j),
-                length=1.0,
-            )
-            self._iteration_of[job.id] = 0
-            self._next_id += 1
-            jobs.append(job)
+        batch = self._release_batch(0, self.profile.final_count, t, length=1.0)
         self.final_released = True
-        self.release_times.append(t)
         self._live = False
-        return tuple(jobs)
+        return batch
+
+    def _iteration_of_id(self, job_id: int) -> int:
+        """The iteration (1-based; 0 = final) that released ``job_id``."""
+        for iteration, lo, hi in self._blocks:
+            if lo <= job_id < hi:
+                return iteration
+        raise KeyError(job_id)
 
     # -- adversary hooks -----------------------------------------------------------
-    def initial_jobs(self) -> Iterable[Job]:
+    def initial_batch(self) -> JobBatch:
         return self._release_iteration(1, 0.0)
 
+    def initial_jobs(self) -> Iterable[Job]:
+        # Object-core path: same release bookkeeping, materialised jobs.
+        return self._release_iteration(1, 0.0).jobs()
+
     def on_start(self, job: Job, t: float) -> AdversaryResponse | None:
-        i = self._iteration_of[job.id]
-        if not self._live or i != self.iterations_released:
+        if not self._live or not (self._block_lo <= job.id < self._block_hi):
             return None
         self._running_current.add(job.id)
+        i = self.iterations_released
         spec = self.profile.iterations[i - 1]
         if (
             len(self._running_current) > spec.threshold
@@ -256,6 +298,30 @@ class NonClairvoyantLowerBoundAdversary(BaseAdversary):
             # decision to a same-time wake-up so that *every* job started
             # at this instant (e.g. the rest of a batch) is considered
             # "running at t1", matching the paper's continuous-time view.
+            self._earmark_pending = True
+            return AdversaryResponse(wakeup=t)
+        return None
+
+    def on_start_batch(self, job_ids: Sequence[int], t: float) -> Any:
+        """Cohort form of :meth:`on_start` (columnar core fast path).
+
+        Equivalent to the scalar calls merged: membership in the live
+        iteration is a range test, and the first threshold crossing
+        inside the cohort yields the same single same-time wake-up.
+        """
+        if not self._live:
+            return None
+        ids = np.asarray(job_ids, dtype=np.int64)
+        members = ids[(ids >= self._block_lo) & (ids < self._block_hi)]
+        if members.size == 0:
+            return None
+        self._running_current.update(members.tolist())
+        i = self.iterations_released
+        spec = self.profile.iterations[i - 1]
+        if (
+            len(self._running_current) > spec.threshold
+            and not self._earmark_pending
+        ):
             self._earmark_pending = True
             return AdversaryResponse(wakeup=t)
         return None
@@ -271,10 +337,13 @@ class NonClairvoyantLowerBoundAdversary(BaseAdversary):
             return None
         # Earmark the running job with the largest laxity (ties broken by
         # id; with the laxity cap, the highest index wins either way).
-        def laxity_of(jid: int) -> tuple[float, int]:
-            return (self._iteration_laxity(jid), jid)
-
-        earmark = max(running, key=laxity_of)
+        # Vectorised max over (laxity, id): the ladder index of a live
+        # job is its id offset within the iteration block.
+        ids = np.fromiter(running, np.int64, len(running))
+        ladder = np.asarray(self._laxity_ladder(spec.count), dtype=np.float64)
+        laxities = ladder[ids - self._block_lo]
+        order = np.lexsort((ids, laxities))
+        earmark = int(ids[order[-1]])
         self._earmarked_current = earmark
         self.earmarked_ids.append(earmark)
         self._live = False  # lengths after this instant: all 1 except earmark
@@ -283,20 +352,30 @@ class NonClairvoyantLowerBoundAdversary(BaseAdversary):
     def _iteration_laxity(self, job_id: int) -> float:
         """Reconstruct a released job's laxity from its id (deadline - arrival)
         is not directly available here, so recompute from the index."""
-        # Jobs are released with consecutive ids per iteration; the j-th
-        # job of the iteration has laxity α^j.  Recover j from the id
-        # offset within its iteration block.
-        i = self._iteration_of[job_id]
-        block_start = sum(
-            self.profile.iterations[l - 1].count for l in range(1, i)
-        )
-        j = job_id - block_start + 1
-        return self._laxity(j)
+        # Jobs are released with consecutive ids per release block; the
+        # j-th job of a block has laxity α^j.  Recover j from the id
+        # offset within its block.
+        for _iteration, lo, hi in self._blocks:
+            if lo <= job_id < hi:
+                return self._laxity(job_id - lo + 1)
+        raise KeyError(job_id)
 
     def assign_length(self, job: Job, t: float) -> float:
         length = self.mu if job.id == self._earmarked_current else 1.0
         self._assigned[job.id] = length
         return length
+
+    def assign_lengths_batch(self, job_ids: Sequence[int], t: float) -> Any:
+        """Cohort form of :meth:`assign_length`: 1 everywhere, μ on the earmark."""
+        earmark = self._earmarked_current
+        if earmark is None:
+            lengths = np.ones(len(job_ids), dtype=np.float64)
+            self._assigned.update(dict.fromkeys(job_ids, 1.0))
+            return lengths
+        ids = np.asarray(job_ids, dtype=np.int64)
+        lengths = np.where(ids == earmark, self.mu, 1.0)
+        self._assigned.update(zip(job_ids, lengths.tolist()))
+        return lengths
 
     def on_completion(self, job: Job, t: float) -> AdversaryResponse | None:
         self._running_current.discard(job.id)
@@ -307,10 +386,28 @@ class NonClairvoyantLowerBoundAdversary(BaseAdversary):
         self._earmarked_current = None
         i = self.iterations_released
         if i < self.profile.k:
-            return AdversaryResponse(release=self._release_iteration(i + 1, t))
+            return AdversaryResponse(
+                release_batch=self._release_iteration(i + 1, t)
+            )
         if not self.final_released:
-            return AdversaryResponse(release=self._release_final(t))
+            return AdversaryResponse(release_batch=self._release_final(t))
         return None  # pragma: no cover - defensive
+
+    def on_completion_batch(self, job_ids: Sequence[int], t: float) -> Any:
+        """Cohort form of :meth:`on_completion`.
+
+        The earmarked job's completion triggers a release, whose events
+        must interleave exactly as the object core's do — so a cohort
+        containing it is declined (``NotImplemented``: the core replays
+        it through the scalar hook).  All-ordinary cohorts reduce to a
+        set difference.
+        """
+        earmark = self._earmarked_current
+        if earmark is not None and earmark in job_ids:
+            return NotImplemented
+        if self._running_current:
+            self._running_current.difference_update(job_ids)
+        return None
 
     # -- reference schedule -------------------------------------------------------
     def paper_optimal_schedule(self, instance: Instance) -> Schedule:

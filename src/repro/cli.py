@@ -56,7 +56,7 @@ from .analysis import (
     profit_ratio,
     render_gantt,
 )
-from .core import load_instance, save_instance, simulate
+from .core import SimulationError, load_instance, save_instance, simulate
 from .offline import exact_optimal_span, span_lower_bound
 from .schedulers import make_scheduler, scheduler_names
 from .workloads import WorkloadSpec, generate, ratio_stats, run_grid
@@ -172,6 +172,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="overwrite an existing output file even if its schema differs",
     )
+    p_bench.add_argument(
+        "--case", type=str, default=None,
+        help="run only cases whose name contains this substring",
+    )
+    p_bench.add_argument(
+        "--ratchet", action="store_true",
+        help=(
+            "exit non-zero when macro/e1_paper_k2_batch lands below the "
+            "recorded columnar baseline minus the ratchet margin"
+        ),
+    )
 
     from .lint.cli import add_lint_parser
     from .obs.cli import add_obs_parser
@@ -201,17 +212,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         inst = generate(spec, seed=args.seed)
     sched = make_scheduler(args.scheduler)
-    result = simulate(
-        sched,
-        inst,
-        clairvoyant=type(sched).requires_clairvoyance,
-        trace=args.trace,
-    )
+    try:
+        result = simulate(
+            sched,
+            inst,
+            clairvoyant=type(sched).requires_clairvoyance,
+            trace=args.trace,
+        )
+    except SimulationError as exc:
+        # e.g. REPRO_ENGINE_CORE set to an unknown core name
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     lb = span_lower_bound(inst)
     print(f"scheduler : {sched.describe()}")
     print(f"workload  : {inst.name}")
     print(f"span      : {result.span:.4f}")
-    print(f"lower bnd : {lb:.4f}  (ratio <= {result.span / lb:.4f})")
+    # 0/0 -> 1.0 and x/0 -> inf, the GridResult.ratio convention
+    ratio = result.span / lb if lb > 0 else (1.0 if result.span == 0.0 else float("inf"))
+    print(f"lower bnd : {lb:.4f}  (ratio <= {ratio:.4f})")
     print(f"events    : {result.events_processed}")
     if args.summary:
         from .analysis import summarize_run
@@ -394,17 +412,34 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .perf.bench import render_records, run_bench
+    from .perf.bench import check_ratchet, render_records, run_bench
 
     try:
         records = run_bench(
-            quick=args.quick, repeat=args.repeat, out=args.out, force=args.force
+            quick=args.quick,
+            repeat=args.repeat,
+            out=args.out,
+            force=args.force,
+            case=args.case,
         )
-    except FileExistsError as exc:
+    except (FileExistsError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(render_records(records))
     print(f"\nwrote {args.out}")
+    if args.ratchet:
+        try:
+            verdict = check_ratchet(records)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if verdict is not None:
+            print(verdict, file=sys.stderr)
+            return 1
+        print(
+            "perf ratchet OK: macro/e1_paper_k2_batch holds the "
+            "columnar baseline"
+        )
     return 0
 
 

@@ -51,15 +51,47 @@ read lengths it claims not to need.  Under ``strict=True`` — or
 cross-validates the static RL001 rule in :mod:`repro.lint`: both must
 agree on any scheduler, and the lint test suite checks them against each
 other on shared fixtures.
+
+Engine cores
+------------
+The simulator has two interchangeable cores selected by
+``Simulator(..., core=...)`` (or ``REPRO_ENGINE_CORE``):
+
+* ``"columnar"`` (default) — the struct-of-arrays hot path in
+  :mod:`repro.core.columnar`: per-job state lives in a
+  :class:`~repro.core.columnar.JobTable` of NumPy columns, events carry
+  integer row indexes, and same-time event cohorts are dispatched as
+  array operations.  ``Job``/:class:`JobView` objects are materialised
+  lazily at the API boundary.
+* ``"object"`` — the reference implementation below: one ``_JobState``
+  per job, scalar dispatch.  It defines the semantics; the columnar core
+  must reproduce its traces, schedules and observability output
+  bit-for-bit (enforced by ``tests/test_engine_equivalence.py``).
+
+Both cores serve the same :class:`SchedulerContext`, so schedulers are
+core-agnostic; batch-family schedulers additionally use
+``ctx.pending_ids()``/``ctx.start_batch()`` which the columnar core
+vectorises.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Any, Iterable, Protocol, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from heapq import heappop
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .columnar import JobBatch
 
 from .errors import (
     ClairvoyanceError,
@@ -80,6 +112,7 @@ from ..obs.runtime import get_recorder as _get_ambient_recorder
 
 __all__ = [
     "ClairvoyanceGuard",
+    "EngineCore",
     "JobView",
     "SchedulerContext",
     "AdversaryResponse",
@@ -138,9 +171,11 @@ class ClairvoyanceGuard:
 
     __slots__ = ("accesses", "scheduler_name", "_sim")
 
-    def __init__(self, sim: "Simulator", scheduler_name: str) -> None:
+    def __init__(self, sim: Any, scheduler_name: str) -> None:
         self.accesses: list[tuple[int, float]] = []
         self.scheduler_name = scheduler_name
+        #: The active engine core (``Simulator`` or ``ColumnarCore``) —
+        #: only ``_now`` and ``_obs`` are read off it.
         self._sim = sim
 
     def record(self, job_id: int) -> None:
@@ -290,10 +325,17 @@ class AdversaryResponse:
     wakeup:
         An absolute time at which ``on_wakeup`` should be invoked, or
         ``None``.
+    release_batch:
+        A columnar :class:`~repro.core.columnar.JobBatch` of new jobs —
+        the vector-friendly sibling of ``release``.  The columnar core
+        admits the arrays directly; the object core materialises
+        equivalent :class:`Job` objects via ``JobBatch.jobs()``.  When
+        both fields are set, ``release`` is admitted first.
     """
 
     release: tuple[Job, ...] = ()
     wakeup: float | None = None
+    release_batch: "JobBatch | None" = None
 
 
 @runtime_checkable
@@ -313,12 +355,43 @@ class Adversary(Protocol):
     def assign_length(self, job: Job, t: float) -> float: ...
 
 
+class EngineCore(Protocol):
+    """What a core must provide to back a :class:`SchedulerContext`.
+
+    Implemented by :class:`Simulator` (the object core) and
+    :class:`~repro.core.columnar.ColumnarCore`.
+    """
+
+    _now: float
+    _clairvoyant: bool
+    _queue: EventQueue
+
+    def _start_job(self, job_id: int) -> None: ...
+
+    def _start_batch(self, job_ids: Sequence[int]) -> None: ...
+
+    def _pending_views(self) -> list[JobView]: ...
+
+    def _running_views(self) -> list[JobView]: ...
+
+    def _pending_ids(self) -> list[int]: ...
+
+    def _is_started(self, job_id: int) -> bool: ...
+
+    def _is_completed(self, job_id: int) -> bool: ...
+
+
 class SchedulerContext:
-    """The scheduler's handle on the running simulation."""
+    """The scheduler's handle on the running simulation.
+
+    The context is a thin façade over the active engine core; the same
+    API is served by the object core (scalar) and the columnar core
+    (vectorised), so schedulers never observe which one is running.
+    """
 
     __slots__ = ("_sim",)
 
-    def __init__(self, sim: "Simulator") -> None:
+    def __init__(self, sim: EngineCore) -> None:
         self._sim = sim
 
     @property
@@ -339,6 +412,18 @@ class SchedulerContext:
         """
         self._sim._start_job(job_id)
 
+    def start_batch(self, job_ids: Sequence[int]) -> None:
+        """Start many pending jobs at the current time, in order.
+
+        Semantically identical to ``for jid in job_ids: ctx.start(jid)``
+        (same validation, same error on the first illegal start, same
+        trace records) — but the columnar core executes the cohort as
+        array operations, which is what makes the batch-family
+        schedulers' deadline handler O(cohort) instead of O(cohort)
+        Python calls.
+        """
+        self._sim._start_batch(job_ids)
+
     def set_timer(self, time: float, tag: Any = None) -> None:
         """Request an ``on_timer(ctx, tag)`` callback at absolute ``time``."""
         sim = self._sim
@@ -354,29 +439,31 @@ class SchedulerContext:
         Backed by an incrementally maintained index, so schedulers may
         call this on every event without an O(all jobs) scan.
         """
-        views = [st.view for st in self._sim._pending.values()]
-        views.sort(key=lambda v: (v.deadline, v.arrival, v.id))
-        return views
+        return self._sim._pending_views()
+
+    def pending_ids(self) -> list[int]:
+        """Ids of pending jobs, sorted by (deadline, arrival, id).
+
+        Exactly ``[v.id for v in ctx.pending()]`` but without
+        materialising the views — pair with :meth:`start_batch` for the
+        vectorised cohort-start path.
+        """
+        return self._sim._pending_ids()
 
     def is_started(self, job_id: int) -> bool:
-        st = self._sim._states.get(job_id)
-        return st is not None and st.start is not None
+        return self._sim._is_started(job_id)
 
     def is_completed(self, job_id: int) -> bool:
-        st = self._sim._states.get(job_id)
-        return st is not None and st.completed
+        return self._sim._is_completed(job_id)
 
     def running(self) -> list[JobView]:
         """Started-but-uncompleted jobs, sorted by (start, id).
 
         Backed by the same incremental index as :meth:`pending`.
         """
-        views = [st.view for st in self._sim._running.values()]
-        views.sort(key=lambda v: (v.start_time, v.id))
-        return views
+        return self._sim._running_views()
 
 
-@dataclass(frozen=True)
 class SimulationResult:
     """Outcome of a completed simulation.
 
@@ -388,26 +475,90 @@ class SimulationResult:
     instance:
         The resolved instance actually executed.
     span:
-        Convenience alias of ``schedule.span``.
+        The schedule's span (``schedule.span``).
     events_processed:
         Number of events dispatched — a proxy for simulation work.
     scheduler:
         The scheduler object (exposes algorithm-specific statistics such
         as flag jobs).
+
+    The columnar core constructs results *lazily*: ``span`` and
+    ``events_processed`` are available immediately, while the
+    ``Job``/``Instance``/``Schedule`` objects are materialised from the
+    job table on first access of ``schedule``/``instance`` (benchmark
+    loops that only read ``span`` never pay for them).  The object core
+    constructs them eagerly; either way the attribute API is identical.
     """
 
-    schedule: Schedule
-    instance: Instance
-    events_processed: int
-    scheduler: Any
-    trace: Trace | None = None
-    #: The armed structured recorder (``None`` when observability was
-    #: off) — exposes ``records``/``metrics`` and the JSONL sink.
-    recorder: Any | None = None
+    __slots__ = (
+        "events_processed",
+        "scheduler",
+        "trace",
+        "recorder",
+        "_schedule",
+        "_instance",
+        "_span",
+        "_materialize",
+    )
+
+    def __init__(
+        self,
+        *,
+        schedule: Schedule | None = None,
+        instance: Instance | None = None,
+        events_processed: int,
+        scheduler: Any,
+        trace: Trace | None = None,
+        recorder: Any | None = None,
+        materialize: "Callable[[], tuple[Schedule, Instance]] | None" = None,
+        span: float | None = None,
+    ) -> None:
+        if schedule is None and materialize is None:
+            raise SimulationError(
+                "SimulationResult needs either an eager schedule or a "
+                "materialize callback"
+            )
+        self.events_processed = events_processed
+        self.scheduler = scheduler
+        self.trace = trace
+        #: The armed structured recorder (``None`` when observability was
+        #: off) — exposes ``records``/``metrics`` and the JSONL sink.
+        self.recorder = recorder
+        self._schedule = schedule
+        self._instance = instance
+        self._span = span
+        self._materialize = materialize
+
+    def _ensure(self) -> Schedule:
+        schedule = self._schedule
+        if schedule is None:
+            assert self._materialize is not None
+            schedule, self._instance = self._materialize()
+            self._schedule = schedule
+            self._materialize = None
+        return schedule
+
+    @property
+    def schedule(self) -> Schedule:
+        return self._ensure()
+
+    @property
+    def instance(self) -> Instance:
+        self._ensure()
+        assert self._instance is not None
+        return self._instance
 
     @property
     def span(self) -> float:
-        return self.schedule.span
+        if self._span is not None:
+            return self._span
+        return self._ensure().span
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimulationResult(scheduler={type(self.scheduler).__name__}, "
+            f"span={self.span:g}, events={self.events_processed})"
+        )
 
 
 class Simulator:
@@ -444,6 +595,12 @@ class Simulator:
         before the event loop starts: the hot path then carries exactly
         one ``is not None`` test per event, which is what keeps the
         golden trace bit-identical and the macro-bench overhead ≤2 %.
+    core:
+        ``"columnar"`` (struct-of-arrays hot path, the default) or
+        ``"object"`` (the reference scalar core).  ``None`` defers to
+        the ``REPRO_ENGINE_CORE`` environment variable, then to
+        ``"columnar"``.  Both cores are observably identical (traces,
+        schedules, obs records); see the module docstring.
     """
 
     def __init__(
@@ -457,11 +614,23 @@ class Simulator:
         trace: bool = False,
         strict: bool | None = None,
         recorder: Recorder | None = None,
+        core: str | None = None,
     ) -> None:
         if (instance is None) == (adversary is None):
             raise SimulationError(
                 "provide exactly one of instance= or adversary="
             )
+        if core is None:
+            core = (
+                os.environ.get("REPRO_ENGINE_CORE", "").strip().lower()
+                or "columnar"
+            )
+        if core not in ("columnar", "object"):
+            raise SimulationError(
+                f"unknown engine core {core!r} "
+                "(expected 'columnar' or 'object')"
+            )
+        self._core = core
         self._scheduler = scheduler
         self._instance = instance
         self._adversary = adversary
@@ -506,7 +675,15 @@ class Simulator:
 
     def _resolve_hook(self, name: str) -> Any:
         hook = getattr(self._scheduler, name, None)
-        return hook if callable(hook) else None
+        if hook is None or not callable(hook):
+            return None
+        # Inherited no-op defaults (OnlineScheduler marks them with
+        # ``_repro_noop_hook``) resolve to None so neither core pays a
+        # Python call per event for a hook that does nothing — and so the
+        # columnar core knows a cohort has no per-job callback to honour.
+        if getattr(hook, "_repro_noop_hook", False):
+            return None
+        return hook
 
     @property
     def strict_guard(self) -> ClairvoyanceGuard | None:
@@ -523,6 +700,14 @@ class Simulator:
         if self._started:
             raise SimulationError("a Simulator instance can only run once")
         self._started = True
+        if self._core == "columnar":
+            from .columnar import ColumnarCore
+
+            return ColumnarCore(self).run()
+        return self._run_object()
+
+    def _run_object(self) -> SimulationResult:
+        """The reference object-core event loop."""
         obs = self._obs
 
         if self._instance is not None:
@@ -775,6 +960,36 @@ class Simulator:
         self._record(TraceKind.ADVERSARY_WAKEUP)
         self._apply_adversary_response(self._adversary.on_wakeup(self._now))
 
+    # -- SchedulerContext backend (object core) ----------------------------
+    def _pending_views(self) -> list[JobView]:
+        views = [st.view for st in self._pending.values()]
+        views.sort(key=lambda v: (v.deadline, v.arrival, v.id))
+        return views
+
+    def _running_views(self) -> list[JobView]:
+        views = [st.view for st in self._running.values()]
+        views.sort(key=lambda v: (v.start_time, v.id))
+        return views
+
+    def _pending_ids(self) -> list[int]:
+        states = sorted(
+            self._pending.values(),
+            key=lambda s: (s.job.deadline, s.job.arrival, s.job.id),
+        )
+        return [s.job.id for s in states]
+
+    def _is_started(self, job_id: int) -> bool:
+        st = self._states.get(job_id)
+        return st is not None and st.start is not None
+
+    def _is_completed(self, job_id: int) -> bool:
+        st = self._states.get(job_id)
+        return st is not None and st.completed
+
+    def _start_batch(self, job_ids: Sequence[int]) -> None:
+        for job_id in job_ids:
+            self._start_job(job_id)
+
     def _start_job(self, job_id: int) -> None:
         st = self._states.get(job_id)
         if st is None:
@@ -821,6 +1036,8 @@ class Simulator:
         else:
             for job in release:
                 self._admit_job(job)
+        if resp.release_batch is not None:
+            self._admit_batch(list(resp.release_batch.jobs()))
         if resp.wakeup is not None:
             if resp.wakeup < self._now:
                 raise SimulationError(
@@ -883,6 +1100,7 @@ def simulate(
     trace: bool = False,
     strict: bool | None = None,
     recorder: Recorder | None = None,
+    core: str | None = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulator`.
 
@@ -904,4 +1122,5 @@ def simulate(
         trace=trace,
         strict=strict,
         recorder=recorder,
+        core=core,
     ).run()

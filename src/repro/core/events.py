@@ -97,13 +97,17 @@ class EventQueue:
         self._heap: list[RawEvent] = []
         self._seq = 0
 
-    def push(self, time: float, kind: EventKind, payload: Any = None) -> None:
-        """Schedule an event (``kind`` breaks same-time ties, then FIFO)."""
+    def push(self, time: float, kind: int, payload: Any = None) -> None:
+        """Schedule an event (``kind`` breaks same-time ties, then FIFO).
+
+        ``kind`` accepts :class:`EventKind` or the raw int (the columnar
+        hot path pushes hoisted int constants).
+        """
         seq = self._seq
         self._seq = seq + 1
         heappush(self._heap, (time, kind, seq, payload))
 
-    def extend(self, items: Iterable[tuple[float, EventKind, Any]]) -> None:
+    def extend(self, items: Iterable[tuple[float, int, Any]]) -> None:
         """Batch-schedule ``(time, kind, payload)`` triples.
 
         When the queue is empty this heapifies once — O(n) instead of

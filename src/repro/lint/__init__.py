@@ -37,6 +37,10 @@ RL010     heap-key-type-mix — ``heappush`` tuples on one heap mixing
 RL011     hot-path-print — ``print``/``logging``/raw stdio in
           ``repro/core/`` or ``repro/schedulers/``; per-event output
           belongs in the :mod:`repro.obs` recorder.
+RL012     hot-path-object-alloc — per-job ``Job``/``JobView``
+          construction or attribute-gather loops inside hot sections of
+          the engine cores; hot code must use ``JobTable`` row indexes,
+          column slices, and list mirrors.
 ========  ===============================================================
 
 RL007–RL010 are *program rules* (:class:`~repro.lint.base.ProgramRule`):
@@ -70,6 +74,7 @@ from . import rules_floats  # noqa: F401
 from . import rules_schedstate  # noqa: F401
 from . import rules_generic  # noqa: F401
 from . import rules_observability  # noqa: F401
+from . import rules_perf  # noqa: F401
 from . import dataflow  # noqa: F401  (registers RL007-RL010)
 from .dataflow import AnalysisCache, Program, default_cache_path
 

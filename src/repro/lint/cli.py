@@ -27,7 +27,7 @@ DEFAULT_BASELINE = "lint-baseline.json"
 def add_lint_parser(sub: argparse._SubParsersAction) -> None:  # type: ignore[type-arg]
     p = sub.add_parser(
         "lint",
-        help="run the domain-aware static analyzer (RL001-RL011)",
+        help="run the domain-aware static analyzer (RL001-RL012)",
         description=(
             "AST-based static analysis of reproduction invariants: "
             "clairvoyance contract (RL001), determinism (RL002), "
@@ -35,9 +35,11 @@ def add_lint_parser(sub: argparse._SubParsersAction) -> None:  # type: ignore[ty
             "reset contract (RL005), unused imports (RL006), plus the "
             "whole-program dataflow rules: cross-module clairvoyance "
             "taint (RL007), pool-unsafe work (RL008), parameter domains "
-            "(RL009), heap key types (RL010); and hot-path output "
+            "(RL009), heap key types (RL010); hot-path output "
             "discipline (RL011: no print/logging in engine or scheduler "
-            "code — use the repro.obs recorder)."
+            "code — use the repro.obs recorder); and hot-path allocation "
+            "discipline (RL012: no per-job object construction or "
+            "attribute-gather loops in the engine cores' hot sections)."
         ),
     )
     p.add_argument(

@@ -24,11 +24,16 @@ micro/event_queue
 micro/eager_uniform · micro/batch_uniform
     The simulator on a seeded synthetic workload under a trivial and a
     batching scheduler — the common-path per-event cost.
-macro/e1_paper_k2_batch
+macro/e1_paper_k2_batch · macro/e1_paper_k2_batch_plus
     The paper's §3.1 adversary at the doubly-exponential profile, k=2:
-    65 808 jobs / 263 218 events through Batch.  This is the case the
-    engine optimisation is tracked against (``--quick`` substitutes the
-    k=1 profile, 16 jobs, for CI smoke runs).
+    65 808 jobs / 263 218 events through Batch and Batch+.  These are
+    the cases the columnar engine core is tracked against — both
+    schedulers take the vectorised cohort-start path (``--quick``
+    substitutes the k=1 profile, 16 jobs, for CI smoke runs).
+macro/e5_cdb_alpha2
+    CDB (clairvoyant, α=2) over the seeded E5-style synthetic workload:
+    live per-job hooks on every event, pinning the *scalar* path of the
+    columnar core so a gathering regression can't hide behind it.
 
 Timing protocol: every case runs ``repeat`` times (default 3) after one
 untimed warm-up iteration for the micro cases; the **best** wall time is
@@ -51,9 +56,13 @@ from typing import Any, Callable, Sequence
 
 __all__ = [
     "BENCH_SCHEMA",
+    "E1_K2_BASELINE_EVENTS_PER_S",
+    "E1_K2_COLUMNAR_BASELINE_EVENTS_PER_S",
+    "RATCHET_MARGIN",
     "BenchRecord",
     "bench_cases",
     "bench_provenance",
+    "check_ratchet",
     "run_bench",
     "main",
 ]
@@ -69,6 +78,14 @@ BENCH_SCHEMA = "v2:{case, events, wall_s, events_per_s} + provenance"
 #: pre-optimisation engine (dataclass-comparison heap, per-event getattr
 #: dispatch) — the reference point for the engine-optimisation claim.
 E1_K2_BASELINE_EVENTS_PER_S = 111_846.0
+
+#: The *ratcheted* floor for ``macro/e1_paper_k2_batch`` under the
+#: columnar core (the reference machine measured 613 850 ev/s; the floor
+#: is set below that to absorb machine variance but far above the
+#: 295 000 ev/s the object core tops out at, so any silent fallback to
+#: the scalar path trips it).  CI fails the perf-ratchet job when the
+#: measured rate drops more than 10% below this.
+E1_K2_COLUMNAR_BASELINE_EVENTS_PER_S = 450_000.0
 
 
 @dataclass(frozen=True)
@@ -114,14 +131,34 @@ def _bench_simulate(scheduler_name: str, jobs: int, seed: int) -> int:
     return result.events_processed
 
 
-def _bench_e1_macro(k: int) -> int:
+def _bench_e1_macro(k: int, scheduler: str = "batch") -> int:
     """The §3.1 adversary with the paper's doubly-exponential profile."""
     from ..adversaries import NonClairvoyantLowerBoundAdversary, paper_profile
     from ..core.engine import simulate
-    from ..schedulers import Batch
+    from ..schedulers import Batch, BatchPlus
 
+    sched = Batch() if scheduler == "batch" else BatchPlus()
     adv = NonClairvoyantLowerBoundAdversary(5.0, paper_profile(k))
-    result = simulate(Batch(), adversary=adv, clairvoyant=False)
+    result = simulate(sched, adversary=adv, clairvoyant=False)
+    return result.events_processed
+
+
+def _bench_e5_cdb(jobs: int, seed: int, alpha: float = 2.0) -> int:
+    """CDB (clairvoyant, α=2) on the seeded E5-style synthetic workload.
+
+    CDB keeps ``on_arrival``/``on_deadline``/``on_completion`` hooks
+    live, so this case pins the *scalar* (non-gathering) path of the
+    columnar core — the counterweight to the batch-family macros.
+    """
+    from ..core.engine import simulate
+    from ..schedulers import ClassifyByDurationBatchPlus
+    from ..workloads import WorkloadSpec, generate
+
+    spec = WorkloadSpec(n=jobs, laxity_scale=2.0, length_high=10.0)
+    inst = generate(spec, seed=seed)
+    result = simulate(
+        ClassifyByDurationBatchPlus(alpha=alpha), inst, clairvoyant=True
+    )
     return result.events_processed
 
 
@@ -133,12 +170,22 @@ def bench_cases(quick: bool) -> list[tuple[str, Callable[[], int]]]:
             ("micro/eager_uniform", lambda: _bench_simulate("eager", 1_000, 7)),
             ("micro/batch_uniform", lambda: _bench_simulate("batch", 1_000, 7)),
             ("macro/e1_paper_k1_batch", lambda: _bench_e1_macro(1)),
+            (
+                "macro/e1_paper_k1_batch_plus",
+                lambda: _bench_e1_macro(1, "batch+"),
+            ),
+            ("macro/e5_cdb_alpha2", lambda: _bench_e5_cdb(1_000, 11)),
         ]
     return [
         ("micro/event_queue", lambda: _bench_event_queue(200_000)),
         ("micro/eager_uniform", lambda: _bench_simulate("eager", 5_000, 7)),
         ("micro/batch_uniform", lambda: _bench_simulate("batch", 5_000, 7)),
         ("macro/e1_paper_k2_batch", lambda: _bench_e1_macro(2)),
+        (
+            "macro/e1_paper_k2_batch_plus",
+            lambda: _bench_e1_macro(2, "batch+"),
+        ),
+        ("macro/e5_cdb_alpha2", lambda: _bench_e5_cdb(5_000, 11)),
     ]
 
 
@@ -213,8 +260,13 @@ def run_bench(
     repeat: int = 3,
     out: str | Path | None = DEFAULT_OUT,
     force: bool = False,
+    case: str | None = None,
 ) -> list[BenchRecord]:
     """Run the suite; write ``out`` (unless ``None``); return the records.
+
+    ``case`` restricts the run to cases whose name contains the given
+    substring (the CI perf ratchet times only ``macro/e1_paper_k2_batch``
+    this way instead of paying for the whole suite).
 
     Raises :class:`FileExistsError` when ``out`` already exists under a
     different (or unreadable) schema and ``force`` is false.  The
@@ -223,8 +275,13 @@ def run_bench(
     """
     if out is not None:
         _check_overwrite(Path(out), force)
+    cases = bench_cases(quick)
+    if case is not None:
+        cases = [(name, fn) for name, fn in cases if case in name]
+        if not cases:
+            raise ValueError(f"--case {case!r} matches no bench case")
     records: list[BenchRecord] = []
-    for name, fn in bench_cases(quick):
+    for name, fn in cases:
         warmup = name.startswith("micro/") or quick
         events, wall = _time_case(fn, repeat, warmup)
         records.append(
@@ -245,6 +302,9 @@ def run_bench(
             "provenance": bench_provenance(),
             "baselines": {
                 "macro/e1_paper_k2_batch": E1_K2_BASELINE_EVENTS_PER_S,
+                "macro/e1_paper_k2_batch/columnar_floor": (
+                    E1_K2_COLUMNAR_BASELINE_EVENTS_PER_S
+                ),
             },
             "results": [asdict(r) for r in records],
         }
@@ -268,7 +328,45 @@ def render_records(records: Sequence[BenchRecord]) -> str:
                 f"{'':<28} vs pre-optimisation baseline "
                 f"{E1_K2_BASELINE_EVENTS_PER_S:,.0f} ev/s: {factor:.2f}x"
             )
+            floor = E1_K2_COLUMNAR_BASELINE_EVENTS_PER_S
+            lines.append(
+                f"{'':<28} vs columnar ratchet floor "
+                f"{floor:,.0f} ev/s: {r.events_per_s / floor:.2f}x"
+            )
     return "\n".join(lines)
+
+
+#: CI ratchet margin: fail only when the measured rate falls more than
+#: this fraction below the recorded columnar floor.
+RATCHET_MARGIN = 0.10
+
+
+def check_ratchet(records: Sequence[BenchRecord]) -> str | None:
+    """The perf-ratchet verdict for ``macro/e1_paper_k2_batch``.
+
+    Returns ``None`` on pass, a human-readable failure message when the
+    measured rate is more than :data:`RATCHET_MARGIN` below
+    :data:`E1_K2_COLUMNAR_BASELINE_EVENTS_PER_S`, and raises
+    :class:`ValueError` when the ratcheted case was not part of the run
+    (e.g. ``--quick``, which substitutes the k=1 profile).
+    """
+    target = "macro/e1_paper_k2_batch"
+    record = next((r for r in records if r.case == target), None)
+    if record is None:
+        raise ValueError(
+            f"perf ratchet needs the {target} case in the run "
+            "(it is absent from --quick; drop --quick or widen --case)"
+        )
+    floor = E1_K2_COLUMNAR_BASELINE_EVENTS_PER_S * (1.0 - RATCHET_MARGIN)
+    if record.events_per_s < floor:
+        return (
+            f"perf ratchet FAILED: {target} measured "
+            f"{record.events_per_s:,.0f} ev/s < {floor:,.0f} ev/s "
+            f"(recorded columnar baseline "
+            f"{E1_K2_COLUMNAR_BASELINE_EVENTS_PER_S:,.0f} "
+            f"- {RATCHET_MARGIN:.0%} margin)"
+        )
+    return None
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -291,16 +389,48 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="overwrite an existing output file even if its schema differs",
     )
+    parser.add_argument(
+        "--case",
+        type=str,
+        default=None,
+        help="run only cases whose name contains this substring",
+    )
+    parser.add_argument(
+        "--ratchet",
+        action="store_true",
+        help=(
+            "exit non-zero when macro/e1_paper_k2_batch lands more than "
+            f"{RATCHET_MARGIN:.0%} below the recorded columnar baseline "
+            f"({E1_K2_COLUMNAR_BASELINE_EVENTS_PER_S:,.0f} ev/s)"
+        ),
+    )
     args = parser.parse_args(argv)
     try:
         records = run_bench(
-            quick=args.quick, repeat=args.repeat, out=args.out, force=args.force
+            quick=args.quick,
+            repeat=args.repeat,
+            out=args.out,
+            force=args.force,
+            case=args.case,
         )
-    except FileExistsError as exc:
+    except (FileExistsError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(render_records(records))
     print(f"\nwrote {args.out}")
+    if args.ratchet:
+        try:
+            verdict = check_ratchet(records)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if verdict is not None:
+            print(verdict, file=sys.stderr)
+            return 1
+        print(
+            "perf ratchet OK: macro/e1_paper_k2_batch holds the "
+            "columnar baseline"
+        )
     return 0
 
 

@@ -92,3 +92,18 @@ class OnlineScheduler:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{self.describe()}>"
+
+
+# The engine resolves hooks once per run and skips inherited no-op
+# defaults entirely (no Python call per event, and the columnar core can
+# vectorise a cohort only when no per-job callback is due).  Overriding a
+# hook — even with ``super()`` delegation — clears the marker, because the
+# override is a different function object.
+for _hook in (
+    OnlineScheduler.on_arrival,
+    OnlineScheduler.on_deadline,
+    OnlineScheduler.on_completion,
+    OnlineScheduler.on_timer,
+):
+    setattr(_hook, "_repro_noop_hook", True)
+del _hook

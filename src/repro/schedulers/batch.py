@@ -77,9 +77,12 @@ class Batch(OnlineScheduler):
                 record.batch_job_ids.append(pending.id)
                 ctx.start(pending.id)
         else:
-            for pending in ctx.pending():
-                record.batch_job_ids.append(pending.id)
-                ctx.start(pending.id)
+            # Vectorised cohort start: same (deadline, arrival, id) order
+            # as ctx.pending(), no per-job views, and the columnar core
+            # executes the whole batch as array operations.
+            ids = ctx.pending_ids()
+            record.batch_job_ids.extend(ids)
+            ctx.start_batch(ids)
         self.iterations.append(record)
 
     def describe(self) -> str:

@@ -87,13 +87,13 @@ class BatchPlus(OnlineScheduler):
         self.flag_job_ids.append(job.id)
         record = IterationRecord(flag_id=job.id, start_time=ctx.now)
         self.iterations.append(record)
-        batch = list(self._pending.values())
-        self._pending.clear()
+        batch = self._pending
+        self._pending = {}
         obs = self.obs
         if obs.enabled:
             now = ctx.now
             label = self._obs_scheduler
-            for pending in batch:
+            for pending in batch.values():
                 if pending.id == job.id:
                     obs.decision(
                         "deadline-flag",
@@ -113,9 +113,11 @@ class BatchPlus(OnlineScheduler):
                 record.batch_job_ids.append(pending.id)
                 ctx.start(pending.id)
         else:
-            for pending in batch:
-                record.batch_job_ids.append(pending.id)
-                ctx.start(pending.id)
+            # Vectorised cohort start: the buffer's keys are the job ids
+            # in arrival (insertion) order — identical to the view loop.
+            ids = list(batch)
+            record.batch_job_ids.extend(ids)
+            ctx.start_batch(ids)
 
     def on_completion(self, ctx: SchedulerContext, job: JobView) -> None:
         if job.id == self._active_flag:

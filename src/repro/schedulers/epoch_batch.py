@@ -59,13 +59,14 @@ class EpochBatch(OnlineScheduler):
     def on_timer(self, ctx: SchedulerContext, tag: Any) -> None:
         if tag != _EPOCH_TAG:
             return
-        pending = ctx.pending()
         obs = self.obs
-        for job in pending:
-            # a pending job whose deadline precedes the *next* epoch must
-            # not wait for it (its own deadline backstop would fire, but
-            # batching it now keeps starts aligned to epochs).
-            if obs.enabled:
+        if obs.enabled:
+            pending = ctx.pending()
+            for job in pending:
+                # a pending job whose deadline precedes the *next* epoch
+                # must not wait for it (its own deadline backstop would
+                # fire, but batching it now keeps starts aligned to
+                # epochs).
                 obs.decision(
                     "epoch",
                     job=job.id,
@@ -73,8 +74,14 @@ class EpochBatch(OnlineScheduler):
                     scheduler=self._obs_scheduler,
                     period=self.period,
                 )
-            ctx.start(job.id)
-        if pending:
+                ctx.start(job.id)
+            started = bool(pending)
+        else:
+            # Vectorised cohort start (same order as the view loop).
+            ids = ctx.pending_ids()
+            ctx.start_batch(ids)
+            started = bool(ids)
+        if started:
             # keep ticking while there was work; otherwise re-arm lazily
             ctx.set_timer(self._next_epoch(ctx.now), _EPOCH_TAG)
         else:

@@ -1,0 +1,24 @@
+"""RL012 fixture: the sanctioned columnar idioms — no findings.
+
+Linted under a virtual ``src/repro/core/columnar.py`` path.
+"""
+
+
+class GoodCore:
+    def _handle_completion(self, idx):
+        # Scalar reads via the table's list mirrors.
+        table = self._table
+        jid = table.ids_list[idx]
+        table.state[idx] = 3
+        return jid
+
+    def _cohort_arrival(self, cohort):
+        # Subscript gathers (row-index plumbing) are fine.
+        deadline_l = self._table.deadline_list
+        items = [(deadline_l[idx], 3, idx) for idx in cohort]
+        return items
+
+    def _start_batch(self, rows):
+        # Vector math on columns, not object walks.
+        table = self._table
+        return table.deadline[rows] - table.arrival[rows]

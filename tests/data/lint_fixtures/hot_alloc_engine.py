@@ -1,0 +1,30 @@
+"""RL012 fixture: an engine-core hot section that allocates per job.
+
+Linted under a virtual ``src/repro/core/engine.py`` path — every
+construct below is one the columnar refactor exists to eliminate.
+"""
+
+from repro.core import Job, JobView  # noqa
+
+
+class BadCore:
+    def _handle_completion(self, idx):
+        # Per-event Job construction in a handler.
+        job = Job(id=idx, arrival=0.0, deadline=1.0, length=1.0)  # RL012
+        return job
+
+    def _cohort_arrival(self, cohort):
+        # Attribute-gather comprehension over per-job views.
+        deadlines = [view.deadline for view in cohort]  # RL012
+        return deadlines
+
+    def _start_batch(self, views):
+        # Attribute-gather for-loop feeding a list.
+        starts = []
+        for view in views:
+            starts.append(view.start_time)  # RL012
+        return starts
+
+    def _finish_report(self, rows):
+        # Not a hot section: same patterns pass here.
+        return [Job(id=r, arrival=0.0, deadline=1.0, length=1.0) for r in rows]

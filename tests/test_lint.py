@@ -424,6 +424,112 @@ class TestRL011:
         assert codes(findings) == {"RL011"}
 
 
+class TestRL012:
+    """hot-path-object-alloc: columnar-core allocation discipline."""
+
+    BAD_FIXTURE = FIXTURES / "hot_alloc_engine.py"
+    CLEAN_FIXTURE = FIXTURES / "hot_alloc_clean.py"
+
+    def rl012(self, src: str, path: str):
+        return [f for f in lint_source(src, path) if f.rule == "RL012"]
+
+    def test_fixture_hot_sections_flagged(self):
+        findings = self.rl012(self.BAD_FIXTURE.read_text(), HOT)
+        # one Job(...) ctor, one comprehension gather, one for-append
+        assert len(findings) == 3
+        assert {f.symbol for f in findings} == {
+            "Job",
+            "_cohort_arrival",
+            "_start_batch",
+        }
+
+    def test_fixture_non_hot_function_passes(self):
+        """_finish_report allocates per job but is not a hot section."""
+        findings = self.rl012(self.BAD_FIXTURE.read_text(), HOT)
+        assert all("_finish_report" not in f.message for f in findings)
+
+    def test_clean_fixture_passes(self):
+        src = self.CLEAN_FIXTURE.read_text()
+        assert self.rl012(src, "src/repro/core/columnar.py") == []
+
+    def test_job_ctor_in_handler_flagged(self):
+        src = textwrap.dedent(
+            """
+            def _handle_completion(self, idx):
+                return Job(id=idx, arrival=0.0, deadline=1.0, length=1.0)
+            """
+        )
+        assert codes(self.rl012(src, HOT)) == {"RL012"}
+        assert codes(self.rl012(src, "src/repro/core/columnar.py")) == {
+            "RL012"
+        }
+
+    def test_attribute_gather_comprehension_flagged(self):
+        src = textwrap.dedent(
+            """
+            def _cohort_arrival(self, cohort):
+                return [view.deadline for view in cohort]
+            """
+        )
+        assert codes(self.rl012(src, HOT)) == {"RL012"}
+
+    def test_for_append_gather_flagged(self):
+        src = textwrap.dedent(
+            """
+            def _start_batch(self, views):
+                out = []
+                for v in views:
+                    out.append(v.start_time)
+                return out
+            """
+        )
+        assert codes(self.rl012(src, HOT)) == {"RL012"}
+
+    def test_subscript_gather_is_sanctioned(self):
+        """Row-index plumbing (list mirrors / columns) must pass."""
+        src = textwrap.dedent(
+            """
+            def _cohort_arrival(self, cohort):
+                deadline_l = self._table.deadline_list
+                return [(deadline_l[idx], 3, idx) for idx in cohort]
+            """
+        )
+        assert self.rl012(src, HOT) == []
+
+    def test_error_path_ctor_outside_hot_section_passes(self):
+        src = textwrap.dedent(
+            """
+            def materialize(self, rows):
+                return [Job(id=r, arrival=0.0, deadline=1.0) for r in rows]
+            """
+        )
+        assert self.rl012(src, HOT) == []
+
+    def test_other_files_not_policed(self):
+        src = textwrap.dedent(
+            """
+            def _handle_completion(self, idx):
+                return Job(id=idx, arrival=0.0, deadline=1.0, length=1.0)
+            """
+        )
+        assert self.rl012(src, "src/repro/schedulers/batch.py") == []
+        assert self.rl012(src, "src/repro/perf/bench.py") == []
+
+    def test_inline_ignore_suppresses(self):
+        src = (
+            "def _handle_completion(self, idx):\n"
+            "    return Job(id=idx, arrival=0.0, deadline=1.0)"
+            "  # lint: ignore[RL012]\n"
+        )
+        assert self.rl012(src, HOT) == []
+
+    def test_shipped_engine_cores_are_clean(self):
+        for rel in ("src/repro/core/engine.py", "src/repro/core/columnar.py"):
+            path = REPO_ROOT / rel
+            findings = self.rl012(path.read_text(), str(path))
+            assert findings == [], f"{rel}: {findings}"
+
+
 # ---------------------------------------------------------------------------
 # Suppressions, baseline, runner
 # ---------------------------------------------------------------------------

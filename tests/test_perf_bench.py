@@ -8,7 +8,15 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.perf.bench import BENCH_SCHEMA, BenchRecord, bench_cases, run_bench
+from repro.perf.bench import (
+    BENCH_SCHEMA,
+    E1_K2_COLUMNAR_BASELINE_EVENTS_PER_S,
+    RATCHET_MARGIN,
+    BenchRecord,
+    bench_cases,
+    check_ratchet,
+    run_bench,
+)
 from repro.workloads import GridResult
 
 
@@ -64,6 +72,47 @@ class TestRunBench:
         quick_names = [name for name, _ in bench_cases(quick=True)]
         assert "macro/e1_paper_k2_batch" not in quick_names  # CI stays fast
 
+    def test_suite_covers_vectorised_and_scalar_paths(self):
+        """The ratchet watches a batch-family case AND a scalar-path one."""
+        for quick in (False, True):
+            names = [name for name, _ in bench_cases(quick=quick)]
+            assert any("batch_plus" in n for n in names)
+            assert "macro/e5_cdb_alpha2" in names
+
+    def test_case_filter_restricts_run(self):
+        records = run_bench(quick=True, repeat=1, out=None, case="cdb")
+        assert [r.case for r in records] == ["macro/e5_cdb_alpha2"]
+
+    def test_case_filter_without_match_raises(self):
+        with pytest.raises(ValueError, match="matches no bench case"):
+            run_bench(quick=True, repeat=1, out=None, case="no-such-case")
+
+
+class TestRatchet:
+    @staticmethod
+    def record(case: str, events_per_s: float) -> BenchRecord:
+        return BenchRecord(
+            case=case,
+            events=1000,
+            wall_s=1.0,
+            events_per_s=events_per_s,
+        )
+
+    def test_pass_at_and_above_margin(self):
+        floor = E1_K2_COLUMNAR_BASELINE_EVENTS_PER_S * (1 - RATCHET_MARGIN)
+        ok = [self.record("macro/e1_paper_k2_batch", floor)]
+        assert check_ratchet(ok) is None
+
+    def test_fail_below_margin(self):
+        floor = E1_K2_COLUMNAR_BASELINE_EVENTS_PER_S * (1 - RATCHET_MARGIN)
+        bad = [self.record("macro/e1_paper_k2_batch", floor - 1.0)]
+        verdict = check_ratchet(bad)
+        assert verdict is not None and "FAILED" in verdict
+
+    def test_missing_case_raises(self):
+        with pytest.raises(ValueError, match="perf ratchet needs"):
+            check_ratchet([self.record("micro/event_queue", 1e6)])
+
 
 class TestBenchCLI:
     def test_python_m_repro_bench_quick(self, tmp_path, capsys):
@@ -73,6 +122,32 @@ class TestBenchCLI:
         assert out.exists()
         printed = capsys.readouterr().out
         assert "events/s" in printed and "micro/event_queue" in printed
+
+    def test_ratchet_flag_rejects_quick_suite(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = main(
+            ["bench", "--quick", "--repeat", "1", "--out", str(out), "--ratchet"]
+        )
+        assert rc == 2
+        assert "perf ratchet needs" in capsys.readouterr().err
+
+    def test_case_flag_filters_cli_run(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = main(
+            [
+                "bench",
+                "--quick",
+                "--repeat",
+                "1",
+                "--out",
+                str(out),
+                "--case",
+                "cdb",
+            ]
+        )
+        assert rc == 0
+        cases = [r["case"] for r in json.loads(out.read_text())["results"]]
+        assert cases == ["macro/e5_cdb_alpha2"]
 
 
 class TestGridResultRatio:
