@@ -116,6 +116,24 @@ _HEAPIFY_MIN = 64
 #: heappops for waves that are a sizeable fraction of the heap).
 _SCAN_MIN = 32
 
+# -- core-parity declaration (RL013) ------------------------------------
+# This module is the *columnar* core; its column/list-mirror fields map
+# onto the object core's per-job attributes via the tokens below.  A
+# deliberately one-sided write carries ``# parity: columnar-only``.
+_PARITY_CORE = "columnar"
+_PARITY_PEER = "repro.core.engine"
+#: Physical field -> shared logical token compared against the peer core.
+_PARITY_FIELDS = {
+    "state": "lifecycle",
+    "visible": "visibility",
+    "plen": "length",
+    "plen_list": "length",
+    "start": "start-time",
+    "start_list": "start-time",
+    "_pending": "pending-index",
+    "_running": "running-index",
+}
+
 _MISSING: Any = object()
 
 _F64 = NDArray[np.float64]
@@ -1277,7 +1295,7 @@ class ColumnarCore:
                 f"job {job_id} started at {now}, after its starting "
                 f"deadline {deadline}"
             )
-        table.state[idx] = _RUNNING
+        table.state[idx] = _RUNNING  # parity: columnar-only
         table.start[idx] = now
         table.start_list[idx] = now
         self._pending.pop(idx, None)
@@ -1369,7 +1387,7 @@ class ColumnarCore:
                 raise SchedulingViolationError(
                     f"job {job_ids[pos]} was already started"
                 )
-        table.state[rows] = _RUNNING
+        table.state[rows] = _RUNNING  # parity: columnar-only
         table.start[rows] = now
         start_l = table.start_list
         running = self._running

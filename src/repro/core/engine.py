@@ -136,6 +136,24 @@ _DEADLINE = int(EventKind.DEADLINE)
 _TIMER = int(EventKind.TIMER)
 _ADVERSARY = int(EventKind.ADVERSARY)
 
+# -- core-parity declaration (RL013) ------------------------------------
+# This module is the *object* core of the dual-core engine; the columnar
+# core must mirror every state transition below up to the field map.  A
+# deliberately one-sided write carries a ``# parity: object-only``
+# annotation on its line.
+_PARITY_CORE = "object"
+_PARITY_PEER = "repro.core.columnar"
+#: Physical field -> shared logical token compared against the peer core.
+_PARITY_FIELDS = {
+    "arrived": "lifecycle",
+    "completed": "lifecycle",
+    "length_visible": "visibility",
+    "length": "length",
+    "start": "start-time",
+    "_pending": "pending-index",
+    "_running": "running-index",
+}
+
 #: Per-kind dispatch counters (indexed by the raw event kind int) for the
 #: observability layer; only touched when a recorder is armed.
 _OBS_EVENT_COUNTERS = (
@@ -701,6 +719,12 @@ class Simulator:
             raise SimulationError("a Simulator instance can only run once")
         self._started = True
         if self._core == "columnar":
+            from .parity import parity_mode_enabled
+
+            if parity_mode_enabled():
+                from .parity import run_lockstep
+
+                return run_lockstep(self)
             from .columnar import ColumnarCore
 
             return ColumnarCore(self).run()
@@ -946,7 +970,7 @@ class Simulator:
                 f"its completion {completion} in the past (now={self._now})"
             )
         st.length = length
-        st.completion = completion
+        st.completion = completion  # parity: object-only
         self._record(TraceKind.ASSIGN, job_id, f"length={length:g}")
         self._queue.push(completion, EventKind.COMPLETION, job_id)
 
@@ -1012,7 +1036,7 @@ class Simulator:
         if self._obs is not None:
             self._obs.instant("engine.start", t=self._now, job=job_id)
         if st.length is not None:
-            st.completion = self._now + st.length
+            st.completion = self._now + st.length  # parity: object-only
             self._queue.push(st.completion, EventKind.COMPLETION, job_id)
         else:
             assert self._adversary is not None

@@ -1,0 +1,185 @@
+"""Runtime twin of RL013: lockstep dual-core shadow runs.
+
+``REPRO_PARITY=1`` arms an opt-in oracle for the dual-core engine: every
+columnar-core :meth:`Simulator.run` first executes the *object* core on
+a deep-copied scheduler/adversary, then the columnar core as usual, and
+diffs the two outcomes — schedules (per-job start and executed length),
+span, event counts, traces when armed, and raised error types.  Any
+divergence raises :class:`~repro.core.errors.CoreParityError`.
+
+This mirrors the ``REPRO_STRICT``/``ClairvoyanceGuard`` pattern: the
+static rule (RL013 in :mod:`repro.lint.invariants.parity`) proves the
+two cores' state machines correspond on *all* paths, while this oracle
+checks the *executed* path bit-for-bit; the two are cross-validated on
+shared fixtures in the test suite.  It is intended for small instances
+(tests, CI smoke) — a shadow run doubles the work and deep-copies the
+scheduler, so leave it off for benchmarks.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from typing import TYPE_CHECKING, Any
+
+from .errors import CoreParityError, FJSError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import SimulationResult, Simulator
+
+__all__ = [
+    "CoreParityError",
+    "diff_outcomes",
+    "parity_mode_enabled",
+    "run_lockstep",
+    "snapshot",
+]
+
+#: Relative tolerance for float comparisons in snapshots.  Both cores
+#: execute the same float arithmetic in the same order, so equality is
+#: expected to be exact; the epsilon only absorbs libm-level noise in
+#: reductions (the vectorised span accumulates in a different order).
+_RTOL = 1e-12
+
+
+def parity_mode_enabled() -> bool:
+    """Whether ``REPRO_PARITY`` requests lockstep dual-core shadow runs."""
+    return os.environ.get("REPRO_PARITY", "").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "off",
+    )
+
+
+def snapshot(result: "SimulationResult") -> dict[str, Any]:
+    """The comparable state snapshot of one completed run."""
+    schedule = result.schedule
+    instance = result.instance
+    lengths = {job.id: job.length for job in instance.jobs}
+    return {
+        "jobs": {
+            job_id: (start, lengths.get(job_id))
+            for job_id, start in schedule.starts().items()
+        },
+        "span": schedule.span,
+        "events": result.events_processed,
+        "trace": (
+            [(r.time, r.kind, r.job_id, r.detail) for r in result.trace]
+            if result.trace is not None
+            else None
+        ),
+    }
+
+
+def _close(a: Any, b: Any) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or abs(a - b) <= _RTOL * max(abs(a), abs(b))
+    return bool(a == b)
+
+
+def diff_outcomes(
+    obj: dict[str, Any], col: dict[str, Any]
+) -> list[str]:
+    """Human-readable divergences between two snapshots (empty = parity)."""
+    out: list[str] = []
+    jobs_o, jobs_c = obj["jobs"], col["jobs"]
+    for job_id in sorted(set(jobs_o) | set(jobs_c)):
+        a, b = jobs_o.get(job_id), jobs_c.get(job_id)
+        if a is None or b is None:
+            out.append(
+                f"job {job_id}: scheduled by the "
+                f"{'object' if a is not None else 'columnar'} core only"
+            )
+        elif not (_close(a[0], b[0]) and _close(a[1], b[1])):
+            out.append(
+                f"job {job_id}: object (start={a[0]!r}, length={a[1]!r}) "
+                f"!= columnar (start={b[0]!r}, length={b[1]!r})"
+            )
+    if not _close(obj["span"], col["span"]):
+        out.append(f"span: object {obj['span']!r} != columnar {col['span']!r}")
+    if obj["events"] != col["events"]:
+        out.append(
+            f"events processed: object {obj['events']} != "
+            f"columnar {col['events']}"
+        )
+    ta, tb = obj["trace"], col["trace"]
+    if ta is not None and tb is not None:
+        if len(ta) != len(tb):
+            out.append(f"trace length: object {len(ta)} != columnar {len(tb)}")
+        else:
+            for i, (ra, rb) in enumerate(zip(ta, tb)):
+                if ra != rb:
+                    out.append(
+                        f"trace[{i}]: object {ra!r} != columnar {rb!r}"
+                    )
+                    break
+    return out
+
+
+def run_lockstep(sim: "Simulator") -> "SimulationResult":
+    """Run ``sim`` on both cores and return the columnar result.
+
+    The object-core shadow runs first on deep copies of the scheduler
+    and adversary (instances are immutable and shared), with a disabled
+    recorder so observability streams are not double-counted.  Raises
+    :class:`CoreParityError` when the cores disagree — on state, or on
+    which error type they raise.
+    """
+    from .columnar import ColumnarCore
+    from .engine import Simulator
+
+    shadow = Simulator(
+        copy.deepcopy(sim._scheduler),
+        instance=sim._instance,
+        adversary=copy.deepcopy(sim._adversary),
+        clairvoyant=sim._clairvoyant,
+        max_events=sim._max_events,
+        trace=sim._trace is not None,
+        strict=sim._guard is not None,
+        recorder=_null_recorder(),
+        core="object",
+    )
+    shadow_err: BaseException | None = None
+    shadow_result: "SimulationResult | None" = None
+    try:
+        shadow_result = shadow.run()
+    except FJSError as exc:
+        shadow_err = exc
+
+    primary_err: BaseException | None = None
+    result: "SimulationResult | None" = None
+    try:
+        result = ColumnarCore(sim).run()
+    except FJSError as exc:
+        primary_err = exc
+
+    if primary_err is not None or shadow_err is not None:
+        if primary_err is not None and shadow_err is not None:
+            if type(primary_err) is type(shadow_err):
+                raise primary_err  # both cores agree the run is invalid
+            raise CoreParityError(
+                "lockstep cores raised different error types: object core "
+                f"{type(shadow_err).__name__} ({shadow_err}), columnar core "
+                f"{type(primary_err).__name__} ({primary_err})"
+            )
+        side = "columnar" if primary_err is not None else "object"
+        err = primary_err if primary_err is not None else shadow_err
+        raise CoreParityError(
+            f"lockstep divergence: only the {side} core raised "
+            f"{type(err).__name__}: {err}"
+        )
+
+    assert result is not None and shadow_result is not None
+    divergences = diff_outcomes(snapshot(shadow_result), snapshot(result))
+    if divergences:
+        raise CoreParityError(
+            "lockstep dual-core run diverged:\n  " + "\n  ".join(divergences)
+        )
+    return result
+
+
+def _null_recorder() -> Any:
+    from ..obs.recorder import NullRecorder
+
+    return NullRecorder()

@@ -41,9 +41,23 @@ RL012     hot-path-object-alloc — per-job ``Job``/``JobView``
           construction or attribute-gather loops inside hot sections of
           the engine cores; hot code must use ``JobTable`` row indexes,
           column slices, and list mirrors.
+RL013     core-parity-drift — a state field, event kind, or guard in one
+          engine core (object/columnar) with no declared mirror or
+          ``# parity: <side>-only`` annotation in the other; includes
+          the cohort-soundness table and the armed scalar-mirror loop.
+RL014     lifecycle-typestate — a PENDING→RUNNING→DONE lifecycle write
+          in an illegal event phase, or a scheduler that starts jobs
+          from ``on_deadline`` without the deadline-flag/backstop
+          decision.
+RL015     decision-vocabulary-exhaustiveness — scheduler decision
+          reasons vs the closed ``DECISION_RULES`` vocabulary, both
+          directions (no unknown reasons, no dead keys).
+RL016     time-monotonicity — a heap-push key or engine clock write not
+          provably monotone (guards, clock anchoring, admission
+          axioms).
 ========  ===============================================================
 
-RL007–RL010 are *program rules* (:class:`~repro.lint.base.ProgramRule`):
+RL007–RL016 are *program rules* (:class:`~repro.lint.base.ProgramRule`):
 they run over the whole-program symbol table, call graph, and fixpoint
 analyses assembled by :mod:`repro.lint.dataflow` from per-file
 summaries.  The per-file phase is parallel (``lint --jobs N``) and
@@ -62,7 +76,9 @@ False`` — see :mod:`repro.core.engine`.
 
 from __future__ import annotations
 
+from .autofix import apply_fixes, fix_source
 from .baseline import Baseline, load_baseline, write_baseline
+from .sarif import render_sarif, to_sarif
 from .findings import LintFinding, LintReport
 from .base import ALL_RULES, FileContext, ProgramRule, Rule, rule_by_code
 from .runner import default_target, lint_paths, lint_source
@@ -76,6 +92,7 @@ from . import rules_generic  # noqa: F401
 from . import rules_observability  # noqa: F401
 from . import rules_perf  # noqa: F401
 from . import dataflow  # noqa: F401  (registers RL007-RL010)
+from . import invariants  # noqa: F401  (registers RL013-RL016)
 from .dataflow import AnalysisCache, Program, default_cache_path
 
 __all__ = [
@@ -88,11 +105,15 @@ __all__ = [
     "Program",
     "ProgramRule",
     "Rule",
+    "apply_fixes",
     "default_cache_path",
     "default_target",
+    "fix_source",
     "lint_paths",
     "lint_source",
     "load_baseline",
+    "render_sarif",
     "rule_by_code",
+    "to_sarif",
     "write_baseline",
 ]

@@ -1,0 +1,180 @@
+"""Mechanical fixes for lint findings (``repro lint --fix``).
+
+Only RL006 (unused-import) is fixable today: it is the one rule whose
+remedy is a pure deletion with no judgement call.  The fixer does not
+trust finding line numbers from a possibly-stale report — it re-runs the
+RL006 check on the file's *current* content (honouring suppressions via
+the ordinary :func:`~repro.lint.base.run_rules` path) and edits from the
+fresh findings, so ``--fix`` composes safely with cached runs and with
+files edited since the report was produced.
+
+Edits per import statement:
+
+* every bound alias unused → delete the statement's lines outright;
+* some aliases unused → rewrite the statement keeping the survivors,
+  on the statement's original first line (multi-line parenthesised
+  imports collapse to one line);
+* a statement sharing a physical line with other code (semicolons) is
+  left untouched — deletion would clobber its neighbours.
+
+``fix_source`` is a pure function (text in, text out) and a fixpoint:
+running it on its own output changes nothing, which
+``tests/test_lint_autofix.py`` asserts (idempotency).
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from .base import FileContext, run_rules, rule_by_code
+
+__all__ = ["FIXABLE_RULES", "FixResult", "apply_fixes", "fix_source"]
+
+#: Rule codes ``--fix`` knows how to repair.
+FIXABLE_RULES = ("RL006",)
+
+
+@dataclass
+class FixResult:
+    """What one ``--fix`` pass did (or, under ``--dry-run``, would do)."""
+
+    #: path -> unified diff of the proposed edit (empty when no change).
+    diffs: dict[str, str] = field(default_factory=dict)
+    #: number of import bindings removed across all files.
+    removed: int = 0
+    #: files actually rewritten (empty under ``--dry-run``).
+    written: list[str] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.diffs)
+
+    def render(self) -> str:
+        if not self.diffs:
+            return "nothing to fix"
+        lines = [diff for diff in self.diffs.values() if diff]
+        lines.append(
+            f"{self.removed} unused import(s) in {len(self.diffs)} file(s)"
+            + (" (dry run — nothing written)" if not self.written else " fixed")
+        )
+        return "\n".join(lines)
+
+
+def fix_source(source: str, path: str = "<memory>") -> tuple[str, int]:
+    """Remove unused imports from ``source``; return (new text, removed).
+
+    Returns the input unchanged (and 0) when the file does not parse,
+    when RL006 does not apply to ``path`` (``__init__.py`` re-export
+    hubs), or when there is nothing to remove.
+    """
+    rule = rule_by_code("RL006")
+    if not rule.applies_to(path):
+        return source, 0
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return source, 0
+    ctx = FileContext(path, source, tree)
+    unused = {
+        f.symbol for f in run_rules(ctx, [rule]) if f.rule == "RL006" and f.symbol
+    }
+    if not unused:
+        return source, 0
+
+    # Occupancy map: statements per physical line.  A line shared by two
+    # statements (semicolons) is never edited.
+    occupancy: dict[int, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.stmt):
+            for ln in range(node.lineno, (node.end_lineno or node.lineno) + 1):
+                occupancy[ln] = occupancy.get(ln, 0) + 1
+
+    lines = source.splitlines(keepends=True)
+    drop: set[int] = set()  # 1-based lines to delete
+    replace: dict[int, str] = {}  # 1-based first line -> rewritten text
+    removed = 0
+
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        if isinstance(node, ast.ImportFrom) and node.module == "__future__":
+            continue
+        span = range(node.lineno, (node.end_lineno or node.lineno) + 1)
+        if any(occupancy.get(ln, 0) > 1 for ln in span):
+            continue
+        keep = [a for a in node.names if _bound_name(node, a) not in unused]
+        if len(keep) == len(node.names):
+            continue
+        removed += len(node.names) - len(keep)
+        drop.update(span)
+        if keep:
+            indent = lines[node.lineno - 1][: node.col_offset]
+            replace[node.lineno] = indent + _render_import(node, keep) + "\n"
+
+    if not removed:
+        return source, 0
+    out: list[str] = []
+    for i, text in enumerate(lines, start=1):
+        if i in replace:
+            out.append(replace[i])
+        elif i not in drop:
+            out.append(text)
+    return "".join(out), removed
+
+
+def apply_fixes(paths: Iterable[str], *, dry_run: bool = False) -> FixResult:
+    """Fix every fixable finding under ``paths`` (files or directories)."""
+    result = FixResult()
+    for file in sorted(_python_files(paths)):
+        rel = str(file)
+        before = file.read_text(encoding="utf-8")
+        after, removed = fix_source(before, rel)
+        if removed == 0:
+            continue
+        diff = "".join(
+            difflib.unified_diff(
+                before.splitlines(keepends=True),
+                after.splitlines(keepends=True),
+                fromfile=f"a/{rel}",
+                tofile=f"b/{rel}",
+            )
+        )
+        result.diffs[rel] = diff
+        result.removed += removed
+        if not dry_run:
+            file.write_text(after, encoding="utf-8")
+            result.written.append(rel)
+    return result
+
+
+def _bound_name(node: ast.Import | ast.ImportFrom, alias: ast.alias) -> str:
+    if alias.asname is not None:
+        return alias.asname
+    if isinstance(node, ast.Import):
+        return alias.name.split(".", 1)[0]
+    return alias.name
+
+
+def _render_import(
+    node: ast.Import | ast.ImportFrom, keep: list[ast.alias]
+) -> str:
+    names = ", ".join(
+        a.name + (f" as {a.asname}" if a.asname else "") for a in keep
+    )
+    if isinstance(node, ast.Import):
+        return f"import {names}"
+    dots = "." * node.level
+    return f"from {dots}{node.module or ''} import {names}"
+
+
+def _python_files(paths: Iterable[str]) -> Iterable[Path]:
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            yield from p.rglob("*.py")
+        elif p.suffix == ".py":
+            yield p

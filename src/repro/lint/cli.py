@@ -27,7 +27,7 @@ DEFAULT_BASELINE = "lint-baseline.json"
 def add_lint_parser(sub: argparse._SubParsersAction) -> None:  # type: ignore[type-arg]
     p = sub.add_parser(
         "lint",
-        help="run the domain-aware static analyzer (RL001-RL012)",
+        help="run the domain-aware static analyzer (RL001-RL016)",
         description=(
             "AST-based static analysis of reproduction invariants: "
             "clairvoyance contract (RL001), determinism (RL002), "
@@ -37,9 +37,15 @@ def add_lint_parser(sub: argparse._SubParsersAction) -> None:  # type: ignore[ty
             "taint (RL007), pool-unsafe work (RL008), parameter domains "
             "(RL009), heap key types (RL010); hot-path output "
             "discipline (RL011: no print/logging in engine or scheduler "
-            "code — use the repro.obs recorder); and hot-path allocation "
+            "code — use the repro.obs recorder); hot-path allocation "
             "discipline (RL012: no per-job object construction or "
-            "attribute-gather loops in the engine cores' hot sections)."
+            "attribute-gather loops in the engine cores' hot sections); "
+            "and the invariant certifier: dual-core parity drift "
+            "(RL013, cross-validated at runtime by REPRO_PARITY=1 "
+            "lockstep runs), job-lifecycle typestate (RL014), decision-"
+            "vocabulary exhaustiveness (RL015, cross-validated by "
+            "'repro obs explain --strict'), and time monotonicity "
+            "(RL016)."
         ),
     )
     p.add_argument(
@@ -49,9 +55,21 @@ def add_lint_parser(sub: argparse._SubParsersAction) -> None:  # type: ignore[ty
     )
     p.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text; 'sarif' emits SARIF 2.1.0 "
+        "for code-scanning UIs)",
+    )
+    p.add_argument(
+        "--fix",
+        action="store_true",
+        help="mechanically repair fixable findings (RL006 unused imports) "
+        "and re-lint",
+    )
+    p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="with --fix: print the unified diff without writing files",
     )
     p.add_argument(
         "--baseline",
@@ -176,7 +194,22 @@ def cmd_lint(args: argparse.Namespace) -> int:
         )
         cache = AnalysisCache(cache_path)
 
+    if args.dry_run and not args.fix:
+        print("error: --dry-run requires --fix", file=sys.stderr)
+        return 2
+
     paths = args.paths if args.paths else [default_target()]
+
+    if args.fix:
+        from .autofix import apply_fixes
+
+        result = apply_fixes(paths, dry_run=args.dry_run)
+        print(result.render())
+        if args.dry_run:
+            return 0
+        # fall through: re-lint the repaired tree so the exit code and
+        # report reflect what is on disk now.
+
     report = lint_paths(
         paths, rules=rules, baseline=baseline, jobs=jobs, cache=cache
     )
@@ -192,6 +225,10 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         print(report.render_json())
+    elif args.format == "sarif":
+        from .sarif import render_sarif
+
+        print(render_sarif(report, rules=rules))
     else:
         print(report.render())
     return 0 if report.clean else 1

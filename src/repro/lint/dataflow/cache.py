@@ -15,12 +15,15 @@ whole-program RL007–RL010 findings, which are recomputed from cached
 summaries every run (they are inherently cross-file, so per-file keying
 cannot memoise them soundly, but they cost milliseconds).
 
-The key is ``sha256(salt · rule codes · file bytes)``: the salt embeds
-the cache schema version, so any format change invalidates cleanly, and
-the active rule codes participate so ``--select RL003`` runs never
-replay findings from a different rule set.  Corrupt or version-skewed
-cache files are discarded silently — the cache is an accelerator, never
-a source of truth.
+The key is ``sha256(salt · ruleset digest · file bytes)``: the salt
+embeds the cache schema version, so any format change invalidates
+cleanly, and the ruleset digest hashes both the active rule *codes*
+(``--select RL003`` runs never replay findings from a different rule
+set) and the active rules' *source text* via :func:`ruleset_digest`, so
+editing a rule's logic — not just adding or removing a rule — discards
+stale per-file records.  Corrupt or version-skewed cache files are
+discarded silently — the cache is an accelerator, never a source of
+truth.
 
 CI persists ``.repro_lint_cache/`` between runs keyed on the source
 hashes (see ``.github/workflows/ci.yml``), which keeps the lint gate
@@ -30,16 +33,17 @@ comfortably inside its wall-time budget as the tree grows.
 from __future__ import annotations
 
 import hashlib
+import inspect
 import json
 import os
 import tempfile
 from pathlib import Path
 from typing import Any
 
-__all__ = ["AnalysisCache", "default_cache_path", "file_key"]
+__all__ = ["AnalysisCache", "default_cache_path", "file_key", "ruleset_digest"]
 
 #: Bump when the summary schema or finding replay format changes.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 #: Directory name used by the CLI default (gitignored).
 CACHE_DIR_NAME = ".repro_lint_cache"
@@ -50,15 +54,40 @@ def default_cache_path() -> Path:
     return Path(CACHE_DIR_NAME) / "cache.json"
 
 
-def file_key(content: bytes, rule_codes: list[str]) -> str:
+def ruleset_digest(rules: list[Any]) -> str:
+    """Digest of the active rule set: codes *and* implementation source.
+
+    Hashing each rule class's source text (via :func:`inspect.getsource`)
+    means editing a rule's logic invalidates every cached per-file record
+    keyed under the old behaviour — the failure mode where a cached
+    "clean" verdict survives a rule rewrite.  Rules whose source cannot
+    be recovered (REPL-defined test doubles) degrade to their code alone,
+    which keeps the digest total rather than raising.
+    """
+    h = hashlib.sha256()
+    for rule in sorted(rules, key=lambda r: r.code):
+        h.update(rule.code.encode())
+        h.update(b"\x00")
+        try:
+            h.update(inspect.getsource(type(rule)).encode())
+        except (OSError, TypeError):  # pragma: no cover - synthetic rules
+            pass
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def file_key(content: bytes, rule_codes: list[str], digest: str = "") -> str:
     """Content hash keying one file's analysis record.
 
-    Embeds the schema version and the active rule-code set so stale
-    records can never replay across analyzer or selection changes.
+    Embeds the schema version, the active rule-code set, and the
+    ruleset source digest so stale records can never replay across
+    analyzer, selection, or rule-implementation changes.
     """
     h = hashlib.sha256()
     h.update(f"repro-lint:{CACHE_VERSION}:".encode())
     h.update(",".join(sorted(rule_codes)).encode())
+    h.update(b":")
+    h.update(digest.encode())
     h.update(b":")
     h.update(content)
     return h.hexdigest()

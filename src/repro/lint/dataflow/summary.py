@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import ast
 import math
+import re
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
@@ -100,6 +101,34 @@ _MUTATOR_METHODS = {
     "reverse",
 }
 
+#: Event-kind identifiers of the engine's raw-tuple heap (leading
+#: underscores stripped, ``EventKind.`` prefixes reduced to the leaf).
+_EVENT_KIND_NAMES = {
+    "COMPLETION",
+    "ASSIGN",
+    "ARRIVAL",
+    "DEADLINE",
+    "TIMER",
+    "ADVERSARY",
+}
+
+#: Receiver-mutating methods that count as *state* writes on the field
+#: they are called through (``self._pending.pop(...)``).  Deliberately
+#: excludes append/extend-style growth so trace/log buffers do not show
+#: up as state fields.
+_INDEX_MUTATORS = {
+    "pop",
+    "popitem",
+    "clear",
+    "update",
+    "setdefault",
+    "remove",
+    "discard",
+}
+
+#: ``# parity: object-only`` / ``# parity: columnar-only`` (RL013).
+_PARITY_RE = re.compile(r"#\s*parity:\s*(object-only|columnar-only)\b")
+
 #: ``math`` functions folded during constant propagation.
 _FOLDABLE_MATH = {
     "math.sqrt": math.sqrt,
@@ -160,6 +189,30 @@ class FunctionSummary:
     returns_call_of: list[str] = field(default_factory=list)
     nested: bool = False  #: defined inside another function
     free_vars: list[str] = field(default_factory=list)
+    #: attribute-carried state writes (RL013/RL014): ``[field, value,
+    #: lineno, col]`` for stores through ``<recv>.<field>`` /
+    #: ``<recv>.<field>[...]`` and index-mutator calls
+    #: (``<recv>.<field>.pop(...)``).  ``value`` is a ref leaf
+    #: ("_RUNNING"), "now"/"now+" for clock-anchored values, "const",
+    #: "aug" for augmented assignment, or ``None`` when unclassifiable.
+    state_writes: list[list[Any]] = field(default_factory=list)
+    #: ``raise Exc(...)`` sites: ``[exception name, lineno]``
+    raises: list[list[Any]] = field(default_factory=list)
+    #: ``self.<a>`` attributes read (Load context) anywhere in the body
+    self_loads: list[str] = field(default_factory=list)
+    #: event-queue pushes (RL016): ``[key desc, kind leaf, lineno, col]``
+    #: from ``<q>.push(key, KIND, …)`` calls and raw ``(key, KIND, seq,
+    #: payload)`` tuple literals whose kind slot names an event kind.
+    push_keys: list[list[Any]] = field(default_factory=list)
+    #: leaves proven ``>= now`` by a raise guard (``if x < now: raise``,
+    #: vectorised ``late = xs < now; if late.any(): raise`` included)
+    now_guards: list[str] = field(default_factory=list)
+    #: clock writes ``<recv>._now = value``: ``[value desc, lineno]``
+    now_writes: list[list[Any]] = field(default_factory=list)
+    #: leaves assigned clock-anchored values (``x = now + dt``)
+    now_anchored: list[str] = field(default_factory=list)
+    #: locals bound to call results: ``[local, callee dotted name]``
+    call_assigns: list[list[str]] = field(default_factory=list)
 
 
 @dataclass
@@ -192,6 +245,12 @@ class FileSummary:
     registries: dict[str, list[list[Any]]] = field(default_factory=dict)
     #: line -> suppressed codes (mirrors FileContext.suppressions; "*" = all)
     suppressions: dict[str, list[str]] = field(default_factory=dict)
+    #: module-level pure-literal dicts with string keys (decision
+    #: vocabularies, parity field maps): name -> {"line": …, "items": {…}}
+    dict_constants: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: ``# parity: object-only`` / ``# parity: columnar-only`` annotations
+    #: (RL013): line number (as str) -> side tag
+    parity_lines: dict[str, str] = field(default_factory=dict)
 
     # -- (de)serialisation --------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
@@ -355,6 +414,55 @@ def _annotation_leaf(node: ast.expr | None) -> str | None:
     return None
 
 
+def _is_now_ref(node: ast.expr) -> bool:
+    """Is this expression the engine clock (``self._now`` / local ``now``)?"""
+    if isinstance(node, ast.Attribute):
+        return node.attr == "_now"
+    return isinstance(node, ast.Name) and node.id == "now"
+
+
+def _expr_leaf(node: ast.expr) -> str | None:
+    """Rightmost identifying name: ``st.completion`` → "completion",
+    ``arrival_l[i]`` → "arrival_l", ``when`` → "when"."""
+    if isinstance(node, ast.Subscript):
+        return _expr_leaf(node.value)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _value_desc(node: ast.expr) -> Any:
+    """Classify an assigned/pushed value for the temporal rules.
+
+    ``"now"`` (the clock itself), ``"now+"`` (an expression anchored on
+    the clock), a ref leaf ("_RUNNING", "completion"), ``"const"`` for
+    folded literals, or ``None``.
+    """
+    if _is_now_ref(node):
+        return "now"
+    if any(_is_now_ref(sub) for sub in ast.walk(node) if isinstance(sub, ast.expr)):
+        return "now+"
+    leaf = _expr_leaf(node)
+    if leaf is not None:
+        return leaf
+    const = fold_const(node)
+    if const is not None and const["k"] != "ref":
+        return "const"
+    return None
+
+
+def _kind_leaf(node: ast.expr) -> str | None:
+    """Normalised event-kind name of a ref (``_DEADLINE`` /
+    ``EventKind.DEADLINE`` → "DEADLINE"), or ``None``."""
+    dotted = _dotted(node)
+    if dotted is None:
+        return None
+    leaf = dotted.rsplit(".", 1)[-1].lstrip("_")
+    return leaf if leaf in _EVENT_KIND_NAMES else None
+
+
 # ---------------------------------------------------------------------------
 # Per-function origin analysis
 # ---------------------------------------------------------------------------
@@ -379,6 +487,9 @@ class _FunctionAnalyzer:
         self.origins: dict[str, set[Origin]] = {}
         self.locals: set[str] = set()
         self.globals_declared: set[str] = set()
+        self._self_loads: set[str] = set()
+        self._now_guards: set[str] = set()
+        self._now_anchored: set[str] = set()
         self.out = FunctionSummary(
             name=qualname,
             lineno=fn.lineno,
@@ -457,6 +568,9 @@ class _FunctionAnalyzer:
         self._origin_fixpoint()
         self._scan_body()
         self._derive_guards()
+        self.out.self_loads = sorted(self._self_loads)
+        self.out.now_guards = sorted(self._now_guards)
+        self.out.now_anchored = sorted(self._now_anchored)
         self.out.free_vars = sorted(self._free_vars()) if self.nested else []
         return self.out
 
@@ -565,8 +679,20 @@ class _FunctionAnalyzer:
                 self._scan_return(node.value)
             elif isinstance(node, (ast.Assign, ast.AugAssign)):
                 self._scan_store(node)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                self._scan_state_write(node.target, node.value, node, False)
+            elif isinstance(node, ast.Raise):
+                self._scan_raise(node)
+            elif isinstance(node, ast.Tuple):
+                self._scan_event_tuple(node)
 
     def _scan_attribute(self, node: ast.Attribute) -> None:
+        if (
+            isinstance(node.ctx, ast.Load)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            self._self_loads.add(node.attr)
         if node.attr not in _TAINT_ATTRS:
             return
         if node.attr == "length" and not isinstance(node.ctx, ast.Load):
@@ -678,6 +804,27 @@ class _FunctionAnalyzer:
                 self.out.heap_pushes.append(
                     [heap_ref, cats, node.lineno, node.col_offset]
                 )
+        # Event-queue pushes whose kind slot names an event kind
+        # (``queue.push(time, EventKind.DEADLINE, payload)``) — the key
+        # description feeds RL016, the kind feeds the RL013 parity model.
+        if leaf == "push" and len(node.args) >= 2:
+            kind = _kind_leaf(node.args[1])
+            if kind is not None:
+                self.out.push_keys.append(
+                    [_value_desc(node.args[0]), kind, node.lineno, node.col_offset]
+                )
+        # Index-structure mutation through an attribute receiver
+        # (``self._running.pop(jid, None)``, ``self._pending.update(...)``)
+        # is a state write in the RL013 parity model.  Bare-Name receivers
+        # (hoisted locals) are deliberately out of scope.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _INDEX_MUTATORS
+            and isinstance(node.func.value, ast.Attribute)
+        ):
+            self.out.state_writes.append(
+                [node.func.value.attr, None, node.lineno, node.col_offset]
+            )
 
     @staticmethod
     def _key_category(node: ast.expr) -> str:
@@ -714,8 +861,10 @@ class _FunctionAnalyzer:
     def _scan_store(self, node: ast.Assign | ast.AugAssign) -> None:
         targets = node.targets if isinstance(node, ast.Assign) else [node.target]
         value = node.value
+        is_aug = isinstance(node, ast.AugAssign)
         job_valued = self._is_job_valued(value)
         for t in targets:
+            self._scan_state_write(t, value, node, is_aug)
             # self.X = job / self.X[...] = job  → job-container attribute.
             attr_node: ast.Attribute | None = None
             if isinstance(t, ast.Attribute):
@@ -748,10 +897,84 @@ class _FunctionAnalyzer:
                         ["global_write", f"{base}[...] = ...", node.lineno]
                     )
 
+    def _scan_state_write(
+        self,
+        target: ast.expr,
+        value: ast.expr,
+        node: ast.stmt,
+        is_aug: bool,
+    ) -> None:
+        desc: Any = "aug" if is_aug else _value_desc(value)
+        # Clock-anchored bindings: ``completion = self._now + length`` /
+        # ``st.completion = self._now + st.length`` — the bound leaf is a
+        # provably current-or-future time (RL016).
+        if not is_aug and desc in ("now", "now+"):
+            leaf = _expr_leaf(target)
+            if leaf is not None:
+                self._now_anchored.add(leaf)
+        # Call-derived locals: ``when = self._decision_times(...)`` — the
+        # callee's own guards can vouch for the local (RL016).
+        if not is_aug and isinstance(target, ast.Name) and isinstance(value, ast.Call):
+            callee = _dotted(value.func)
+            if callee is not None:
+                self.out.call_assigns.append([target.id, callee])
+        # Attribute-rooted state writes: ``st.completed = True``,
+        # ``table.state[idx] = _RUNNING``, ``self._pending[jid] = st``.
+        # Bare-Name receivers (hoisted column locals) are out of scope.
+        attr_node: ast.Attribute | None = None
+        if isinstance(target, ast.Attribute):
+            attr_node = target
+        elif isinstance(target, ast.Subscript) and isinstance(
+            target.value, ast.Attribute
+        ):
+            attr_node = target.value
+        if attr_node is None:
+            return
+        if attr_node.attr == "_now" and isinstance(target, ast.Attribute):
+            self.out.now_writes.append([desc, node.lineno])
+            return
+        self.out.state_writes.append(
+            [attr_node.attr, desc, node.lineno, node.col_offset]
+        )
+
+    def _scan_raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        if exc is None:
+            return
+        target: ast.expr = exc.func if isinstance(exc, ast.Call) else exc
+        name = _expr_leaf(target)
+        if name is not None:
+            self.out.raises.append([name, node.lineno])
+
+    def _scan_event_tuple(self, node: ast.Tuple) -> None:
+        """Raw event tuples ``(time, KIND, …)`` built for ``EventQueue.extend``
+        or bulk heapify carry the same key/kind shape as an explicit push."""
+        if len(node.elts) < 3 or not isinstance(node.ctx, ast.Load):
+            return
+        kind = _kind_leaf(node.elts[1])
+        if kind is None or _kind_leaf(node.elts[0]) is not None:
+            # A kind in the key slot means this is a tuple *of* kinds
+            # (e.g. a dispatch table), not an event with a time key.
+            return
+        self.out.push_keys.append(
+            [_value_desc(node.elts[0]), kind, node.lineno, node.col_offset]
+        )
+
     # -- guards --------------------------------------------------------------
     def _derive_guards(self) -> None:
-        """``if <param> <op> <const>: raise …`` → parameter-domain guard."""
+        """``if <param> <op> <const>: raise …`` → parameter-domain guard;
+        ``if <x> < now: raise`` (scalar, or vectorised through a boolean
+        compare local like ``past = completions < now``) → clock guard."""
         params = set(self.out.params)
+        # Map vectorised guard locals to the leaves they compare to the clock.
+        compare_locals: dict[str, list[str]] = {}
+        for node in self._walk_own():
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Compare):
+                guarded = self._now_compare_leaves(node.value)
+                if guarded:
+                    for t in node.targets:
+                        if isinstance(t, ast.Name):
+                            compare_locals[t.id] = guarded
         for node in self._walk_own():
             if not isinstance(node, ast.If):
                 continue
@@ -761,6 +984,28 @@ class _FunctionAnalyzer:
                 guard = self._guard_from_compare(test, params)
                 if guard is not None:
                     self.out.guards.append([*guard, node.lineno])
+            for sub in ast.walk(node.test):
+                if isinstance(sub, ast.Compare):
+                    self._now_guards.update(self._now_compare_leaves(sub))
+                elif isinstance(sub, ast.Name) and sub.id in compare_locals:
+                    self._now_guards.update(compare_locals[sub.id])
+
+    @staticmethod
+    def _now_compare_leaves(test: ast.Compare) -> list[str]:
+        """Leaves compared directly against the clock (either side)."""
+        if len(test.ops) != 1 or len(test.comparators) != 1:
+            return []
+        left, right = test.left, test.comparators[0]
+        out: list[str] = []
+        if _is_now_ref(right):
+            leaf = _expr_leaf(left)
+            if leaf is not None:
+                out.append(leaf)
+        if _is_now_ref(left):
+            leaf = _expr_leaf(right)
+            if leaf is not None:
+                out.append(leaf)
+        return out
 
     @staticmethod
     def _guard_atoms(test: ast.expr) -> list[ast.Compare]:
@@ -911,6 +1156,13 @@ def extract_summary(
             str(line): sorted(codes) for line, codes in suppressions.items()
         }
 
+    # Parity annotations: ``# parity: object-only`` / ``columnar-only``
+    # declare a deliberate one-core state write for RL013.
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _PARITY_RE.search(line)
+        if m is not None:
+            out.parity_lines[str(lineno)] = m.group(1)
+
     # Pass 0: module-level names (globals) for effect/closure analysis.
     module_globals: set[str] = set()
     for node in tree.body:
@@ -943,10 +1195,10 @@ def extract_summary(
         elif isinstance(node, ast.Assign) and len(node.targets) == 1:
             target = node.targets[0]
             if isinstance(target, ast.Name):
-                _record_module_binding(out, target.id, node.value)
+                _record_module_binding(out, target.id, node.value, node.lineno)
         elif isinstance(node, ast.AnnAssign) and node.value is not None:
             if isinstance(node.target, ast.Name):
-                _record_module_binding(out, node.target.id, node.value)
+                _record_module_binding(out, node.target.id, node.value, node.lineno)
         elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             summary = _extract_function(node, "", module_globals, False, out.functions)
             out.functions[summary.name] = summary
@@ -955,20 +1207,38 @@ def extract_summary(
     return out
 
 
-def _record_module_binding(out: FileSummary, name: str, value: ast.expr) -> None:
+def _record_module_binding(
+    out: FileSummary, name: str, value: ast.expr, lineno: int
+) -> None:
     if isinstance(value, ast.Dict):
         entries: list[list[Any]] = []
         has_ref = False
+        items: dict[str, Any] = {}
+        all_const = bool(value.keys)
         for k, v in zip(value.keys, value.values):
             if k is None:
+                all_const = False
                 continue
             kd = fold_const(k)
             vd = fold_const(v)
             if vd is not None and vd["k"] == "ref":
                 has_ref = True
             entries.append([kd, vd])
+            if (
+                kd is not None
+                and kd["k"] == "str"
+                and vd is not None
+                and vd["k"] in ("num", "str", "none")
+            ):
+                items[kd["v"]] = vd["v"]
+            else:
+                all_const = False
         if has_ref:
             out.registries[name] = entries
+        elif all_const:
+            # Fully-literal str-keyed dicts (e.g. the decision-rule
+            # vocabulary) feed RL015's closed-vocabulary check.
+            out.dict_constants[name] = {"line": lineno, "items": items}
         return
     const = fold_const(value)
     if const is not None and const["k"] in ("num", "str", "none", "ref"):

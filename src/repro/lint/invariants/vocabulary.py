@@ -1,0 +1,147 @@
+"""RL015: scheduler decision reasons form a closed, fully-used vocabulary.
+
+``repro obs explain --strict`` reconciles every job start against the
+paper's seven decision rules (``DECISION_RULES`` in
+:mod:`repro.obs.records`).  That reconciliation is only sound if the
+vocabulary is closed in *both* directions:
+
+* every reason a scheduler can emit is a ``DECISION_RULES`` key
+  (otherwise ``explain`` renders a shrug and ``--strict`` would have to
+  guess), and
+* every ``DECISION_RULES`` key is emitted by some scheduler (a dead key
+  is documentation for behaviour that no longer exists).
+
+This is the static half of the same contract the runtime reconciler
+enforces — mirroring how RL001 and the ``ClairvoyanceGuard``
+cross-validate.  The runtime half lives in
+:func:`repro.obs.explain.explain_trace`, which rejects
+out-of-vocabulary reasons under ``--strict``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..base import ProgramRule, register
+from ..findings import LintFinding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dataflow.program import Program
+    from ..dataflow.summary import FunctionSummary
+
+__all__ = ["DecisionVocabularyRule"]
+
+#: The module-level dict constant holding the closed vocabulary.
+_VOCAB_NAME = "DECISION_RULES"
+
+
+def _emission_sites(
+    fn: "FunctionSummary",
+) -> Iterator[tuple[str | None, int, int]]:
+    """``obs.decision(<reason>, ...)`` sites: (const reason | None, line, col)."""
+    for cs in fn.calls:
+        parts = cs.callee.split(".")
+        if parts[-1] != "decision" or "obs" not in parts[:-1]:
+            continue
+        if not cs.args:
+            continue
+        desc = cs.args[0]
+        if desc.get("kind") == "const" and desc["const"].get("k") == "str":
+            yield desc["const"]["v"], cs.lineno, cs.col
+        else:
+            yield None, cs.lineno, cs.col
+
+
+@register
+class DecisionVocabularyRule(ProgramRule):
+    """RL015: a scheduler emits a decision reason outside the closed
+    ``DECISION_RULES`` vocabulary, or a vocabulary key is never emitted.
+
+    Why: decision provenance is the contract that lets
+    ``repro obs explain --strict`` attribute every start to a paper
+    rule.  An out-of-vocabulary reason silently degrades the narrative
+    to "(rule not in the paper vocabulary)" and, under the strict
+    reconciler, fails the run; a never-emitted key means the vocabulary
+    over-promises.  Both directions are checked statically here and at
+    runtime by the reconciler, so the two oracles cross-validate.
+
+    Non-literal reasons (``obs.decision(reason_var, ...)``) are flagged
+    too: a computed reason defeats the closed-vocabulary guarantee even
+    when today's values happen to be valid.
+
+    Offending::
+
+        obs.decision("panic-start", job=j.id, t=now)   # not a paper rule
+
+    Clean::
+
+        obs.decision("deadline-flag", job=j.id, t=now)
+    """
+
+    code = "RL015"
+    name = "decision-vocabulary-exhaustiveness"
+    severity = "error"
+    description = "decision reasons must match DECISION_RULES exactly"
+
+    def check_program(self, program: "Program") -> Iterator[LintFinding]:
+        vocab: dict[str, tuple[str, int]] = {}  # key -> (path, line)
+        for module in sorted(program.modules):
+            fs = program.modules[module]
+            entry = fs.dict_constants.get(_VOCAB_NAME)
+            if entry is None:
+                continue
+            for key in entry.get("items", {}):
+                vocab.setdefault(key, (fs.path, int(entry.get("line", 1))))
+        if not vocab:
+            return  # no vocabulary in the scan set: nothing to certify
+
+        emitted: set[str] = set()
+        sites = 0
+        for _fqid, fn, fs, cls_name in program.all_functions():
+            if cls_name is None:
+                continue
+            if not program.is_scheduler(f"{fs.module}.{cls_name}"):
+                continue
+            for reason, line, col in _emission_sites(fn):
+                sites += 1
+                if reason is None:
+                    if not fs.is_suppressed(line, self.code):
+                        yield self.program_finding(
+                            fs.path,
+                            line,
+                            col,
+                            "decision reason is not a string literal — a "
+                            "computed reason cannot be certified against "
+                            "the closed DECISION_RULES vocabulary",
+                            symbol=f"{cls_name}.{fn.name.rsplit('.', 1)[-1]}",
+                        )
+                    continue
+                emitted.add(reason)
+                if reason not in vocab:
+                    if not fs.is_suppressed(line, self.code):
+                        yield self.program_finding(
+                            fs.path,
+                            line,
+                            col,
+                            f"decision reason {reason!r} is not in the "
+                            "DECISION_RULES vocabulary — repro obs explain "
+                            "--strict cannot attribute it",
+                            symbol=reason,
+                        )
+        if sites == 0:
+            return  # vocabulary present but nothing instrumented yet
+        for key in sorted(set(vocab) - emitted):
+            path, line = vocab[key]
+            fs = next(
+                (s for s in program.modules.values() if s.path == path), None
+            )
+            if fs is not None and fs.is_suppressed(line, self.code):
+                continue
+            yield self.program_finding(
+                path,
+                line,
+                0,
+                f"DECISION_RULES key {key!r} is never emitted by any "
+                "scheduler — dead vocabulary entry",
+                symbol=key,
+            )

@@ -171,6 +171,11 @@ def lint_paths(
     records: dict[str, dict[str, Any]] = {}
     order: list[str] = []
     misses: list[tuple[str, str, str]] = []  # (rel, abspath, key)
+    digest = ""
+    if cache is not None:
+        from .dataflow.cache import ruleset_digest
+
+        digest = ruleset_digest(active)
     for file in files:
         rel = _relative_to_root(file, targets)
         order.append(rel)
@@ -178,7 +183,7 @@ def lint_paths(
         if cache is not None:
             from .dataflow.cache import file_key
 
-            key = file_key(file.read_bytes(), all_codes)
+            key = file_key(file.read_bytes(), all_codes, digest)
             entry = cache.get(rel, key)
             if entry is not None:
                 records[rel] = entry

@@ -1,0 +1,112 @@
+"""SARIF 2.1.0 export for lint reports (``repro lint --format sarif``).
+
+SARIF (Static Analysis Results Interchange Format) is the one output
+format code-scanning UIs agree on: GitHub code scanning, VS Code's SARIF
+viewer, and most CI annotation layers ingest it natively.  The exporter
+emits one ``run`` with:
+
+* ``tool.driver.rules`` — every registered rule (not just the ones that
+  fired), so viewers can render the full rule index with the ``--explain``
+  docstrings as full descriptions;
+* one ``result`` per finding, with ``ruleId``, SARIF ``level``
+  (``error``/``warning``), message, and a ``physicalLocation`` whose
+  region carries the 1-based line and column.
+
+Only the stdlib :mod:`json` module is used; the schema subset here is
+deliberately minimal and validated shape-wise by
+``tests/test_lint_sarif.py``.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+from typing import Any, Iterable
+
+from .base import ALL_RULES, Rule
+from .findings import LintFinding, LintReport
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "render_sarif", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_descriptor(rule: Rule) -> dict[str, Any]:
+    doc = inspect.getdoc(type(rule)) or rule.description
+    return {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.description},
+        "fullDescription": {"text": doc},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule.severity, "warning")
+        },
+    }
+
+
+def _result(finding: LintFinding, rule_index: dict[str, int]) -> dict[str, Any]:
+    message = finding.message
+    if finding.symbol:
+        message = f"[{finding.symbol}] {message}"
+    out: dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {"reproLint/v1": finding.fingerprint},
+    }
+    if finding.rule in rule_index:
+        out["ruleIndex"] = rule_index[finding.rule]
+    return out
+
+
+def to_sarif(
+    report: LintReport, *, rules: Iterable[Rule] | None = None
+) -> dict[str, Any]:
+    """The SARIF 2.1.0 payload for one lint report, as a plain dict."""
+    ruleset = list(rules) if rules is not None else list(ALL_RULES)
+    rule_index = {rule.code: i for i, rule in enumerate(ruleset)}
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": [_rule_descriptor(r) for r in ruleset],
+                    }
+                },
+                "results": [
+                    _result(f, rule_index) for f in report.findings
+                ],
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def render_sarif(
+    report: LintReport, *, rules: Iterable[Rule] | None = None
+) -> str:
+    """Serialised SARIF log (stable key order for diff-able CI artifacts)."""
+    return json.dumps(to_sarif(report, rules=rules), indent=2, sort_keys=True)

@@ -29,6 +29,7 @@ See ``docs/observability.md`` for the guided tour.
 from .records import (
     DECISION_RULES,
     ObsRecord,
+    decision_vocabulary,
     describe_rule,
 )
 from .metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
@@ -76,6 +77,7 @@ __all__ = [
     "TraceRecorder",
     "TraceSummary",
     "chrome_trace_events",
+    "decision_vocabulary",
     "describe_rule",
     "diff_bench",
     "diff_summaries",

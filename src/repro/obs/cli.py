@@ -7,7 +7,9 @@ Subcommands
 ``explain <trace.jsonl>``
     Human-readable narrative of why each job started when it did
     (paper-rule provenance), cross-checked against ``audit()``.
-    ``--strict`` exits non-zero on unattributed starts or audit failure.
+    ``--strict`` exits non-zero on unattributed starts, decision rules
+    outside the closed ``DECISION_RULES`` vocabulary (the runtime face
+    of lint rule RL015), or audit failure.
 ``diff <before> <after> [--threshold 0.10]``
     Compare two trace summaries *or* two ``BENCH_perf.json`` files
     (auto-detected).  Exits 1 when any quantity regressed beyond the
@@ -73,7 +75,10 @@ def add_obs_parser(sub: "argparse._SubParsersAction[argparse.ArgumentParser]") -
     p_exp.add_argument(
         "--strict",
         action="store_true",
-        help="exit 1 on unattributed starts or an infeasible rebuilt schedule",
+        help=(
+            "exit 1 on unattributed starts, out-of-vocabulary decision "
+            "rules, or an infeasible rebuilt schedule"
+        ),
     )
 
     p_diff = obs_sub.add_parser(
@@ -156,10 +161,13 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     explanation = explain_trace(_load(args.trace))
     print(explanation.render(limit=args.limit))
     if args.strict and (
-        not explanation.fully_attributed or explanation.audit_feasible is False
+        not explanation.fully_attributed
+        or explanation.audit_feasible is False
+        or not explanation.vocabulary_clean
     ):
         print(
-            "\nstrict: unattributed starts or audit failure — see above",
+            "\nstrict: unattributed starts, out-of-vocabulary decision "
+            "rules, or audit failure — see above",
             file=sys.stderr,
         )
         return 1

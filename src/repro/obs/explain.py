@@ -25,7 +25,13 @@ from ..core.audit import audit
 from ..core.job import Instance, Job
 from .jsonl import LoadedTrace
 from .recorder import TraceRecorder
-from .records import KIND_DECISION, KIND_INSTANT, ObsRecord, describe_rule
+from .records import (
+    KIND_DECISION,
+    KIND_INSTANT,
+    ObsRecord,
+    decision_vocabulary,
+    describe_rule,
+)
 
 __all__ = ["Explanation", "JobStory", "explain_trace"]
 
@@ -119,11 +125,19 @@ class Explanation:
     unattributed: int = 0
     audit_feasible: bool | None = None
     audit_notes: list[str] = field(default_factory=list)
+    #: decision names outside :data:`~repro.obs.records.DECISION_RULES`,
+    #: with occurrence counts — the runtime face of RL015.
+    unknown_rules: dict[str, int] = field(default_factory=dict)
 
     @property
     def fully_attributed(self) -> bool:
         """Every reconstructed start carries a paper rule."""
         return self.unattributed == 0
+
+    @property
+    def vocabulary_clean(self) -> bool:
+        """Every decision record names a rule in the closed vocabulary."""
+        return not self.unknown_rules
 
     def render(self, limit: int = 200) -> str:
         lines = [
@@ -135,6 +149,11 @@ class Explanation:
             lines.append(f"audit     : {verdict} (schedule rebuilt from trace)")
         for note in self.audit_notes:
             lines.append(f"audit     : {note}")
+        for name, count in sorted(self.unknown_rules.items()):
+            lines.append(
+                f"vocabulary: UNKNOWN rule {name!r} emitted {count}x — not in "
+                "DECISION_RULES (RL015 violated at runtime)"
+            )
         lines.append("")
         for story in self.stories[:limit]:
             lines.append(story.narrative())
@@ -153,8 +172,13 @@ def explain_trace(trace: Union[TraceRecorder, LoadedTrace]) -> Explanation:
             st = stories[job_id] = JobStory(job_id)
         return st
 
+    vocabulary = decision_vocabulary()
+    unknown: dict[str, int] = {}
+
     for record in trace.records:
         if record.kind == KIND_DECISION:
+            if record.name not in vocabulary:
+                unknown[record.name] = unknown.get(record.name, 0) + 1
             job = record.attrs.get("job")
             if job is not None:
                 story(int(job)).decisions.append(record)
@@ -183,7 +207,10 @@ def explain_trace(trace: Union[TraceRecorder, LoadedTrace]) -> Explanation:
             elif st.start is not None:
                 st.length = t - st.start
 
-    explanation = Explanation(stories=sorted(stories.values(), key=lambda s: s.job_id))
+    explanation = Explanation(
+        stories=sorted(stories.values(), key=lambda s: s.job_id),
+        unknown_rules=unknown,
+    )
     for st in explanation.stories:
         if st.start is None:
             continue

@@ -53,6 +53,7 @@ __all__ = [
     "KIND_SPAN_BEGIN",
     "KIND_SPAN_END",
     "ObsRecord",
+    "decision_vocabulary",
     "describe_rule",
 ]
 
@@ -85,6 +86,18 @@ DECISION_RULES: dict[str, str] = {
         "starting deadline arrived strictly between epochs (EpochBatch backstop)"
     ),
 }
+
+
+def decision_vocabulary() -> frozenset[str]:
+    """The closed set of legal decision-rule names.
+
+    This is the runtime face of the same contract the static analyzer
+    proves as RL015 (:mod:`repro.lint.invariants.vocabulary`): every
+    ``obs.decision(reason, ...)`` a scheduler emits must name one of
+    these rules, and every rule must be reachable from some scheduler.
+    ``repro obs explain --strict`` rejects traces that violate it.
+    """
+    return frozenset(DECISION_RULES)
 
 
 def describe_rule(rule: str) -> str:

@@ -1,0 +1,8 @@
+"""RL016 fixtures: provably-monotone vs unprovable event-queue writes.
+
+``bad.py`` pushes heap keys no guard, anchor, or admission axiom covers,
+and writes the clock from an unvetted value.  ``clean.py`` shows every
+accepted proof form: ``now``-anchored keys, raise-guarded leaves (scalar
+and vectorised compare-local), the ``arrival``/``deadline`` admission
+axioms, helper-guarded locals, and constant clock resets.
+"""

@@ -1,0 +1,30 @@
+"""Offending RL016 cases: past-capable keys and unguarded clock writes."""
+
+from __future__ import annotations
+
+import heapq
+
+_TIMER = 0
+_COMPLETION = 1
+
+
+class RewindingQueue:
+    """Pushes keys that nothing proves are >= the current clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._events: list = []
+        self.retry_at: list = []
+
+    def schedule_retry(self, idx: int) -> None:
+        retry = self.retry_at[idx]
+        # Nothing guards ``retry`` against the clock: it may be stale.
+        heapq.heappush(self._events, (retry, _TIMER, idx))
+
+    def schedule_grace(self, idx: int, grace: float) -> None:
+        when = grace - 1.0
+        heapq.heappush(self._events, (when, _COMPLETION, idx))
+
+    def rewind(self, checkpoint: float) -> None:
+        # Unvetted parameter straight into the clock.
+        self._now = checkpoint

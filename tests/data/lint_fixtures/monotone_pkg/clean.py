@@ -1,0 +1,55 @@
+"""Clean RL016 cases: one push site per accepted proof form."""
+
+from __future__ import annotations
+
+import heapq
+
+_ARRIVAL = 0
+_DEADLINE = 1
+_ASSIGN = 2
+_TIMER = 3
+_COMPLETION = 4
+
+
+class MonotoneQueue:
+    """Every key is anchored, guarded, axiomatic, or helper-vetted."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._events: list = []
+
+    def push_anchored(self, length: float, idx: int) -> None:
+        when = self._now + length
+        heapq.heappush(self._events, (when, _COMPLETION, idx))
+
+    def push_guarded(self, when: float, idx: int) -> None:
+        if when < self._now:
+            raise ValueError("past event")
+        heapq.heappush(self._events, (when, _TIMER, idx))
+
+    def push_axioms(self, arrival: float, deadline: float, idx: int) -> None:
+        heapq.heappush(self._events, (arrival, _ARRIVAL, idx))
+        heapq.heappush(self._events, (deadline, _DEADLINE, idx))
+
+    def push_vectorised(self, completions, idx: int) -> None:
+        past = completions < self._now
+        if past.any():
+            raise ValueError("past completion in batch")
+        heapq.heappush(self._events, (completions, _COMPLETION, idx))
+
+    def push_helper_vetted(self, t: float, idx: int) -> None:
+        when = self._vetted(t)
+        heapq.heappush(self._events, (when, _ASSIGN, idx))
+
+    def _vetted(self, when: float) -> float:
+        if when < self._now:
+            raise ValueError("past event")
+        return when
+
+    def reset(self) -> None:
+        self._now = 0.0
+
+    def advance(self, t: float) -> None:
+        if t < self._now:
+            raise ValueError("clock moved backwards")
+        self._now = t

@@ -1,0 +1,19 @@
+"""RL013 fixture: the *drifted* twin of ``parity_pkg``.
+
+Same miniature dual-core pair, but the columnar side has drifted in
+three statically-visible ways —
+
+* ``_handle_arrival`` writes a ``retries`` column with no
+  ``_PARITY_FIELDS`` mapping and no annotation;
+* the ``_RUNNING`` write carries a ``# parity: object-only`` annotation
+  *inside the columnar core* (wrong side);
+* ``_handle_completion`` can raise ``SimulationError`` on a path the
+  object core does not have (exception-closure drift);
+
+— and one runtime-visible way the static model deliberately cannot see:
+``_start_job`` records the job's *arrival* instead of the clock as its
+start time, so the two cores disagree on any instance with queueing.
+``tests/test_lint_invariants.py`` asserts both halves: RL013 flags the
+static drift, and a lockstep run of the two mini-cores diverges —
+the same double certification ``REPRO_PARITY=1`` gives the real engine.
+"""

@@ -1,0 +1,89 @@
+"""The drifted columnar mini-core — see the package docstring."""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.core.errors import SimulationError
+
+_PARITY_CORE = "columnar"
+_PARITY_PEER = "parity_drift_pkg.object_core"
+_PARITY_FIELDS = {
+    "start_col": "start-time",
+    "state": "lifecycle",
+    "_free_at": "busy-until",
+    "_pending": "pending-index",
+}
+
+_ARRIVAL = 0
+_COMPLETION = 1
+
+_PENDING = 0
+_RUNNING = 1
+_DONE = 2
+
+
+class DriftingColumnarCore:
+    """Columnar FIFO loop that has drifted from its object twin."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._free_at = 0.0
+        self._events: list = []
+        self._pending: list = []
+        self.ids_col: list = []
+        self.arrival_col: list = []
+        self.length_col: list = []
+        self.state: list = []
+        self.start_col: list = []
+        self.retries: list = []
+
+    def run(self, jobs) -> dict:
+        for job_id, arrival, length in jobs:
+            row = len(self.ids_col)
+            self.ids_col.append(job_id)
+            self.arrival_col.append(arrival)
+            self.length_col.append(length)
+            self.state.append(_PENDING)
+            self.start_col.append(None)
+            self.retries.append(0)
+            heapq.heappush(self._events, (arrival, _ARRIVAL, row))
+        events = self._events
+        while events:
+            t, kind, idx = heapq.heappop(events)
+            if t < self._now:
+                raise SimulationError("event time moved backwards")
+            self._now = t
+            if kind == _ARRIVAL:
+                self._handle_arrival(idx)
+            else:
+                self._handle_completion(idx)
+        return {
+            self.ids_col[i]: self.start_col[i]
+            for i in range(len(self.ids_col))
+            if self.start_col[i] is not None
+        }
+
+    def _handle_arrival(self, idx: int) -> None:
+        self.state[idx] = _PENDING
+        self.retries[idx] = 0  # drift: no mapping, no annotation
+        self._pending.append(idx)
+        self._start_job()
+
+    def _handle_completion(self, idx: int) -> None:
+        if idx < 0:
+            # drift: an exception the object core's closure never raises
+            raise SimulationError("negative row in completion")
+        self.state[idx] = _DONE
+        self._free_at = self._now
+        self._start_job()
+
+    def _start_job(self) -> None:
+        while self._pending and self._free_at <= self._now:
+            idx = self._pending.pop(0)
+            self.state[idx] = _RUNNING  # parity: object-only
+            # drift (runtime-only): records arrival, not the clock.
+            self.start_col[idx] = self.arrival_col[idx]
+            when = self._now + self.length_col[idx]
+            self._free_at = when
+            heapq.heappush(self._events, (when, _COMPLETION, idx))

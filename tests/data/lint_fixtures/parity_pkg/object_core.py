@@ -1,0 +1,68 @@
+"""The scalar reference mini-core: one dict-backed job at a time."""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.core.errors import SimulationError
+
+_PARITY_CORE = "object"
+_PARITY_PEER = "parity_pkg.columnar_core"
+_PARITY_FIELDS = {
+    "start": "start-time",
+    "done": "lifecycle",
+    "_free_at": "busy-until",
+    "_pending": "pending-index",
+}
+
+_ARRIVAL = 0
+_COMPLETION = 1
+
+
+class ObjectMiniCore:
+    """FIFO single-machine loop: start the oldest pending job whenever
+    the machine is free, run it to completion, repeat."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._free_at = 0.0
+        self._events: list = []
+        self._pending: list = []
+        self.jobs: dict = {}
+        self.start: dict = {}
+        self.done: dict = {}
+
+    def run(self, jobs) -> dict:
+        """``jobs`` is ``[(job_id, arrival, length), ...]``; returns the
+        final ``{job_id: start_time}`` schedule."""
+        for job_id, arrival, length in jobs:
+            self.jobs[job_id] = (arrival, length)
+            heapq.heappush(self._events, (arrival, _ARRIVAL, job_id))
+        while self._events:
+            t, kind, job_id = heapq.heappop(self._events)
+            if t < self._now:
+                raise SimulationError("event time moved backwards")
+            self._now = t
+            if kind == _ARRIVAL:
+                self._handle_arrival(job_id)
+            else:
+                self._handle_completion(job_id)
+        return dict(self.start)
+
+    def _handle_arrival(self, job_id: int) -> None:
+        self.done[job_id] = False
+        self._pending.append(job_id)
+        self._start_job()
+
+    def _handle_completion(self, job_id: int) -> None:
+        self.done[job_id] = True
+        self._free_at = self._now
+        self._start_job()
+
+    def _start_job(self) -> None:
+        while self._pending and self._free_at <= self._now:
+            job_id = self._pending.pop(0)
+            self.start[job_id] = self._now
+            when = self._now + self.jobs[job_id][1]
+            self._free_at = when
+            heapq.heappush(self._events, (when, _COMPLETION, job_id))

@@ -1,0 +1,10 @@
+"""RL014 fixtures: lifecycle-typestate and deadline-backstop cases.
+
+``bad.py`` holds the offending cases — a mini-core whose handlers write
+lifecycle states in illegal event phases, and an instrumented scheduler
+that starts jobs from ``on_deadline`` without ever emitting a
+``deadline-flag``/``deadline-backstop`` decision.  ``clean.py`` holds
+the same shapes done right — every transition in its legal phase, the
+deadline start attributed.  ``tests/test_lint_invariants.py``
+asserts RL014 flags exactly the bad module.
+"""

@@ -1,0 +1,47 @@
+"""Offending RL014 cases: illegal lifecycle phases, silent deadline starts."""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.core.engine import JobView, SchedulerContext
+from repro.schedulers.base import OnlineScheduler
+
+_PENDING = 0
+_RUNNING = 1
+_DONE = 2
+
+
+class SloppyCore:
+    """A mini-core whose handlers write states in the wrong phases."""
+
+    def __init__(self) -> None:
+        self.state: list = []
+        self.completed: dict = {}
+
+    def _handle_arrival(self, idx: int) -> None:
+        self.state[idx] = _DONE  # arrival may not complete a job
+        self.completed[idx] = True  # bool lifecycle field, wrong phase
+
+    def _handle_completion(self, idx: int) -> None:
+        self.state[idx] = _RUNNING  # completion may not (re)start a job
+
+    def _start_job(self, idx: int) -> None:
+        self.state[idx] = _PENDING  # starting must not re-pend
+
+
+class SilentDeadlineScheduler(OnlineScheduler):
+    """Instrumented (emits decisions) but starts deadline jobs without a
+    ``deadline-flag``/``deadline-backstop`` attribution."""
+
+    name: ClassVar[str] = "fixture-silent-deadline"
+    requires_clairvoyance: ClassVar[bool] = False
+
+    def on_arrival(self, ctx: SchedulerContext, job: JobView) -> None:
+        self.obs.decision("epoch", job=job.id, t=ctx.now)
+
+    def on_deadline(self, ctx: SchedulerContext, job: JobView) -> None:
+        self._flush(ctx)
+
+    def _flush(self, ctx: SchedulerContext) -> None:
+        ctx.start_batch(ctx.pending_ids())

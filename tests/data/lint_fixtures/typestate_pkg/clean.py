@@ -1,0 +1,47 @@
+"""Clean RL014 cases: every transition in its legal phase, starts attributed."""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.core.engine import JobView, SchedulerContext
+from repro.schedulers.base import OnlineScheduler
+
+_PENDING = 0
+_RUNNING = 1
+_DONE = 2
+
+
+class TidyCore:
+    """The same mini-core shape with lawful lifecycle writes."""
+
+    def __init__(self) -> None:
+        self.state: list = []
+        self.completed: dict = {}
+
+    def _handle_arrival(self, idx: int) -> None:
+        self.state[idx] = _PENDING
+
+    def _handle_completion(self, idx: int) -> None:
+        self.state[idx] = _DONE
+        self.completed[idx] = True
+
+    def _start_job(self, idx: int) -> None:
+        self.state[idx] = _RUNNING
+
+
+class AttributedDeadlineScheduler(OnlineScheduler):
+    """Starts deadline jobs with the paper's deadline attribution."""
+
+    name: ClassVar[str] = "fixture-attributed-deadline"
+    requires_clairvoyance: ClassVar[bool] = False
+
+    def on_arrival(self, ctx: SchedulerContext, job: JobView) -> None:
+        self.obs.decision("epoch", job=job.id, t=ctx.now)
+
+    def on_deadline(self, ctx: SchedulerContext, job: JobView) -> None:
+        self.obs.decision("deadline-flag", job=job.id, t=ctx.now)
+        self._flush(ctx)
+
+    def _flush(self, ctx: SchedulerContext) -> None:
+        ctx.start_batch(ctx.pending_ids())

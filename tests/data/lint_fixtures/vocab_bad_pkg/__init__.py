@@ -1,0 +1,10 @@
+"""RL015 offending fixture: the vocabulary leaks in both directions.
+
+The package declares a three-key ``DECISION_RULES`` vocabulary but its
+scheduler emits an out-of-vocabulary reason (``panic-start``), a
+*computed* reason (uncertifiable), and never emits ``ghost-rule`` (a
+dead key).  ``tests/test_lint_invariants.py`` expects exactly those
+three findings — and feeds the same rogue reason to the runtime
+reconciler (``repro obs explain --strict``) to show the two oracles
+agree.
+"""

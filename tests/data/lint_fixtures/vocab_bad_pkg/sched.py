@@ -1,0 +1,30 @@
+"""A scheduler that breaks the closed-vocabulary contract both ways."""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.core.engine import JobView, SchedulerContext
+from repro.schedulers.base import OnlineScheduler
+
+DECISION_RULES: dict[str, str] = {
+    "deadline-flag": "flag job reached its starting deadline",
+    "epoch": "fixed-period batch point fired",
+    "ghost-rule": "documented but never emitted by anyone",
+}
+
+
+class RogueScheduler(OnlineScheduler):
+    """Emits reasons the vocabulary does not know, and vice versa."""
+
+    name: ClassVar[str] = "fixture-rogue"
+    requires_clairvoyance: ClassVar[bool] = False
+
+    def on_arrival(self, ctx: SchedulerContext, job: JobView) -> None:
+        self.obs.decision("panic-start", job=job.id, t=ctx.now)
+        reason = "epo" + "ch"
+        self.obs.decision(reason, job=job.id, t=ctx.now)
+
+    def on_deadline(self, ctx: SchedulerContext, job: JobView) -> None:
+        self.obs.decision("deadline-flag", job=job.id, t=ctx.now)
+        ctx.start_batch(ctx.pending_ids())

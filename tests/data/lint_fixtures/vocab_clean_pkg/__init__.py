@@ -1,0 +1,1 @@
+"""RL015 clean fixture: a closed vocabulary, fully used, nothing else."""

@@ -1,0 +1,27 @@
+"""A scheduler whose decisions and vocabulary match exactly."""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.core.engine import JobView, SchedulerContext
+from repro.schedulers.base import OnlineScheduler
+
+DECISION_RULES: dict[str, str] = {
+    "deadline-flag": "flag job reached its starting deadline",
+    "epoch": "fixed-period batch point fired",
+}
+
+
+class LawfulScheduler(OnlineScheduler):
+    """Every reason is a key; every key is emitted."""
+
+    name: ClassVar[str] = "fixture-lawful"
+    requires_clairvoyance: ClassVar[bool] = False
+
+    def on_arrival(self, ctx: SchedulerContext, job: JobView) -> None:
+        self.obs.decision("epoch", job=job.id, t=ctx.now)
+
+    def on_deadline(self, ctx: SchedulerContext, job: JobView) -> None:
+        self.obs.decision("deadline-flag", job=job.id, t=ctx.now)
+        ctx.start_batch(ctx.pending_ids())

@@ -1,0 +1,194 @@
+"""Tests for ``repro lint --fix`` (mechanical RL006 autofix).
+
+Covers the pure ``fix_source`` transform (full-statement deletion,
+partial rewrite, suppression and ``__init__.py`` exemptions, semicolon
+safety), idempotency (fixing fixed output is a no-op), and the
+``apply_fixes``/CLI layer including ``--fix --dry-run`` previews.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.lint import apply_fixes, fix_source
+from repro.lint.autofix import FIXABLE_RULES
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _run_cli(*argv: str, cwd: Path | None = None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *argv],
+        capture_output=True,
+        text=True,
+        cwd=str(cwd or REPO_ROOT),
+        env=env,
+    )
+
+
+class TestFixSource:
+    def test_only_rl006_is_fixable(self):
+        assert FIXABLE_RULES == ("RL006",)
+
+    def test_whole_statement_deleted(self):
+        src = "import os\nimport sys\n\nprint(sys.path)\n"
+        fixed, removed = fix_source(src, "mod.py")
+        assert removed == 1
+        assert fixed == "import sys\n\nprint(sys.path)\n"
+
+    def test_partial_statement_rewritten(self):
+        src = "import sys, json\n\nprint(sys.path)\n"
+        fixed, removed = fix_source(src, "mod.py")
+        assert removed == 1
+        assert fixed == "import sys\n\nprint(sys.path)\n"
+
+    def test_from_import_keeps_survivors_and_aliases(self):
+        src = textwrap.dedent(
+            """
+            from os.path import join, split as sp, dirname
+
+            print(sp(dirname("x")))
+            """
+        )
+        fixed, removed = fix_source(src, "mod.py")
+        assert removed == 1
+        assert "from os.path import split as sp, dirname" in fixed
+        assert "join" not in fixed
+
+    def test_multiline_import_collapses_to_one_line(self):
+        src = textwrap.dedent(
+            """
+            from os.path import (
+                join,
+                dirname,
+            )
+
+            print(dirname("x"))
+            """
+        )
+        fixed, removed = fix_source(src, "mod.py")
+        assert removed == 1
+        assert "from os.path import dirname\n" in fixed
+        assert "(" not in fixed.splitlines()[1]
+
+    def test_relative_import_levels_preserved(self):
+        src = "from ..core import engine, columnar\n\nprint(engine)\n"
+        fixed, removed = fix_source(src, "pkg/sub/mod.py")
+        assert removed == 1
+        assert "from ..core import engine\n" in fixed
+
+    def test_semicolon_shared_line_untouched(self):
+        src = "import os; X = 1\n\nprint(X)\n"
+        fixed, removed = fix_source(src, "mod.py")
+        assert removed == 0
+        assert fixed == src
+
+    def test_suppressed_finding_not_fixed(self):
+        src = "import os  # lint: ignore[RL006]\n"
+        fixed, removed = fix_source(src, "mod.py")
+        assert removed == 0
+        assert fixed == src
+
+    def test_init_py_exempt(self):
+        # __init__.py re-export hubs are outside RL006's scope; the
+        # fixer must honour the same applies_to gate.
+        src = "from .engine import Simulator\n"
+        fixed, removed = fix_source(src, "pkg/__init__.py")
+        assert removed == 0
+        assert fixed == src
+
+    def test_future_import_never_removed(self):
+        src = "from __future__ import annotations\n"
+        fixed, removed = fix_source(src, "mod.py")
+        assert removed == 0
+        assert fixed == src
+
+    def test_syntax_error_returns_input(self):
+        src = "import os\ndef broken(:\n"
+        fixed, removed = fix_source(src, "mod.py")
+        assert removed == 0
+        assert fixed == src
+
+    def test_idempotent(self):
+        src = textwrap.dedent(
+            """
+            import os
+            import sys, json
+            from os.path import join, dirname
+
+            print(sys.path, dirname("x"))
+            """
+        )
+        once, removed_once = fix_source(src, "mod.py")
+        assert removed_once == 3
+        twice, removed_twice = fix_source(once, "mod.py")
+        assert removed_twice == 0
+        assert twice == once
+
+
+class TestApplyFixes:
+    def _write(self, tmp_path: Path) -> Path:
+        f = tmp_path / "mod.py"
+        f.write_text("import os\nimport sys\n\nprint(sys.path)\n")
+        return f
+
+    def test_writes_file_and_reports(self, tmp_path):
+        f = self._write(tmp_path)
+        result = apply_fixes([str(tmp_path)])
+        assert result.changed
+        assert result.removed == 1
+        assert result.written == [str(f)]
+        assert "import os" not in f.read_text()
+        assert "-import os" in result.diffs[str(f)]
+
+    def test_dry_run_does_not_write(self, tmp_path):
+        f = self._write(tmp_path)
+        before = f.read_text()
+        result = apply_fixes([str(tmp_path)], dry_run=True)
+        assert result.changed
+        assert result.removed == 1
+        assert result.written == []
+        assert f.read_text() == before
+        assert "dry run" in result.render()
+
+    def test_clean_tree_nothing_to_fix(self, tmp_path):
+        (tmp_path / "mod.py").write_text("import sys\n\nprint(sys.path)\n")
+        result = apply_fixes([str(tmp_path)])
+        assert not result.changed
+        assert result.render() == "nothing to fix"
+
+
+class TestFixCLI:
+    def test_dry_run_requires_fix(self):
+        proc = _run_cli("--dry-run")
+        assert proc.returncode == 2
+        assert "--dry-run requires --fix" in proc.stderr
+
+    def test_fix_dry_run_previews_diff_without_writing(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text("import os\nimport sys\n\nprint(sys.path)\n")
+        before = f.read_text()
+        proc = _run_cli("--fix", "--dry-run", str(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+        assert "-import os" in proc.stdout
+        assert "dry run" in proc.stdout
+        assert f.read_text() == before
+
+    def test_fix_writes_then_relints_clean(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text("import os\nimport sys\n\nprint(sys.path)\n")
+        proc = _run_cli("--fix", str(tmp_path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "import os" not in f.read_text()
+
+    def test_shipped_tree_has_nothing_to_fix(self):
+        # The repo itself must stay autofix-clean (zero unused imports).
+        proc = _run_cli("--fix", "--dry-run", "src/repro")
+        assert proc.returncode == 0, proc.stderr
+        assert "nothing to fix" in proc.stdout

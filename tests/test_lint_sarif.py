@@ -1,0 +1,98 @@
+"""Tests for SARIF 2.1.0 export (``repro lint --format sarif``).
+
+Shape-checks the payload (schema/version, driver rule index, result
+records with locations and fingerprints), its determinism, and the CLI
+integration used by the CI code-scanning upload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import ALL_RULES, lint_paths, render_sarif, to_sarif
+from repro.lint.sarif import SARIF_SCHEMA_URI, SARIF_VERSION
+
+FIXTURES = Path(__file__).parent / "data" / "lint_fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _report():
+    # The monotone fixture yields a small, stable set of findings.
+    return lint_paths([FIXTURES / "monotone_pkg"])
+
+
+class TestSarifPayload:
+    def test_top_level_shape(self):
+        log = to_sarif(_report())
+        assert log["version"] == SARIF_VERSION == "2.1.0"
+        assert log["$schema"] == SARIF_SCHEMA_URI
+        assert len(log["runs"]) == 1
+        assert log["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+
+    def test_driver_lists_every_registered_rule(self):
+        driver = to_sarif(_report())["runs"][0]["tool"]["driver"]
+        ids = [r["id"] for r in driver["rules"]]
+        assert ids == [r.code for r in ALL_RULES]
+        by_id = {r["id"]: r for r in driver["rules"]}
+        # Full descriptions come from the --explain docstrings.
+        assert "Offending" in by_id["RL016"]["fullDescription"]["text"]
+        assert by_id["RL016"]["defaultConfiguration"]["level"] in (
+            "error",
+            "warning",
+        )
+
+    def test_results_carry_location_and_fingerprint(self):
+        report = _report()
+        log = to_sarif(report)
+        results = log["runs"][0]["results"]
+        assert len(results) == len(report.findings) > 0
+        fingerprints = {f.fingerprint for f in report.findings}
+        for res, finding in zip(results, report.findings):
+            assert res["ruleId"] == finding.rule
+            loc = res["locations"][0]["physicalLocation"]
+            assert loc["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+            assert loc["artifactLocation"]["uri"].endswith(".py")
+            assert loc["region"]["startLine"] >= 1
+            assert loc["region"]["startColumn"] >= 1
+            assert res["partialFingerprints"]["reproLint/v1"] in fingerprints
+            # ruleIndex points back into the driver rule table.
+            rules = log["runs"][0]["tool"]["driver"]["rules"]
+            assert rules[res["ruleIndex"]]["id"] == finding.rule
+
+    def test_render_is_deterministic_json(self):
+        a = render_sarif(_report())
+        b = render_sarif(_report())
+        assert a == b
+        json.loads(a)  # parses
+
+
+class TestSarifCLI:
+    def _run(self, *argv: str):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "lint", *argv],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO_ROOT),
+            env=env,
+        )
+
+    def test_format_sarif_on_offending_fixture(self):
+        proc = self._run("--format", "sarif", str(FIXTURES / "monotone_pkg"))
+        assert proc.returncode == 1  # findings still gate the exit code
+        log = json.loads(proc.stdout)
+        assert log["version"] == "2.1.0"
+        assert any(
+            res["ruleId"] == "RL016" for res in log["runs"][0]["results"]
+        )
+
+    def test_format_sarif_on_clean_tree(self):
+        proc = self._run("--format", "sarif", "src/repro")
+        assert proc.returncode == 0, proc.stderr
+        log = json.loads(proc.stdout)
+        assert log["runs"][0]["results"] == []
