@@ -20,7 +20,11 @@ Subcommands
                 determinism, float hygiene; see ``repro.lint``).
 ``obs``       — observability tooling: summarize/explain/diff/export
                 JSONL traces, NullRecorder overhead ratchet (see
-                ``repro.obs``).  ``REPRO_TRACE=1`` makes ``run`` (and any
+                ``repro.obs``).
+``serve``     — streaming scheduling daemon: JSONL job streams in
+                (stdio, Unix, or TCP socket), start-decision records
+                out; multi-tenant, backpressured, checkpoint/restore
+                (see ``repro.serve`` and ``docs/serving.md``).  ``REPRO_TRACE=1`` makes ``run`` (and any
                 other simulation-shaped command) record a structured
                 trace; ``run`` writes it to ``<scheduler>.trace.jsonl``
                 under ``REPRO_TRACE_DIR`` (default: cwd).
@@ -186,9 +190,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     from .lint.cli import add_lint_parser
     from .obs.cli import add_obs_parser
+    from .serve.cli import add_serve_parser
 
     add_lint_parser(sub)
     add_obs_parser(sub)
+    add_serve_parser(sub)
 
     p_w = sub.add_parser("workload", help="generate and save a synthetic instance")
     p_w.add_argument("out", help="output JSON path")
@@ -455,6 +461,19 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return cmd_obs(args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import functools
+
+    from .serve.cli import cmd_serve
+
+    # The serve package is print-free (lint RL011); the CLI injects the
+    # human-output channels.  In stdio mode stdout carries the JSONL
+    # protocol, so human-facing lines go to stderr.
+    return cmd_serve(
+        args, echo=print, echo_err=functools.partial(print, file=sys.stderr)
+    )
+
+
 def _cmd_workload(args: argparse.Namespace) -> int:
     spec = WorkloadSpec(
         n=args.jobs,
@@ -483,6 +502,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bench": _cmd_bench,
         "lint": _cmd_lint,
         "obs": _cmd_obs,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

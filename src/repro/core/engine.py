@@ -682,6 +682,7 @@ class Simulator:
         self._events_processed = 0
         self._ctx = SchedulerContext(self)
         self._started = False
+        self._streaming = False
 
         # Scheduler hooks are resolved once instead of via getattr per
         # event (the previous `_call_hook` showed up in profiles at
@@ -818,6 +819,165 @@ class Simulator:
                 obs.counter_add("engine.heap.pushes", self._queue._seq)
                 obs.gauge_set("engine.heap.peak", float(heap_peak))
 
+        return self._finish()
+
+    # -------------------------------------------------------- streaming feed
+    @property
+    def now(self) -> float:
+        """The logical clock (simulation time) — read-only.
+
+        Streaming callers (``repro serve``) use it to report per-tenant
+        progress and to stamp checkpoints; batch callers never need it.
+        """
+        return self._now
+
+    def start_stream(self) -> None:
+        """Begin an incremental (streaming) session on the object core.
+
+        This is the entry point behind ``repro serve``: instead of one
+        :meth:`run` that drains every queued event, the caller
+        interleaves :meth:`feed` (admit newly arrived jobs),
+        :meth:`advance` (process queued events up to a logical time) and
+        finally :meth:`finish_stream` (drain and build the result).  The
+        per-event semantics are identical to a batch run — the same
+        heap, the same ``(time, kind, seq)`` total order, the same
+        handlers — so a time-ordered job stream produces the same
+        schedule, trace and decision records as running the equivalent
+        static instance in one shot.
+
+        Streaming requires the scalar object core (construct with
+        ``Simulator(..., core="object")``); the columnar core's cohort
+        gathering assumes the full event horizon is known up front.
+        Adversaries are not supported: a streaming session's jobs come
+        from the outside world, not from an in-process construction.
+        """
+        if self._started:
+            raise SimulationError("a Simulator instance can only run once")
+        if self._core != "object":
+            raise SimulationError(
+                "streaming sessions require the object core "
+                "(construct with Simulator(..., core='object'))"
+            )
+        if self._adversary is not None:
+            raise SimulationError(
+                "streaming sessions do not support adversaries"
+            )
+        self._started = True
+        self._streaming = True
+        assert self._instance is not None
+        initial = list(self._instance.jobs)
+        self._admit_batch(initial)
+        setup = getattr(self._scheduler, "setup", None)
+        if callable(setup):
+            setup(self._ctx)
+        if self._obs is not None:
+            self._obs.instant(
+                "engine.run_begin",
+                scheduler=type(self._scheduler).__name__,
+                clairvoyant=self._clairvoyant,
+                adversarial=False,
+                initial_jobs=len(initial),
+                streaming=True,
+            )
+
+    def feed(self, jobs: "Iterable[Job]") -> int:
+        """Admit newly arrived jobs mid-stream; returns how many.
+
+        Each job's arrival must be at or after the current logical clock
+        (:class:`SimulationError` otherwise) — the stream is online, so
+        the past cannot grow new jobs.  Admission only queues the
+        arrival event; it is dispatched by a later :meth:`advance` whose
+        horizon covers it, which is what preserves the batch engine's
+        same-time cohort order for jobs fed one line at a time.
+        """
+        if not self._streaming:
+            raise SimulationError(
+                "feed() requires an active start_stream() session"
+            )
+        batch = list(jobs)
+        if len(batch) == 1:
+            self._admit_job(batch[0])
+        elif batch:
+            self._admit_batch(batch)
+        return len(batch)
+
+    def advance(self, until: float | None = None, *, inclusive: bool = True) -> int:
+        """Dispatch queued events up to ``until``; returns the count.
+
+        ``None`` drains the queue completely.  With ``inclusive=False``
+        only events *strictly before* ``until`` dispatch — the mode the
+        serve session uses when a job at arrival ``a`` comes in, so the
+        whole time-``a`` cohort (arrivals before deadlines, exactly as
+        the batch engine orders them) stays queued until the stream
+        moves past ``a``.  Either way the logical clock ends at
+        ``max(now, until)``, so a later :meth:`feed` of a job arriving
+        before ``until`` is rejected: per-tenant streams must be
+        time-monotone, exactly like the online model.
+        """
+        if not self._streaming:
+            raise SimulationError(
+                "advance() requires an active start_stream() session"
+            )
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"advance({until}) is in the past (now={self._now})"
+            )
+        obs = self._obs
+        heap = self._queue._heap
+        max_events = self._max_events
+        handlers = (
+            self._handle_completion,  # 0 COMPLETION
+            self._handle_assign,      # 1 ASSIGN
+            self._handle_arrival,     # 2 ARRIVAL
+            self._handle_deadline,    # 3 DEADLINE
+            self._handle_timer,       # 4 TIMER
+            self._handle_adversary,   # 5 ADVERSARY
+        )
+        processed = self._events_processed
+        first = processed
+        try:
+            while heap and (
+                until is None
+                or (heap[0][0] <= until if inclusive else heap[0][0] < until)
+            ):
+                time, kind, _seq, payload = heappop(heap)
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"event budget exceeded ({max_events}); "
+                        "likely a scheduler/adversary live-lock"
+                    )
+                if time < self._now:
+                    raise SimulationError(
+                        f"time went backwards: {time} < {self._now}"
+                    )
+                self._now = time
+                if obs is not None:
+                    obs.counter_add(_OBS_EVENT_COUNTERS[kind])
+                handlers[kind](payload)
+        finally:
+            self._events_processed = processed
+        if until is not None and until > self._now:
+            self._now = until
+        return processed - first
+
+    def finish_stream(self) -> SimulationResult:
+        """Drain every remaining event and build the result.
+
+        Remaining deadline events force their starts on the way out (the
+        FJS contract: every admitted job must start within its window),
+        so after this returns every fed job has started and completed.
+        """
+        if not self._streaming:
+            raise SimulationError(
+                "finish_stream() requires an active start_stream() session"
+            )
+        self.advance(None)
+        self._streaming = False
+        obs = self._obs
+        if obs is not None:
+            obs.counter_add("engine.events_processed", self._events_processed)
+            obs.counter_add("engine.heap.pushes", self._queue._seq)
         return self._finish()
 
     # -------------------------------------------------------------- internal

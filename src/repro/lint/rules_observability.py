@@ -48,7 +48,11 @@ from .findings import LintFinding
 __all__ = ["HotPathOutputRule"]
 
 #: Package prefixes (path fragments) treated as the per-event hot path.
-HOT_PATH_FRAGMENTS = ("repro/core/", "repro/schedulers/")
+#: ``repro/serve/`` is included because the daemon runs per protocol
+#: line: its only legitimate output channels are the asyncio stream
+#: writers (protocol records) and the structured recorder — a stray
+#: print would interleave with the JSONL protocol stream itself.
+HOT_PATH_FRAGMENTS = ("repro/core/", "repro/schedulers/", "repro/serve/")
 
 
 def _attr_chain_root(node: ast.expr) -> str | None:

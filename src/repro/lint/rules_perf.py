@@ -54,8 +54,15 @@ from .findings import LintFinding
 
 __all__ = ["HotPathAllocRule"]
 
-#: The engine-core files whose hot sections the rule polices.
-HOT_CORE_FRAGMENTS = ("repro/core/engine.py", "repro/core/columnar.py")
+#: The engine-core files whose hot sections the rule polices.  The
+#: serve package rides along: its per-op paths run once per protocol
+#: line, and per-job object materialisation belongs at its protocol
+#: boundary (``job_from_op``), not inside worker/dispatch sections.
+HOT_CORE_FRAGMENTS = (
+    "repro/core/engine.py",
+    "repro/core/columnar.py",
+    "repro/serve/",
+)
 
 #: Function-name prefixes marking per-event / per-cohort code.
 HOT_SECTION_PREFIXES = (

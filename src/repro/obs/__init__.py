@@ -44,7 +44,14 @@ from .recorder import (
     trace_enabled,
 )
 from .runtime import get_recorder, reset_recorder, set_recorder
-from .jsonl import JSONL_VERSION, LoadedTrace, read_jsonl, write_jsonl
+from .jsonl import (
+    JSONL_VERSION,
+    LoadedTrace,
+    dump_jsonl,
+    read_jsonl,
+    scan_jsonl,
+    write_jsonl,
+)
 from .chrome import chrome_trace_events, export_chrome_trace
 from .aggregate import (
     DiffEntry,
@@ -81,6 +88,7 @@ __all__ = [
     "describe_rule",
     "diff_bench",
     "diff_summaries",
+    "dump_jsonl",
     "explain_trace",
     "export_chrome_trace",
     "get_recorder",
@@ -89,6 +97,7 @@ __all__ = [
     "render_diff",
     "render_summary",
     "reset_recorder",
+    "scan_jsonl",
     "set_recorder",
     "summarize_trace",
     "trace_dir",

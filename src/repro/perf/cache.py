@@ -171,6 +171,7 @@ class ReferenceCache:
 
     def _flush(self, store: dict[str, float]) -> None:
         assert self._path is not None
+        tmp: str | None = None
         try:
             self._path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
@@ -181,6 +182,14 @@ class ReferenceCache:
             os.replace(tmp, self._path)
         except OSError:
             pass  # disk tier is best-effort; memory tier still holds the value
+        finally:
+            # A failed os.replace (or a write error after mkstemp) must
+            # not leak the temp file into the cache directory.
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass  # already renamed away (the success path)
 
 
 class CachedReference:

@@ -13,7 +13,10 @@ three hard guarantees:
   any task fails a pickling pre-flight (closures, lambdas, bound adaptive
   adversaries…), or when the host refuses to spawn processes (sandboxes,
   restricted containers), the runner silently executes serially and
-  records why in :attr:`ParallelRunner.last_stats`.
+  records why in :attr:`ParallelRunner.last_stats`.  Only pool
+  *infrastructure* failures degrade this way; an exception raised by a
+  task inside a worker propagates with its original traceback and each
+  task runs at most once.
 * **Chunked dispatch** — tasks are shipped to workers in contiguous
   chunks (default: ~4 chunks per worker) to amortise pickling and
   process-hop overhead on fine-grained grids.
@@ -52,6 +55,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generic, Iterable, Sequence, TypeVar
 
@@ -72,6 +76,19 @@ R = TypeVar("R")
 
 #: Environment variable controlling the default worker count.
 WORKERS_ENV = "REPRO_WORKERS"
+
+#: Pool-*infrastructure* failures that justify the serial fallback:
+#: a broken executor (worker died, pool unusable), the OS refusing to
+#: spawn processes (sandboxes, rlimits), or payloads/results that fail
+#: to (un)pickle.  Task exceptions are deliberately NOT in this tuple —
+#: they propagate out of :meth:`ParallelRunner.map` with their original
+#: traceback instead of triggering a silent full serial re-run.
+_POOL_FAILURES: tuple[type[BaseException], ...] = (
+    BrokenExecutor,
+    OSError,
+    pickle.PicklingError,
+    pickle.UnpicklingError,
+)
 
 
 def resolve_workers(workers: int | str | None) -> int:
@@ -222,7 +239,14 @@ class ParallelRunner:
         chunks = chunked(task_list, size)
         try:
             results = self._pool_map(fn, chunks, min(workers, len(chunks)))
-        except Exception as exc:  # pool unavailable (sandbox, OS limits…)
+        except _POOL_FAILURES as exc:
+            # Pool *infrastructure* failure only (sandboxed host refusing
+            # to spawn, worker processes dying, un-picklable payloads that
+            # slipped past the pre-flight): fall back to serial.  A task
+            # exception raised inside a worker is NOT caught here — it
+            # propagates with its original traceback, because silently
+            # re-running the whole grid serially would double side effects
+            # and mislabel a deterministic bug as "pool unavailable".
             return self._serial(fn, task_list, f"pool unavailable: {type(exc).__name__}")
         self.last_stats = RunnerStats(
             mode="parallel", workers=workers, tasks=n, chunks=len(chunks)

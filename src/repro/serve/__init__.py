@@ -1,0 +1,59 @@
+"""Streaming scheduling daemon: ``python -m repro serve``.
+
+Turns the discrete-event engine's incremental feed
+(:meth:`repro.core.engine.Simulator.start_stream`) into a long-running
+service: JSONL job-arrival streams in, start-decision records out, many
+tenant scheduler instances multiplexed in one asyncio process.
+
+Layers
+------
+* :mod:`repro.serve.protocol` — the line protocol (ops in, records
+  out), size/queue knobs, tenant-name hygiene.
+* :mod:`repro.serve.session` — :class:`TenantSession`: one tenant's
+  engine + recorder + replayable input-op log.
+* :mod:`repro.serve.checkpoint` — event-sourced checkpoints over the
+  versioned JSONL sink; restore by deterministic replay; pool fan-out
+  verification.
+* :mod:`repro.serve.daemon` — :class:`ServeDaemon`: bounded queues with
+  end-to-end backpressure, graceful SIGTERM drain, periodic
+  checkpoints, stdio/Unix/TCP transports.
+* :mod:`repro.serve.cli` — the ``serve`` subcommand.
+
+See ``docs/serving.md`` for the protocol walkthrough.
+"""
+
+from .protocol import (
+    DEFAULT_SCHEDULER,
+    ProtocolError,
+    encode_record,
+    error_record,
+    job_from_op,
+    parse_op,
+)
+from .session import TenantSession
+from .checkpoint import (
+    checkpoint_path,
+    load_checkpoint,
+    restore_all,
+    restore_session,
+    save_checkpoint,
+    verify_checkpoints,
+)
+from .daemon import ServeDaemon
+
+__all__ = [
+    "DEFAULT_SCHEDULER",
+    "ProtocolError",
+    "ServeDaemon",
+    "TenantSession",
+    "checkpoint_path",
+    "encode_record",
+    "error_record",
+    "job_from_op",
+    "load_checkpoint",
+    "parse_op",
+    "restore_all",
+    "restore_session",
+    "save_checkpoint",
+    "verify_checkpoints",
+]

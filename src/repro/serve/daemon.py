@@ -1,0 +1,733 @@
+"""The asyncio scheduling daemon behind ``python -m repro serve``.
+
+One process multiplexes many tenant scheduler streams.  Each tenant
+gets a bounded input queue and a worker task applying its ops in order
+(:class:`~repro.serve.session.TenantSession` is single-writer by
+construction); each connection gets a bounded output queue and a writer
+task.  The chain
+
+    socket -> line reader -> tenant queue -> worker -> output queue
+    -> writer -> socket
+
+awaits at every hop, so a slow or stalled consumer exerts *backpressure*
+all the way back to the client's TCP window instead of growing daemon
+memory: no queue ever holds more than its bound, and the line reader
+buffers at most one oversized line.
+
+Shutdown is graceful by default: ``SIGTERM``/``SIGINT`` (or an in-band
+``shutdown`` op) stops intake, applies every already-queued op, closes
+every open session (forcing the engine's deadline backstops so every
+admitted job starts — the drained traces reconcile under ``repro obs
+explain --strict``), writes final checkpoints, flushes every output
+queue, and exits.  A consumer that stops reading mid-drain is aborted
+after ``drain_timeout`` seconds so the daemon always terminates; the
+checkpoints are written *before* the output flush, so recovery never
+depends on the consumer.  ``SIGKILL`` recovery rides the periodic
+checkpoints instead: restart with ``--restore`` and every tenant replays
+its op log, suppressing already-delivered outputs
+(:mod:`repro.serve.checkpoint`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import sys
+import threading
+from pathlib import Path
+from typing import Any, BinaryIO, Callable
+
+from ..schedulers.registry import scheduler_names
+from .checkpoint import restore_all, save_checkpoint
+from .protocol import (
+    DEFAULT_SCHEDULER,
+    ProtocolError,
+    checkpoint_every,
+    encode_record,
+    error_record,
+    max_line_bytes,
+    parse_op,
+    queue_size,
+)
+from .session import TenantSession
+
+__all__ = ["ServeDaemon"]
+
+#: Protocol version stamped on ``serve.ready`` records.
+PROTOCOL_VERSION = 1
+
+_READ_CHUNK = 65536
+
+
+class _LineReader:
+    """Bounded line framing over a raw :class:`asyncio.StreamReader`.
+
+    Hand-rolled instead of ``StreamReader.readline`` so an oversized
+    line is *dropped* (bounded memory, connection survives) rather than
+    raising into the transport: the buffer never holds more than
+    ``max_line`` + one read chunk, and bytes after the offending
+    newline are preserved for the next call.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, max_line: int) -> None:
+        self._reader = reader
+        self._max_line = max_line
+        self._buf = bytearray()
+
+    async def next_line(self) -> tuple[bytes | None, bool]:
+        """``(line, oversized)``; line is ``None`` at EOF.
+
+        ``oversized=True`` means a line longer than the bound was
+        discarded (the returned line is empty and must not be parsed).
+        """
+        while True:
+            newline = self._buf.find(b"\n")
+            if newline != -1:
+                line = bytes(self._buf[:newline])
+                del self._buf[: newline + 1]
+                if len(line) > self._max_line:
+                    return b"", True
+                return line, False
+            if len(self._buf) > self._max_line:
+                dropped = await self._drop_to_newline()
+                if not dropped:
+                    return None, True  # EOF inside the oversized line
+                return b"", True
+            chunk = await self._reader.read(_READ_CHUNK)
+            if not chunk:
+                if self._buf:
+                    line = bytes(self._buf)
+                    self._buf.clear()
+                    if len(line) > self._max_line:
+                        return None, True
+                    return line, False
+                return None, False
+            self._buf.extend(chunk)
+
+    async def _drop_to_newline(self) -> bool:
+        """Discard buffered bytes up to the next newline; False at EOF."""
+        while True:
+            newline = self._buf.find(b"\n")
+            if newline != -1:
+                del self._buf[: newline + 1]
+                return True
+            self._buf.clear()
+            chunk = await self._reader.read(_READ_CHUNK)
+            if not chunk:
+                return False
+            self._buf.extend(chunk)
+
+
+class _Connection:
+    """One client connection: bounded output queue + writer task."""
+
+    def __init__(self, daemon: "ServeDaemon", writer: asyncio.StreamWriter) -> None:
+        self._daemon = daemon
+        self._writer = writer
+        self.out: asyncio.Queue[dict[str, Any] | None] = asyncio.Queue(
+            daemon.queue_size
+        )
+        self.dead = False
+        self.task: asyncio.Task[None] = asyncio.create_task(self._write_loop())
+
+    async def emit(self, record: dict[str, Any]) -> None:
+        """Enqueue one output record (awaits when the queue is full)."""
+        await self.out.put(record)
+
+    async def _write_loop(self) -> None:
+        while True:
+            record = await self.out.get()
+            if record is None:
+                self.out.task_done()
+                return
+            if not self.dead:
+                try:
+                    self._writer.write(encode_record(record))
+                    await self._writer.drain()
+                    self._daemon.records_out += 1
+                except (ConnectionError, OSError):
+                    # Consumer went away: keep *consuming* the queue so
+                    # workers blocked in emit() never deadlock.
+                    self.dead = True
+            self.out.task_done()
+
+    def abort(self) -> None:
+        """Hard-stop a stalled consumer (drain watchdog)."""
+        self.dead = True
+        try:
+            self._writer.transport.abort()
+        except (RuntimeError, OSError):  # transport already gone
+            pass
+
+    async def finish(self) -> None:
+        """Flush queued records and close the transport — but keep the
+        writer task consuming.  Ops already routed with this connection
+        may still be applied after the client leaves (e.g. the drain's
+        synthetic close), and their ``emit()`` must never block on a
+        queue nobody reads.  The daemon reaps the task at shutdown via
+        :meth:`flush_and_close`."""
+        await self.out.join()
+        await self._close_transport()
+
+    async def flush_and_close(self) -> None:
+        """Write out everything queued, stop the writer, close."""
+        await self.out.put(None)
+        await self.task
+        await self._close_transport()
+
+    async def _close_transport(self) -> None:
+        try:
+            self._writer.close()
+            # The stdio writer's FlowControlMixin protocol has no close
+            # waiter; everything else awaits the final flush.
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError, NotImplementedError):
+            pass
+
+
+class _TenantState:
+    """One tenant's bounded op queue, worker task, and session."""
+
+    def __init__(
+        self,
+        daemon: "ServeDaemon",
+        name: str,
+        session: TenantSession | None = None,
+    ) -> None:
+        self.name = name
+        self.session = session
+        self.queue: asyncio.Queue[
+            tuple[dict[str, Any], _Connection | None] | None
+        ] = asyncio.Queue(daemon.queue_size)
+        self.last_conn: _Connection | None = None
+        self.task: asyncio.Task[None] = asyncio.create_task(
+            daemon._tenant_loop(self)
+        )
+
+
+class ServeDaemon:
+    """The streaming scheduling daemon (see module docstring).
+
+    Parameters
+    ----------
+    scheduler:
+        Default scheduler for implicitly opened tenants.
+    queue_size / max_line / checkpoint_interval:
+        Override the ``REPRO_SERVE_*`` environment knobs.
+    checkpoint_dir:
+        Directory for per-tenant checkpoints (no checkpointing when
+        ``None``).
+    trace_dir:
+        Directory closed tenants write their obs traces into (no traces
+        when ``None``).
+    restore:
+        Restore every checkpointed tenant from ``checkpoint_dir`` before
+        accepting connections.
+    drain_timeout:
+        Seconds a graceful drain waits for consumers before aborting
+        stalled connections.
+    """
+
+    def __init__(
+        self,
+        *,
+        scheduler: str = DEFAULT_SCHEDULER,
+        queue_size_override: int | None = None,
+        max_line_override: int | None = None,
+        checkpoint_interval: int | None = None,
+        checkpoint_dir: "str | Path | None" = None,
+        trace_dir: "str | Path | None" = None,
+        restore: bool = False,
+        drain_timeout: float = 30.0,
+    ) -> None:
+        self.default_scheduler = scheduler
+        self.queue_size = queue_size(queue_size_override)
+        self.max_line = max_line_bytes(max_line_override)
+        self.checkpoint_interval = checkpoint_every(checkpoint_interval)
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self.restore = restore
+        self.drain_timeout = drain_timeout
+        #: Called with the bound address once the daemon is listening
+        #: (the CLI prints it; the daemon itself never writes to stdio).
+        self.on_ready: Callable[[str], None] | None = None
+
+        self.tenants: dict[str, _TenantState] = {}
+        self.connections: set[_Connection] = set()
+        self.draining = False
+        self.lines_in = 0
+        self.records_out = 0
+        self.errors = 0
+        self._reader_tasks: set["asyncio.Task[Any]"] = set()
+        self._shutdown_event: asyncio.Event | None = None
+        self._signals: list[signal.Signals] = []
+
+    # ------------------------------------------------------------ entrypoints
+    async def run_unix(self, path: "str | Path") -> None:
+        """Serve on a Unix domain socket until drained."""
+        server = await asyncio.start_unix_server(
+            self._on_connection, path=str(path), limit=self._reader_limit()
+        )
+        await self._run_with_server(server, f"unix:{path}")
+
+    async def run_tcp(self, host: str, port: int) -> None:
+        """Serve on a TCP socket until drained."""
+        server = await asyncio.start_server(
+            self._on_connection, host, port, limit=self._reader_limit()
+        )
+        sockets = server.sockets
+        bound = sockets[0].getsockname() if sockets else (host, port)
+        await self._run_with_server(server, f"tcp:{bound[0]}:{bound[1]}")
+
+    async def run_stdio(self) -> None:
+        """Serve one session over stdin/stdout until EOF or shutdown."""
+        self._prepare()
+        reader, writer, finalize = await _stdio_streams(self._reader_limit())
+        if self.on_ready is not None:
+            self.on_ready("stdio")
+        self._install_signal_handlers()
+        try:
+            conn_task = asyncio.create_task(self._on_connection(reader, writer))
+            event = self._shutdown_event
+            assert event is not None
+            wait_task = asyncio.create_task(event.wait())
+            await asyncio.wait(
+                {conn_task, wait_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+            self.request_shutdown()  # EOF and SIGTERM drain identically
+            await wait_task
+            await self._drain()
+            await asyncio.gather(conn_task, return_exceptions=True)
+        finally:
+            self._remove_signal_handlers()
+            finalize()  # stdout pump (file-redirected stdio) must land
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain (idempotent; signal-handler safe)."""
+        if not self.draining:
+            self.draining = True
+            if self._shutdown_event is not None:
+                self._shutdown_event.set()
+
+    # -------------------------------------------------------------- plumbing
+    def _reader_limit(self) -> int:
+        """Raw-stream buffer bound: intake memory stays O(max_line), not
+        asyncio's default 64KB, so a stalled chain stops reading bytes."""
+        return max(self.max_line, 4096)
+
+    def _prepare(self) -> None:
+        self._shutdown_event = asyncio.Event()
+        if self.restore and self.checkpoint_dir is not None:
+            for name, session in restore_all(self.checkpoint_dir).items():
+                self.tenants[name] = _TenantState(self, name, session=session)
+
+    async def _run_with_server(
+        self, server: asyncio.AbstractServer, address: str
+    ) -> None:
+        self._prepare()
+        if self.on_ready is not None:
+            self.on_ready(address)
+        self._install_signal_handlers()
+        try:
+            async with server:
+                event = self._shutdown_event
+                assert event is not None
+                await event.wait()
+                server.close()
+                await server.wait_closed()
+                await self._drain()
+        finally:
+            self._remove_signal_handlers()
+
+    def _install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_shutdown)
+            except (NotImplementedError, RuntimeError, ValueError):
+                continue  # non-main thread / unsupported platform
+            self._signals.append(sig)
+
+    def _remove_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in self._signals:
+            try:
+                loop.remove_signal_handler(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+        self._signals.clear()
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(self, writer)
+        self.connections.add(conn)
+        task = asyncio.current_task()
+        if task is not None:
+            self._reader_tasks.add(task)
+        try:
+            await conn.emit(
+                {
+                    "kind": "serve.ready",
+                    "version": PROTOCOL_VERSION,
+                    "default_scheduler": self.default_scheduler,
+                    "schedulers": scheduler_names(),
+                    "tenants": sorted(self.tenants),
+                }
+            )
+            lines = _LineReader(reader, self.max_line)
+            while not self.draining:
+                line, oversized = await lines.next_line()
+                if oversized:
+                    self.errors += 1
+                    await conn.emit(
+                        error_record(
+                            f"input line exceeds {self.max_line} bytes — "
+                            "dropped",
+                            oversized=True,
+                        )
+                    )
+                if line is None:
+                    break
+                if oversized or not line.strip():
+                    continue
+                self.lines_in += 1
+                try:
+                    op = parse_op(line)
+                except ProtocolError as exc:
+                    self.errors += 1
+                    await conn.emit(error_record(str(exc), tenant=exc.tenant))
+                    continue
+                await self._route(op, conn)
+        except asyncio.CancelledError:
+            if not self.draining:
+                # External cancellation (loop teardown, task kill) — NOT
+                # a drain.  The consumer may be stalled, so never await
+                # here: hard-stop the connection instead of flushing.
+                self.connections.discard(conn)
+                conn.abort()
+                conn.task.cancel()
+            # On drain: intake is cancelled, outputs flushed by _drain()
+        except (ConnectionError, OSError):
+            pass  # client went away mid-read
+        finally:
+            if task is not None:
+                self._reader_tasks.discard(task)
+            if not self.draining and conn in self.connections:
+                # Let in-flight ops routed from this connection finish
+                # (their outputs land on conn.out), then flush.  The
+                # connection stays registered: its writer task keeps
+                # consuming until the daemon-level drain reaps it.
+                for state in list(self.tenants.values()):
+                    if state.last_conn is conn:
+                        await state.queue.join()
+                await conn.finish()
+
+    async def _route(self, op: dict[str, Any], conn: _Connection) -> None:
+        kind = op["op"]
+        if kind == "shutdown":
+            await conn.emit({"kind": "serve.bye", "tenants": len(self.tenants)})
+            self.request_shutdown()
+            return
+        if kind == "stats":
+            await conn.emit(self._stats_record())
+            return
+        tenant = op.get("tenant")
+        if tenant is None:  # tenant-less checkpoint: fan out to every tenant
+            # No session check here: sessions are created by the worker,
+            # so a just-routed `open` may not have run yet.  The queue is
+            # FIFO per tenant — by the time the worker reaches this op,
+            # every earlier op (including the open) has been applied.
+            for state in list(self.tenants.values()):
+                state.last_conn = conn
+                await state.queue.put((dict(op, tenant=state.name), conn))
+            return
+        state = self.tenants.get(tenant)
+        if state is None:
+            state = _TenantState(self, tenant)
+            self.tenants[tenant] = state
+        state.last_conn = conn
+        await state.queue.put((op, conn))
+
+    async def _tenant_loop(self, state: _TenantState) -> None:
+        while True:
+            item = await state.queue.get()
+            if item is None:
+                state.queue.task_done()
+                return
+            op, conn = item
+            try:
+                await self._apply_op(state, op, conn)
+            finally:
+                state.queue.task_done()
+
+    async def _apply_op(
+        self,
+        state: _TenantState,
+        op: dict[str, Any],
+        conn: _Connection | None,
+    ) -> None:
+        try:
+            outs = self._mutate(state, op)
+        except Exception as exc:  # daemon survives any single bad op
+            self.errors += 1
+            outs = [
+                error_record(
+                    str(exc) or type(exc).__name__,
+                    tenant=state.name,
+                    op=str(op.get("op")),
+                )
+            ]
+        if conn is not None:
+            for record in outs:
+                await conn.emit(record)
+
+    def _mutate(
+        self, state: _TenantState, op: dict[str, Any]
+    ) -> list[dict[str, Any]]:
+        """Apply one op to a tenant (worker task only: single-writer)."""
+        kind = op["op"]
+        if kind == "open":
+            if state.session is not None:
+                raise ProtocolError(
+                    f"tenant {state.name!r} is already open", tenant=state.name
+                )
+            scheduler = op.get("scheduler", self.default_scheduler)
+            if not isinstance(scheduler, str):
+                raise ProtocolError(
+                    "open 'scheduler' must be a string", tenant=state.name
+                )
+            params = op.get("params")
+            if params is not None and not isinstance(params, dict):
+                raise ProtocolError(
+                    "open 'params' must be an object", tenant=state.name
+                )
+            state.session = TenantSession(
+                state.name, scheduler=scheduler, params=params
+            )
+            return state.session.hello()
+        if kind == "checkpoint":
+            if state.session is None:
+                raise ProtocolError(
+                    f"tenant {state.name!r} is not open", tenant=state.name
+                )
+            if self.checkpoint_dir is None:
+                raise ProtocolError(
+                    "no checkpoint directory configured", tenant=state.name
+                )
+            path = save_checkpoint(state.session, self.checkpoint_dir)
+            return [
+                {
+                    "kind": "serve.checkpoint",
+                    "tenant": state.name,
+                    "path": path,
+                    "ops": len(state.session.input_log),
+                    "emitted": state.session.emitted,
+                }
+            ]
+        outs: list[dict[str, Any]] = []
+        session = state.session
+        if session is None:
+            if kind != "job":
+                raise ProtocolError(
+                    f"tenant {state.name!r} is not open", tenant=state.name
+                )
+            session = TenantSession(
+                state.name, scheduler=self.default_scheduler
+            )
+            state.session = session
+            outs.extend(session.hello())
+        outs.extend(session.apply(op))
+        if kind == "close":
+            if self.trace_dir is not None:
+                trace_path = session.write_trace(self.trace_dir)
+                outs.append(
+                    {
+                        "kind": "serve.trace",
+                        "tenant": state.name,
+                        "path": trace_path,
+                    }
+                )
+            if self.checkpoint_dir is not None:
+                save_checkpoint(session, self.checkpoint_dir)
+        elif (
+            self.checkpoint_dir is not None
+            and self.checkpoint_interval > 0
+            and session.ops_since_checkpoint >= self.checkpoint_interval
+        ):
+            save_checkpoint(session, self.checkpoint_dir)
+        return outs
+
+    def _stats_record(self) -> dict[str, Any]:
+        tenants: dict[str, Any] = {}
+        for name, state in sorted(self.tenants.items()):
+            entry: dict[str, Any] = {"queued": state.queue.qsize()}
+            session = state.session
+            if session is not None:
+                entry["clock"] = session.clock
+                entry["ops"] = len(session.input_log)
+                entry["emitted"] = session.emitted
+                entry["closed"] = session.closed
+                if session.failed is not None:
+                    entry["failed"] = session.failed
+            tenants[name] = entry
+        return {
+            "kind": "serve.stats",
+            "lines_in": self.lines_in,
+            "records_out": self.records_out,
+            "errors": self.errors,
+            "draining": self.draining,
+            "tenants": tenants,
+        }
+
+    # ----------------------------------------------------------------- drain
+    async def _drain(self) -> None:
+        """Graceful shutdown: finish queued work, close, checkpoint, flush."""
+        for task in list(self._reader_tasks):
+            task.cancel()
+        if self._reader_tasks:
+            await asyncio.gather(*self._reader_tasks, return_exceptions=True)
+        watchdog = asyncio.create_task(self._drain_watchdog())
+        try:
+            # Apply everything already queued.
+            for state in list(self.tenants.values()):
+                await state.queue.join()
+            # Close every live session: the engine's deadline backstops
+            # start all remaining jobs, so traces reconcile strictly.
+            for state in list(self.tenants.values()):
+                session = state.session
+                if (
+                    session is not None
+                    and not session.closed
+                    and session.failed is None
+                ):
+                    await state.queue.put(
+                        (
+                            {"op": "close", "tenant": state.name,
+                             "reason": "drain"},
+                            state.last_conn,
+                        )
+                    )
+            for state in list(self.tenants.values()):
+                await state.queue.join()
+            # Failed sessions still checkpoint: their op log restores to
+            # the last successful op.
+            if self.checkpoint_dir is not None:
+                for state in list(self.tenants.values()):
+                    if (
+                        state.session is not None
+                        and state.session.failed is not None
+                    ):
+                        save_checkpoint(state.session, self.checkpoint_dir)
+            # Stop workers.
+            for state in list(self.tenants.values()):
+                await state.queue.put(None)
+            if self.tenants:
+                await asyncio.gather(
+                    *(state.task for state in self.tenants.values()),
+                    return_exceptions=True,
+                )
+            # Flush and close every connection (checkpoints are already
+            # on disk, so a dead consumer costs only its own records).
+            for conn in list(self.connections):
+                await conn.flush_and_close()
+            self.connections.clear()
+        finally:
+            watchdog.cancel()
+
+    async def _drain_watchdog(self) -> None:
+        try:
+            await asyncio.sleep(self.drain_timeout)
+        except asyncio.CancelledError:
+            return
+        for conn in list(self.connections):
+            conn.abort()
+
+
+async def _stdio_streams(
+    limit: int,
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter, Callable[[], None]]:
+    """Wrap this process's stdin/stdout as an asyncio stream pair.
+
+    asyncio's pipe transports only accept pipes, sockets and character
+    devices — ``repro serve --stdio < jobs.jsonl > out.jsonl`` hands us
+    regular files, which epoll cannot watch.  Those ends are bridged
+    through a real :func:`os.pipe` with a pump thread on the far side;
+    the kernel pipe buffer supplies the flow control the transport
+    would have.  Returns a finalizer that must run after the writer is
+    closed: it joins the stdout pump so the tail of the stream reaches
+    the file before the process exits.
+    """
+    loop = asyncio.get_running_loop()
+    reader = asyncio.StreamReader(limit=limit)
+    protocol = asyncio.StreamReaderProtocol(reader)
+    try:
+        await loop.connect_read_pipe(lambda: protocol, sys.stdin)
+    except (ValueError, OSError):
+        read_fd, _ = _pump_file_to_pipe(sys.stdin.buffer)
+        await loop.connect_read_pipe(lambda: protocol, os.fdopen(read_fd, "rb"))
+    out_pump: threading.Thread | None = None
+    try:
+        transport, flow = await loop.connect_write_pipe(
+            asyncio.streams.FlowControlMixin, sys.stdout
+        )
+    except (ValueError, OSError):
+        pipe_end, out_pump = _pump_pipe_to_file(sys.stdout.buffer)
+        transport, flow = await loop.connect_write_pipe(
+            asyncio.streams.FlowControlMixin, pipe_end
+        )
+    writer = asyncio.StreamWriter(transport, flow, reader, loop)
+
+    def finalize() -> None:
+        if out_pump is not None:
+            out_pump.join(timeout=10.0)
+
+    return reader, writer, finalize
+
+
+def _pump_file_to_pipe(src: BinaryIO) -> tuple[int, threading.Thread]:
+    """Copy ``src`` into a fresh pipe from a thread; return the read end."""
+    read_fd, write_fd = os.pipe()
+
+    def pump() -> None:
+        try:
+            while True:
+                chunk = src.read(_READ_CHUNK)
+                if not chunk:
+                    break
+                view = memoryview(chunk)
+                while view:
+                    view = view[os.write(write_fd, view) :]
+        except (BrokenPipeError, OSError, ValueError):
+            pass  # daemon stopped reading mid-file — drop the rest
+        finally:
+            os.close(write_fd)
+
+    thread = threading.Thread(target=pump, daemon=True, name="repro-serve-stdin")
+    thread.start()
+    return read_fd, thread
+
+
+def _pump_pipe_to_file(dst: BinaryIO) -> tuple[BinaryIO, threading.Thread]:
+    """Drain a fresh pipe into ``dst`` from a thread; return the write end."""
+    read_fd, write_fd = os.pipe()
+
+    def pump() -> None:
+        try:
+            while True:
+                chunk = os.read(read_fd, _READ_CHUNK)
+                if not chunk:
+                    break
+                dst.write(chunk)
+                dst.flush()
+        except (BrokenPipeError, OSError, ValueError):
+            pass  # output file went away — nothing left to preserve
+        finally:
+            os.close(read_fd)
+
+    thread = threading.Thread(target=pump, daemon=True, name="repro-serve-stdout")
+    thread.start()
+    return os.fdopen(write_fd, "wb"), thread

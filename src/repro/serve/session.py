@@ -1,0 +1,325 @@
+"""Per-tenant streaming sessions: one scheduler engine per tenant.
+
+A :class:`TenantSession` wraps one object-core
+:class:`~repro.core.engine.Simulator` opened with
+:meth:`~repro.core.engine.Simulator.start_stream`, plus the
+:class:`~repro.obs.recorder.TraceRecorder` that captures its structured
+records.  The daemon feeds it validated protocol ops one at a time;
+:meth:`apply` advances the engine and returns the *new* output records
+(starts, decisions, completions) that op produced, in engine order.
+
+Replayable by construction
+--------------------------
+The session keeps an **input-op log** (every successfully applied op)
+and an **emitted-output counter** (every output record it has produced).
+That pair is the whole checkpoint: because the engine is deterministic,
+replaying the logged ops through a fresh session regenerates the exact
+same output records — so a restored session simply *suppresses* the
+first ``emitted`` regenerated records (they were already delivered
+before the crash) and emits the rest bit-identically.  No engine state
+is ever pickled; see :mod:`repro.serve.checkpoint`.
+
+Failure containment
+-------------------
+Op *validation* errors (bad job fields, arrival in the past, duplicate
+ids) are raised before the engine mutates anything — the session stays
+live and the daemon answers with a ``serve.error`` record.  An error
+escaping mid-dispatch (e.g. a scheduler violating the FJS contract)
+poisons the session: it is marked failed and rejects further ops, while
+its op log still restores cleanly to the last successful op.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from ..core.engine import SimulationResult, Simulator
+from ..core.errors import SimulationError
+from ..core.job import Instance
+from ..obs.records import KIND_DECISION, KIND_INSTANT
+from ..obs.recorder import TraceRecorder
+from ..schedulers.registry import make_scheduler
+from .protocol import DEFAULT_SCHEDULER, ProtocolError, job_from_op
+
+__all__ = ["TenantSession"]
+
+#: Ops :meth:`TenantSession.apply` accepts (the stream-mutating subset).
+_STREAM_OPS = frozenset({"job", "advance", "close"})
+
+
+class TenantSession:
+    """One tenant's live scheduling stream.
+
+    Parameters
+    ----------
+    tenant:
+        The tenant name (already validated by the protocol layer).
+    scheduler:
+        Registry name of the scheduler to run (default ``batch+``).
+    params:
+        Keyword arguments for the scheduler factory.
+    suppress:
+        Number of regenerated output records to swallow before emitting
+        (checkpoint restore only — they were delivered pre-crash).
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        *,
+        scheduler: str = DEFAULT_SCHEDULER,
+        params: dict[str, Any] | None = None,
+        suppress: int = 0,
+    ) -> None:
+        self.tenant = tenant
+        self.scheduler_name = scheduler
+        self.params: dict[str, Any] = dict(params or {})
+        try:
+            sched = make_scheduler(scheduler, **self.params)
+        except KeyError as exc:
+            raise ProtocolError(str(exc), tenant=tenant) from None
+        except TypeError as exc:
+            raise ProtocolError(
+                f"bad scheduler params for {scheduler!r}: {exc}", tenant=tenant
+            ) from None
+        self.clairvoyant = bool(
+            getattr(type(sched), "requires_clairvoyance", False)
+        )
+        self.recorder = TraceRecorder()
+        self.sim = Simulator(
+            sched,
+            instance=Instance([], name=f"serve/{tenant}"),
+            clairvoyant=self.clairvoyant,
+            core="object",
+            recorder=self.recorder,
+        )
+        self.sim.start_stream()
+        #: Successfully applied stream ops, in order — the replay log.
+        self.input_log: list[dict[str, Any]] = []
+        #: Output records generated so far (delivered + restore-suppressed).
+        self.emitted = 0
+        self._suppress = int(suppress)
+        self._rec_idx = len(self.recorder.records)
+        self.closed = False
+        self.failed: str | None = None
+        self.result: SimulationResult | None = None
+        #: Ops applied since the last checkpoint (daemon's cadence counter).
+        self.ops_since_checkpoint = 0
+
+    # ------------------------------------------------------------------- api
+    @property
+    def clock(self) -> float:
+        """The tenant's logical (simulation) time."""
+        return self.sim.now
+
+    def hello(self) -> list[dict[str, Any]]:
+        """The session's opening output records (``serve.open``).
+
+        Called exactly once, right after construction — kept out of
+        ``__init__`` so restore suppression covers it like any other
+        output record.
+        """
+        record: dict[str, Any] = {
+            "kind": "serve.open",
+            "tenant": self.tenant,
+            "scheduler": self.scheduler_name,
+            "clairvoyant": self.clairvoyant,
+        }
+        if self.params:
+            record["params"] = dict(self.params)
+        return self._deliver([record])
+
+    def apply(self, op: dict[str, Any]) -> list[dict[str, Any]]:
+        """Apply one validated stream op; return its new output records.
+
+        Raises :class:`ProtocolError` or :class:`SimulationError` on a
+        rejected op (session still live), re-raises and poisons the
+        session on a mid-dispatch engine failure.
+        """
+        if self.failed is not None:
+            raise SimulationError(
+                f"tenant {self.tenant!r} stream failed earlier: {self.failed}"
+            )
+        if self.closed:
+            raise ProtocolError(
+                f"tenant {self.tenant!r} is already closed", tenant=self.tenant
+            )
+        kind = op.get("op")
+        if kind not in _STREAM_OPS:
+            raise ProtocolError(
+                f"op {kind!r} is not a stream op", tenant=self.tenant
+            )
+        outs: list[dict[str, Any]]
+        if kind == "job":
+            job = job_from_op(op)  # validation only; no engine mutation yet
+            self.sim.feed([job])  # rejects past arrivals / duplicate ids
+            # Exclusive advance: dispatch everything strictly before this
+            # arrival, keeping the whole time-`a` cohort queued until the
+            # stream moves past `a` — the batch engine's same-time order
+            # (arrivals before deadlines) is preserved for jobs fed one
+            # protocol line at a time.
+            self._dispatch(job.arrival, inclusive=False)
+            outs = self._collect()
+        elif kind == "advance":
+            self._dispatch(float(op["t"]), inclusive=True)
+            outs = self._collect()
+        else:  # close
+            result = self._finish_dispatch()
+            self.closed = True
+            self.result = result
+            outs = self._collect()
+            outs.append(
+                {
+                    "kind": "serve.closed",
+                    "tenant": self.tenant,
+                    "span": result.span,
+                    "jobs": len(result.instance.jobs),
+                    "events": result.events_processed,
+                }
+            )
+        self.input_log.append(dict(op))
+        self.ops_since_checkpoint += 1
+        return self._deliver(outs)
+
+    def write_trace(self, directory: "str | Path") -> str:
+        """Write the session's structured trace as versioned JSONL.
+
+        The trace of a *closed* session reconciles under
+        ``repro obs explain --strict`` exactly like a batch run's.
+        """
+        path = Path(directory) / f"{self.tenant}.trace.jsonl"
+        return self.recorder.write_jsonl(
+            path,
+            command="serve",
+            tenant=self.tenant,
+            scheduler=self.scheduler_name,
+        )
+
+    # ------------------------------------------------------------ checkpoint
+    def checkpoint_state(
+        self,
+    ) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+        """The session as ``(meta, rows)`` for the versioned JSONL sink.
+
+        ``meta`` carries the session configuration plus the
+        emitted-output counter; ``rows`` are the logged input ops.  The
+        pair is sufficient to rebuild the session by deterministic
+        replay (see :meth:`restore`).
+        """
+        meta: dict[str, Any] = {
+            "tenant": self.tenant,
+            "scheduler": self.scheduler_name,
+            "emitted": self.emitted,
+            "closed": self.closed,
+            "clock": self.clock,
+            "ops": len(self.input_log),
+        }
+        if self.params:
+            meta["params"] = dict(self.params)
+        rows = [{"kind": "op", "data": dict(op)} for op in self.input_log]
+        return meta, rows
+
+    @classmethod
+    def restore(
+        cls, meta: dict[str, Any], ops: list[dict[str, Any]]
+    ) -> "TenantSession":
+        """Rebuild a session by replaying its checkpointed op log.
+
+        The first ``meta["emitted"]`` regenerated output records are
+        suppressed (already delivered before the crash); everything the
+        restored session emits afterwards is bit-identical to what the
+        uninterrupted session would have emitted.
+        """
+        emitted = int(meta.get("emitted", 0))
+        session = cls(
+            str(meta["tenant"]),
+            scheduler=str(meta.get("scheduler", DEFAULT_SCHEDULER)),
+            params=dict(meta.get("params") or {}),
+            suppress=emitted,
+        )
+        session.hello()
+        for op in ops:
+            session.apply(dict(op))
+        if session._suppress:
+            raise ValueError(
+                f"checkpoint inconsistent for tenant {meta['tenant']!r}: "
+                f"{session._suppress} delivered output(s) were never "
+                "regenerated by replay"
+            )
+        return session
+
+    # -------------------------------------------------------------- internal
+    def _dispatch(self, until: float, *, inclusive: bool) -> None:
+        """Advance the engine, poisoning the session on dispatch failure."""
+        if until < self.sim.now:
+            # Rejected before the engine touches anything: session live.
+            raise SimulationError(
+                f"advance({until:g}) is in the past "
+                f"(tenant clock is at {self.sim.now:g})"
+            )
+        try:
+            self.sim.advance(until, inclusive=inclusive)
+        except Exception as exc:
+            # Escaped mid-dispatch: engine state may be partial — poison.
+            self.failed = f"{type(exc).__name__}: {exc}"
+            raise
+
+    def _finish_dispatch(self) -> SimulationResult:
+        try:
+            return self.sim.finish_stream()
+        except Exception as exc:
+            self.failed = f"{type(exc).__name__}: {exc}"
+            raise
+
+    def _collect(self) -> list[dict[str, Any]]:
+        """Map the recorder's new records to protocol output records."""
+        records = self.recorder.records
+        new = records[self._rec_idx :]
+        self._rec_idx = len(records)
+        out: list[dict[str, Any]] = []
+        for record in new:
+            if record.kind == KIND_DECISION:
+                decision: dict[str, Any] = {
+                    "kind": "decision",
+                    "tenant": self.tenant,
+                    "rule": record.name,
+                }
+                decision.update(record.attrs)
+                out.append(decision)
+            elif record.kind == KIND_INSTANT:
+                if record.name == "engine.start":
+                    out.append(
+                        {
+                            "kind": "start",
+                            "tenant": self.tenant,
+                            "job": record.attrs["job"],
+                            "t": record.attrs["t"],
+                        }
+                    )
+                elif record.name == "engine.completion":
+                    out.append(
+                        {
+                            "kind": "complete",
+                            "tenant": self.tenant,
+                            "job": record.attrs["job"],
+                            "t": record.attrs["t"],
+                        }
+                    )
+        return out
+
+    def _deliver(self, outs: list[dict[str, Any]]) -> list[dict[str, Any]]:
+        """Count generated outputs; swallow restore-suppressed ones."""
+        self.emitted += len(outs)
+        if self._suppress:
+            consumed = min(self._suppress, len(outs))
+            self._suppress -= consumed
+            outs = outs[consumed:]
+        return outs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "failed" if self.failed else "closed" if self.closed else "open"
+        return (
+            f"TenantSession({self.tenant!r}, {self.scheduler_name!r}, "
+            f"{state}, t={self.clock:g}, ops={len(self.input_log)})"
+        )

@@ -702,3 +702,40 @@ class TestStaticDynamicAgreement:
         for value in ("", "0", "false", "off"):
             monkeypatch.setenv("REPRO_STRICT", value)
             assert not strict_mode_enabled()
+
+
+class TestServeHotPathScope:
+    """``repro/serve`` is inside the RL011/RL012 hot-path scope: the
+    daemon speaks JSONL on sockets, so stray prints corrupt the protocol
+    stream and per-op allocation churn sits on the serving hot loop."""
+
+    def test_print_in_serve_daemon_flagged(self):
+        src = "def _route(self, op, conn):\n    print(op)\n"
+        assert "RL011" in codes(lint_source(src, "src/repro/serve/daemon.py"))
+
+    def test_logging_in_serve_session_flagged(self):
+        src = textwrap.dedent(
+            """
+            import logging
+
+            def dispatch(ev):
+                logging.info("op %s", ev)
+            """
+        )
+        assert codes(lint_source(src, "src/repro/serve/session.py")) == {
+            "RL011"
+        }
+
+    def test_job_ctor_in_serve_handler_flagged(self):
+        src = textwrap.dedent(
+            """
+            def _handle_completion(self, op):
+                return Job(id=1, arrival=0.0, deadline=2.0, length=1.0)
+            """
+        )
+        findings = [
+            f
+            for f in lint_source(src, "src/repro/serve/daemon.py")
+            if f.rule == "RL012"
+        ]
+        assert codes(findings) == {"RL012"}

@@ -191,3 +191,80 @@ class TestChromeExport:
     def test_empty_trace_exports_metadata_only(self):
         payload = chrome_trace_events(TraceRecorder())
         assert [e["ph"] for e in payload["traceEvents"]] == ["M"]
+
+
+class TestJsonlHardening:
+    """Regressions for the hardened writer/reader (shared with serve
+    checkpoints): strict meta-header validation and crash-safe writes."""
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty file"):
+            read_jsonl(path)
+
+    def test_blank_lines_only_rejected(self, tmp_path):
+        path = tmp_path / "blank.jsonl"
+        path.write_text("\n   \n\t\n")
+        with pytest.raises(ValueError, match="empty file"):
+            read_jsonl(path)
+
+    def test_leading_blank_lines_do_not_demote_meta(self, recorded, tmp_path):
+        """The meta header is the first *logical* record: stray leading
+        newlines (editors, ``cat`` concatenation) must not turn a valid
+        trace into a 'first line is not meta' rejection."""
+        original = tmp_path / "orig.jsonl"
+        write_jsonl(recorded, original, command="test")
+        padded = tmp_path / "padded.jsonl"
+        padded.write_text("\n\n" + original.read_text())
+        loaded = read_jsonl(padded)
+        assert loaded.meta["command"] == "test"
+        assert loaded.records == recorded.records
+
+    def test_non_meta_first_record_rejected(self, tmp_path):
+        path = tmp_path / "headless.jsonl"
+        path.write_text('{"kind": "instant", "ts": 0.0, "name": "x"}\n')
+        with pytest.raises(ValueError, match="must be meta"):
+            read_jsonl(path)
+
+    def test_mid_write_failure_leaves_no_temp_or_target(self, tmp_path):
+        from repro.obs import dump_jsonl
+
+        target = tmp_path / "out.jsonl"
+
+        def rows():
+            yield {"kind": "row"}
+            raise RuntimeError("source died mid-stream")
+
+        with pytest.raises(RuntimeError, match="mid-stream"):
+            dump_jsonl(target, rows(), tool="test")
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []  # no stray *.tmp files
+
+    def test_failed_rewrite_preserves_previous_file(self, tmp_path):
+        from repro.obs import dump_jsonl, scan_jsonl
+
+        target = tmp_path / "out.jsonl"
+        dump_jsonl(target, [{"kind": "row", "n": 1}], tool="test")
+
+        def rows():
+            yield {"kind": "row", "n": 2}
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            dump_jsonl(target, rows(), tool="test")
+        _, records = scan_jsonl(target)
+        assert records == [{"kind": "row", "n": 1}]  # old version intact
+
+    def test_stale_temp_from_crashed_writer_never_clobbered(self, tmp_path):
+        """mkstemp gives every writer a unique temp name, so a leftover
+        temp from a crashed process is never overwritten or published."""
+        from repro.obs import dump_jsonl, scan_jsonl
+
+        target = tmp_path / "out.jsonl"
+        stale = tmp_path / "out.jsonl.stale.tmp"
+        stale.write_text("half-written garbage")
+        dump_jsonl(target, [{"kind": "row"}], tool="test")
+        assert stale.read_text() == "half-written garbage"
+        _, records = scan_jsonl(target)
+        assert records == [{"kind": "row"}]

@@ -168,3 +168,40 @@ class TestDefaultCacheEnv:
         ref = cached_reference(span_lower_bound)
         ref(small_instance())
         assert (tmp_path / "reference_cache.json").exists()
+
+
+class TestFlushFailureCleanup:
+    """Regression: a failed disk flush must not leak ``.refcache-*``
+    temp files into the cache directory (the memory tier still serves)."""
+
+    def test_replace_failure_leaves_no_temp(self, monkeypatch, tmp_path):
+        cache = ReferenceCache(path=tmp_path)
+
+        def deny(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.perf.cache.os.replace", deny)
+        cache.put("lb", "fp1", 1.5)  # write-through flush fails silently
+        assert cache.get("lb", "fp1") == 1.5  # memory tier unaffected
+        leftovers = [p.name for p in tmp_path.iterdir()]
+        assert leftovers == []  # no .refcache-* temp, no store file
+
+    def test_flush_recovers_once_disk_returns(self, monkeypatch, tmp_path):
+        cache = ReferenceCache(path=tmp_path)
+        real_replace = __import__("os").replace
+        calls = {"n": 0}
+
+        def flaky(src, dst):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("transient")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.perf.cache.os.replace", flaky)
+        cache.put("lb", "fp1", 1.5)  # fails, cleaned up
+        cache.put("lb", "fp2", 2.5)  # succeeds, carries both entries
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == ["reference_cache.json"]
+        fresh = ReferenceCache(path=tmp_path)
+        assert fresh.get("lb", "fp1") == 1.5
+        assert fresh.get("lb", "fp2") == 2.5

@@ -155,3 +155,63 @@ class TestMonteCarloEquivalence:
             lambda s: RandomStart(seed=s), inst, ref, trials=6, workers=3
         )
         assert serial.ratios == parallel.ratios
+
+
+def _record_and_maybe_boom(task):
+    """Top-level (picklable) worker: leaves one uniquely-named marker
+    file per execution, so a re-run of any task is detectable."""
+    import os
+    import uuid
+    from pathlib import Path
+
+    directory, i = task
+    marker_dir = Path(directory)
+    marker_dir.mkdir(parents=True, exist_ok=True)
+    (marker_dir / f"{i}-{os.getpid()}-{uuid.uuid4().hex}").touch()
+    if i == 5:
+        raise ValueError(f"task {i} exploded")
+    return i * 2
+
+
+class TestWorkerExceptionPropagation:
+    """Regressions for the narrowed pool-failure fallback: a *task*
+    exception must propagate — not trigger a silent serial re-run that
+    executes every side effect twice."""
+
+    def test_task_exception_propagates_from_pool(self, tmp_path):
+        tasks = [(str(tmp_path), i) for i in range(8)]
+        runner = ParallelRunner(workers=2)
+        with pytest.raises(ValueError, match="task 5 exploded"):
+            runner.map(_record_and_maybe_boom, tasks)
+
+    def test_no_task_executes_twice_after_worker_failure(self, tmp_path):
+        tasks = [(str(tmp_path), i) for i in range(8)]
+        runner = ParallelRunner(workers=2)
+        with pytest.raises(ValueError):
+            runner.map(_record_and_maybe_boom, tasks)
+        executed = [p.name.split("-")[0] for p in tmp_path.iterdir()]
+        assert executed.count("5") == 1  # the failing task ran exactly once
+        for i in range(8):
+            assert executed.count(str(i)) <= 1, f"task {i} re-ran"
+
+    def test_task_exception_propagates_serially_too(self, tmp_path):
+        tasks = [(str(tmp_path), i) for i in range(8)]
+        runner = ParallelRunner(workers=1)
+        with pytest.raises(ValueError, match="task 5 exploded"):
+            runner.map(_record_and_maybe_boom, tasks)
+
+    def test_pool_infrastructure_failure_still_degrades_to_serial(
+        self, tmp_path, monkeypatch
+    ):
+        from concurrent.futures import BrokenExecutor
+
+        runner = ParallelRunner(workers=2)
+
+        def refuse(fn, chunks, workers):
+            raise BrokenExecutor("host refuses to spawn processes")
+
+        monkeypatch.setattr(runner, "_pool_map", refuse)
+        tasks = [(str(tmp_path), i) for i in range(8) if i != 5]
+        result = runner.map(_record_and_maybe_boom, tasks)
+        assert result == [i * 2 for i in range(8) if i != 5]
+        assert runner.last_stats.mode == "serial"

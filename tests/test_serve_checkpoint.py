@@ -1,0 +1,213 @@
+"""Event-sourced checkpoints: save/restore determinism, pool fan-out."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.jsonl import dump_jsonl, scan_jsonl
+from repro.perf.parallel import ParallelRunner
+from repro.serve.checkpoint import (
+    CHECKPOINT_SUFFIX,
+    checkpoint_path,
+    list_checkpoints,
+    load_checkpoint,
+    restore_all,
+    restore_session,
+    save_checkpoint,
+    verify_checkpoints,
+)
+from repro.serve.session import TenantSession
+
+JOBS = [
+    (0, 0.0, 2.0, 1.0),
+    (1, 0.5, 1.5, 3.0),
+    (2, 4.0, 5.0, 2.0),
+    (3, 6.0, 9.0, 1.0),
+]
+
+
+def job_op(tenant, job_id, arrival, deadline, length):
+    return {
+        "op": "job", "tenant": tenant, "id": job_id, "arrival": arrival,
+        "deadline": deadline, "length": length,
+    }
+
+
+def run_session(tenant="t1", upto=len(JOBS), close=False, scheduler="batch+"):
+    """A session with the first ``upto`` jobs applied; outputs collected."""
+    session = TenantSession(tenant, scheduler=scheduler)
+    outs = list(session.hello())
+    for jid, a, d, p in JOBS[:upto]:
+        outs += session.apply(job_op(tenant, jid, a, d, p))
+    if close:
+        outs += session.apply({"op": "close", "tenant": tenant})
+    return session, outs
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        session, _ = run_session(upto=2)
+        path = save_checkpoint(session, tmp_path)
+        assert path == str(checkpoint_path(tmp_path, "t1"))
+        meta, ops = load_checkpoint(path)
+        assert meta["tenant"] == "t1"
+        assert meta["scheduler"] == "batch+"
+        assert meta["emitted"] == session.emitted
+        assert meta["clock"] == session.clock
+        assert ops == session.input_log
+
+    def test_save_resets_cadence_counter(self, tmp_path):
+        session, _ = run_session(upto=2)
+        assert session.ops_since_checkpoint == 2
+        save_checkpoint(session, tmp_path)
+        assert session.ops_since_checkpoint == 0
+
+    def test_restore_matches_original_state(self, tmp_path):
+        session, _ = run_session(upto=3)
+        path = save_checkpoint(session, tmp_path)
+        restored = restore_session(path)
+        assert restored.tenant == session.tenant
+        assert restored.clock == session.clock
+        assert restored.emitted == session.emitted
+        assert restored.input_log == session.input_log
+        assert not restored.closed
+
+    def test_closed_session_restores_closed(self, tmp_path):
+        session, _ = run_session(close=True)
+        path = save_checkpoint(session, tmp_path)
+        restored = restore_session(path)
+        assert restored.closed
+        assert restored.result is not None
+        assert restored.result.span == session.result.span
+
+
+class TestKillRestoreDeterminism:
+    def test_remaining_outputs_bit_identical(self, tmp_path):
+        """The acceptance criterion: restore emits exactly what the
+        uninterrupted session would have emitted after the cut point."""
+        full_session, full_outs = run_session(close=True)
+
+        for cut in range(1, len(JOBS) + 1):
+            crash_session, pre_outs = run_session(upto=cut)
+            path = save_checkpoint(crash_session, tmp_path)
+            # "Crash": drop the session object entirely; restore from disk.
+            restored = restore_session(path)
+            post_outs = []
+            for jid, a, d, p in JOBS[cut:]:
+                post_outs += restored.apply(job_op("t1", jid, a, d, p))
+            post_outs += restored.apply({"op": "close", "tenant": "t1"})
+            assert pre_outs + post_outs == full_outs, f"cut at {cut}"
+            assert restored.result.span == full_session.result.span
+
+    def test_no_duplicate_start_records_after_restore(self, tmp_path):
+        _, full_outs = run_session(close=True)
+        crash_session, pre_outs = run_session(upto=2)
+        path = save_checkpoint(crash_session, tmp_path)
+        restored = restore_session(path)
+        post_outs = []
+        for jid, a, d, p in JOBS[2:]:
+            post_outs += restored.apply(job_op("t1", jid, a, d, p))
+        post_outs += restored.apply({"op": "close", "tenant": "t1"})
+        started = [o["job"] for o in pre_outs + post_outs if o["kind"] == "start"]
+        assert sorted(started) == [0, 1, 2, 3]
+        assert len(started) == len(set(started))  # no job started twice
+
+    def test_restore_all(self, tmp_path):
+        for tenant in ("alpha", "beta", "gamma"):
+            session, _ = run_session(tenant=tenant, upto=2)
+            save_checkpoint(session, tmp_path)
+        sessions = restore_all(tmp_path)
+        assert sorted(sessions) == ["alpha", "beta", "gamma"]
+        assert all(s.clock > 0 for s in sessions.values())
+
+    def test_list_checkpoints_sorted(self, tmp_path):
+        for tenant in ("zeta", "alpha"):
+            session, _ = run_session(tenant=tenant, upto=1)
+            save_checkpoint(session, tmp_path)
+        names = [p.name for p in list_checkpoints(tmp_path)]
+        assert names == [
+            f"alpha{CHECKPOINT_SUFFIX}", f"zeta{CHECKPOINT_SUFFIX}"
+        ]
+        assert list_checkpoints(tmp_path / "missing") == []
+
+
+class TestVerifyCheckpoints:
+    def _populate(self, tmp_path, n=4):
+        for i in range(n):
+            session, _ = run_session(
+                tenant=f"t{i}", upto=2 + (i % 3), close=(i % 2 == 0)
+            )
+            save_checkpoint(session, tmp_path)
+
+    def test_serial_and_pool_identical(self, tmp_path):
+        self._populate(tmp_path)
+        serial = verify_checkpoints(tmp_path, runner=ParallelRunner(workers=1))
+        pooled = verify_checkpoints(tmp_path, runner=ParallelRunner(workers=2))
+        assert serial == pooled
+        assert [s["tenant"] for s in serial] == ["t0", "t1", "t2", "t3"]
+        assert all("span" in s for s in serial if s["closed"])
+
+    def test_empty_directory(self, tmp_path):
+        assert verify_checkpoints(tmp_path) == []
+
+    def test_tampered_meta_detected(self, tmp_path):
+        session, _ = run_session(upto=2)
+        path = save_checkpoint(session, tmp_path)
+        meta, ops = load_checkpoint(path)
+        meta["clock"] = meta["clock"] + 7.0  # stale/hand-edited meta
+        meta.pop("version", None)
+        rows = [{"kind": "op", "data": op} for op in ops]
+        dump_jsonl(path, rows, **meta)
+        with pytest.raises(ValueError, match="replay diverged"):
+            verify_checkpoints(tmp_path, runner=ParallelRunner(workers=1))
+
+
+class TestCorruptCheckpoints:
+    def test_wrong_tool_rejected(self, tmp_path):
+        path = tmp_path / f"t1{CHECKPOINT_SUFFIX}"
+        dump_jsonl(path, [], tool="repro.obs", tenant="t1")
+        with pytest.raises(ValueError, match="not a serve checkpoint"):
+            load_checkpoint(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / f"t1{CHECKPOINT_SUFFIX}"
+        dump_jsonl(
+            path, [{"kind": "noise"}], tool="repro.serve", tenant="t1"
+        )
+        with pytest.raises(ValueError, match="malformed checkpoint row"):
+            load_checkpoint(path)
+
+    def test_truncated_ops_detected(self, tmp_path):
+        session, _ = run_session(upto=3)
+        path = save_checkpoint(session, tmp_path)
+        # Drop the last op row without touching the meta header.
+        from pathlib import Path
+
+        p = Path(path)
+        kept = p.read_text().splitlines()
+        p.write_text("\n".join(kept[:-1]) + "\n")
+        with pytest.raises(ValueError, match="truncated checkpoint"):
+            load_checkpoint(p)
+
+    def test_inflated_emitted_rejected_on_restore(self, tmp_path):
+        session, _ = run_session(upto=2)
+        path = save_checkpoint(session, tmp_path)
+        meta, ops = load_checkpoint(path)
+        meta["emitted"] = meta["emitted"] + 50  # claims undelivered records
+        meta["ops"] = len(ops)
+        meta.pop("version", None)
+        rows = [{"kind": "op", "data": op} for op in ops]
+        dump_jsonl(path, rows, **meta)
+        with pytest.raises(ValueError, match="never\\s+regenerated"):
+            restore_session(path)
+
+    def test_checkpoint_file_is_versioned_jsonl(self, tmp_path):
+        session, _ = run_session(upto=1)
+        path = save_checkpoint(session, tmp_path)
+        meta, rows = scan_jsonl(path)
+        assert meta["version"] == 1
+        assert meta["tool"] == "repro.serve"
+        first = json.loads(open(path).readline())
+        assert first["kind"] == "meta"

@@ -1,0 +1,198 @@
+"""TenantSession semantics: apply, output records, failure containment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.engine import simulate
+from repro.core.errors import SimulationError
+from repro.core.job import Instance
+from repro.obs.records import DECISION_RULES
+from repro.schedulers.registry import make_scheduler
+from repro.serve.protocol import ProtocolError
+from repro.serve.session import TenantSession
+
+
+def job_op(tenant, job_id, arrival, deadline, length, **extra):
+    op = {
+        "op": "job", "tenant": tenant, "id": job_id, "arrival": arrival,
+        "deadline": deadline, "length": length,
+    }
+    op.update(extra)
+    return op
+
+
+def drive(session, jobs, close=True):
+    """Feed (arrival, deadline, length) triples; return all outputs."""
+    outs = list(session.hello())
+    for i, (a, d, p) in enumerate(jobs):
+        outs += session.apply(job_op(session.tenant, i, a, d, p))
+    if close:
+        outs += session.apply({"op": "close", "tenant": session.tenant})
+    return outs
+
+
+class TestSessionBasics:
+    def test_hello_record(self):
+        session = TenantSession("t1")
+        outs = session.hello()
+        assert outs == [
+            {
+                "kind": "serve.open", "tenant": "t1", "scheduler": "batch+",
+                "clairvoyant": False,
+            }
+        ]
+
+    def test_params_forwarded_and_reported(self):
+        session = TenantSession("t1", scheduler="cdb", params={"alpha": 2.0})
+        (rec,) = session.hello()
+        assert rec["scheduler"] == "cdb"
+        assert rec["params"] == {"alpha": 2.0}
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ProtocolError):
+            TenantSession("t1", scheduler="no-such-algorithm")
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ProtocolError, match="bad scheduler params"):
+            TenantSession("t1", scheduler="cdb", params={"wat": 1})
+
+    def test_full_stream_output_kinds(self):
+        session = TenantSession("t1")
+        outs = drive(session, [(0, 2, 1), (0.5, 1, 3)])
+        kinds = [o["kind"] for o in outs]
+        assert kinds[0] == "serve.open"
+        assert kinds[-1] == "serve.closed"
+        assert "start" in kinds and "complete" in kinds
+        assert "decision" in kinds
+        assert all(o["tenant"] == "t1" for o in outs)
+        assert session.closed and session.result is not None
+
+    def test_decisions_use_closed_vocabulary(self):
+        session = TenantSession("t1")
+        outs = drive(session, [(0, 2, 1), (0.5, 1.5, 3), (4, 5, 2)])
+        rules = {o["rule"] for o in outs if o["kind"] == "decision"}
+        assert rules  # batch+ always explains its starts
+        assert rules <= set(DECISION_RULES)
+
+    def test_closed_record_matches_batch_span(self):
+        inst = Instance.from_triples([(0, 2, 1), (0.5, 1, 3), (4, 1, 2)])
+        batch = simulate(make_scheduler("batch+"), inst, core="object")
+        session = TenantSession("t1")
+        outs = drive(
+            session, [(j.arrival, j.deadline, j.length) for j in inst.jobs]
+        )
+        closed = outs[-1]
+        assert closed["span"] == batch.span
+        assert closed["jobs"] == len(inst.jobs)
+        starts = {o["job"]: o["t"] for o in outs if o["kind"] == "start"}
+        assert starts == batch.schedule.starts()
+
+    def test_advance_op_flushes_due_events(self):
+        session = TenantSession("t1")
+        session.hello()
+        session.apply(job_op("t1", 0, 0.0, 2.0, 1.0))
+        outs = session.apply({"op": "advance", "tenant": "t1", "t": 10.0})
+        assert {o["kind"] for o in outs} >= {"start", "complete"}
+        assert session.clock == 10.0
+
+    def test_emitted_counts_every_output(self):
+        session = TenantSession("t1")
+        outs = drive(session, [(0, 2, 1)])
+        assert session.emitted == len(outs)
+
+
+class TestSessionFailureContainment:
+    def test_past_arrival_rejected_session_live(self):
+        session = TenantSession("t1")
+        session.hello()
+        session.apply({"op": "advance", "tenant": "t1", "t": 5.0})
+        with pytest.raises(SimulationError, match="past"):
+            session.apply(job_op("t1", 0, 1.0, 3.0, 1.0))
+        assert session.failed is None
+        # The session still accepts future work.
+        outs = session.apply(job_op("t1", 1, 6.0, 8.0, 1.0))
+        assert isinstance(outs, list)
+
+    def test_past_advance_rejected_session_live(self):
+        session = TenantSession("t1")
+        session.hello()
+        session.apply({"op": "advance", "tenant": "t1", "t": 5.0})
+        with pytest.raises(SimulationError, match="in the past"):
+            session.apply({"op": "advance", "tenant": "t1", "t": 2.0})
+        assert session.failed is None
+
+    def test_duplicate_job_id_rejected_session_live(self):
+        session = TenantSession("t1")
+        session.hello()
+        session.apply(job_op("t1", 7, 0.0, 2.0, 1.0))
+        with pytest.raises(SimulationError, match="duplicate"):
+            session.apply(job_op("t1", 7, 0.5, 2.0, 1.0))
+        assert session.failed is None
+
+    def test_bad_job_fields_rejected_before_engine(self):
+        session = TenantSession("t1")
+        session.hello()
+        with pytest.raises(ProtocolError):
+            session.apply(job_op("t1", 0, 0.0, 2.0, -1.0))
+        assert session.failed is None
+        assert session.input_log == []  # nothing was applied
+
+    def test_close_twice_rejected(self):
+        session = TenantSession("t1")
+        drive(session, [(0, 2, 1)])
+        with pytest.raises(ProtocolError, match="already closed"):
+            session.apply({"op": "close", "tenant": "t1"})
+
+    def test_non_stream_op_rejected(self):
+        session = TenantSession("t1")
+        session.hello()
+        with pytest.raises(ProtocolError, match="not a stream op"):
+            session.apply({"op": "stats"})
+
+    def test_mid_dispatch_failure_poisons(self, monkeypatch):
+        session = TenantSession("t1")
+        session.hello()
+
+        def boom(until, *, inclusive=True):
+            raise RuntimeError("scheduler exploded")
+
+        monkeypatch.setattr(session.sim, "advance", boom)
+        with pytest.raises(RuntimeError):
+            session.apply(job_op("t1", 0, 1.0, 3.0, 1.0))
+        assert session.failed == "RuntimeError: scheduler exploded"
+        with pytest.raises(SimulationError, match="failed earlier"):
+            session.apply(job_op("t1", 1, 2.0, 4.0, 1.0))
+
+
+class TestSessionTrace:
+    def test_trace_reconciles_under_strict_explain(self, tmp_path):
+        session = TenantSession("t1")
+        drive(session, [(0, 2, 1), (0.5, 1.5, 3), (4, 5, 2)])
+        path = session.write_trace(tmp_path)
+        assert main(["obs", "explain", path, "--strict"]) == 0
+
+    def test_trace_meta_identifies_session(self, tmp_path):
+        from repro.obs import read_jsonl
+
+        session = TenantSession("t9", scheduler="batch")
+        drive(session, [(0, 2, 1)])
+        loaded = read_jsonl(session.write_trace(tmp_path))
+        assert loaded.meta["tenant"] == "t9"
+        assert loaded.meta["scheduler"] == "batch"
+        assert loaded.meta["command"] == "serve"
+
+
+class TestSessionCohortParity:
+    def test_same_time_jobs_fed_line_by_line_batch_identically(self):
+        inst = Instance.from_triples(
+            [(0, 4, 3), (0, 4, 2), (0, 4, 3), (3, 4, 1)]
+        )
+        batch = simulate(make_scheduler("batch+"), inst, core="object")
+        session = TenantSession("t1")
+        outs = drive(
+            session, [(j.arrival, j.deadline, j.length) for j in inst.jobs]
+        )
+        starts = {o["job"]: o["t"] for o in outs if o["kind"] == "start"}
+        assert starts == batch.schedule.starts()
