@@ -55,9 +55,24 @@ RL015     decision-vocabulary-exhaustiveness — scheduler decision
 RL016     time-monotonicity — a heap-push key or engine clock write not
           provably monotone (guards, clock anchoring, admission
           axioms).
+RL017     blocking-call-in-coroutine — ``time.sleep``, sync file/socket
+          I/O, ``Simulator.run``, ``ParallelRunner.map`` reachable from
+          an event-loop coroutine's sync call closure without
+          ``to_thread``/``run_in_executor``.
+RL018     orphaned-task — a ``create_task`` handle discarded (task
+          collectable mid-flight, exceptions never retrieved).
+RL019     unbounded-channel — ``asyncio.Queue()``/``StreamReader()``
+          without an explicit bound inside ``repro/serve`` (the
+          backpressure invariant).
+RL020     unshielded-cleanup-await — an await in a ``finally`` block
+          with neither ``asyncio.shield`` nor a CancelledError
+          hard-stop handler.
+RL021     queue-join-protocol — ``Queue.join()`` without ``task_done()``
+          on every consumer path, or a poison pill enqueued before the
+          join.
 ========  ===============================================================
 
-RL007–RL016 are *program rules* (:class:`~repro.lint.base.ProgramRule`):
+RL007–RL021 are *program rules* (:class:`~repro.lint.base.ProgramRule`):
 they run over the whole-program symbol table, call graph, and fixpoint
 analyses assembled by :mod:`repro.lint.dataflow` from per-file
 summaries.  The per-file phase is parallel (``lint --jobs N``) and
@@ -71,7 +86,11 @@ the offending line.  Grandfathered findings live in a baseline file (see
 The static RL001 verdicts are cross-validated by a runtime oracle: under
 ``REPRO_STRICT=1`` the engine records (and rejects) pre-completion
 ``.length`` reads by schedulers declaring ``requires_clairvoyance =
-False`` — see :mod:`repro.core.engine`.
+False`` — see :mod:`repro.core.engine`.  RL013 has its own twin
+(``REPRO_PARITY=1`` lockstep core diffing), and RL017/RL018 are
+cross-validated by the ``REPRO_LOOPWATCH=1`` instrumented event loop
+(:mod:`repro.serve.loopwatch`), which measures per-callback stalls and
+never-retrieved task exceptions on the shared async fixture packages.
 """
 
 from __future__ import annotations
@@ -93,6 +112,7 @@ from . import rules_observability  # noqa: F401
 from . import rules_perf  # noqa: F401
 from . import dataflow  # noqa: F401  (registers RL007-RL010)
 from . import invariants  # noqa: F401  (registers RL013-RL016)
+from . import asyncsafety  # noqa: F401  (registers RL017-RL021)
 from .dataflow import AnalysisCache, Program, default_cache_path
 
 __all__ = [

@@ -43,7 +43,7 @@ from typing import Any
 __all__ = ["AnalysisCache", "default_cache_path", "file_key", "ruleset_digest"]
 
 #: Bump when the summary schema or finding replay format changes.
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 
 #: Directory name used by the CLI default (gitignored).
 CACHE_DIR_NAME = ".repro_lint_cache"

@@ -59,6 +59,11 @@ _TAINT_ATTRS = {"length", "with_length", "_lengths"}
 #: Constructors producing a ParallelRunner.
 _RUNNER_CTORS = {"ParallelRunner", "get_default_runner"}
 
+#: Constructors producing an engine ``Simulator`` (the asyncsafety rules
+#: treat a ``.run()`` on such a receiver as a whole-instance blocking
+#: simulation, which must never run inline on the event loop).
+_SIM_CTORS = {"Simulator"}
+
 #: Sanctioned seeded-RNG constructors (shared with RL002's notion).
 _SEEDED_OK = {
     "random.Random",
@@ -157,6 +162,9 @@ class CallSite:
     args: list[dict[str, Any]]  #: positional argument descriptors
     kwargs: dict[str, dict[str, Any]]  #: keyword argument descriptors
     recv_runner: bool = False  #: receiver resolved to a ParallelRunner
+    recv_sim: bool = False  #: receiver resolved to a Simulator
+    awaited: bool = False  #: the call is the operand of an ``await``
+    in_finally: bool = False  #: lexically inside a ``finally`` block
 
 
 @dataclass
@@ -213,6 +221,19 @@ class FunctionSummary:
     now_anchored: list[str] = field(default_factory=list)
     #: locals bound to call results: ``[local, callee dotted name]``
     call_assigns: list[list[str]] = field(default_factory=list)
+    is_async: bool = False  #: declared ``async def``
+    #: ``create_task``/``ensure_future`` sites (RL018): ``[callee as
+    #: written, spawned coroutine dotted name or None, handled, lineno,
+    #: col]`` — ``handled`` is 0 when the returned task is discarded (a
+    #: bare expression statement), 1 when it is stored, awaited, passed
+    #: on, or chained into ``.add_done_callback``.
+    spawns: list[list[Any]] = field(default_factory=list)
+    #: ``await`` expressions inside ``finally`` blocks (RL020):
+    #: ``[awaited desc, shielded, cancel_guarded, lineno, col]`` —
+    #: ``shielded`` is 1 for ``await asyncio.shield(...)``;
+    #: ``cancel_guarded`` is 1 when the owning ``try`` also has a
+    #: ``CancelledError`` (or broader) handler, the hard-stop pattern.
+    finally_awaits: list[list[Any]] = field(default_factory=list)
 
 
 @dataclass
@@ -467,7 +488,10 @@ def _kind_leaf(node: ast.expr) -> str | None:
 # Per-function origin analysis
 # ---------------------------------------------------------------------------
 
-Origin = tuple  # ("param", name) | ("job",) | ("attr", name) | ("runner",)
+Origin = tuple  # ("param", n) | ("job",) | ("attr", n) | ("runner",) | ("sim",)
+
+#: ``try`` statement node types (``except*`` groups included on 3.11+).
+_TRY_NODES: tuple = (ast.Try, *((ast.TryStar,) if hasattr(ast, "TryStar") else ()))
 
 
 class _FunctionAnalyzer:
@@ -496,7 +520,14 @@ class _FunctionAnalyzer:
             params=[],
             job_params=[],
             nested=nested,
+            is_async=isinstance(fn, ast.AsyncFunctionDef),
         )
+        #: ``Call`` node ids that are the direct operand of an ``await``.
+        self._awaited_ids: set[int] = set()
+        #: ``Call`` node ids whose result is discarded (bare ``Expr``).
+        self._bare_expr_ids: set[int] = set()
+        #: ``Call`` node ids lexically inside a ``finally`` block.
+        self._finally_ids: set[int] = set()
 
     # -- origin helpers ------------------------------------------------------
     def _add_origin(self, name: str, origin: Origin) -> bool:
@@ -527,6 +558,8 @@ class _FunctionAnalyzer:
                     return {("job",)}
                 if leaf in _RUNNER_CTORS:
                     return {("runner",)}
+                if leaf in _SIM_CTORS:
+                    return {("sim",)}
                 if leaf in ("list", "sorted", "tuple", "reversed", "iter", "next"):
                     if node.args:
                         return self.origins_of(node.args[0])
@@ -566,6 +599,7 @@ class _FunctionAnalyzer:
         self._seed_params()
         self._collect_locals()
         self._origin_fixpoint()
+        self._collect_async_contexts()
         self._scan_body()
         self._derive_guards()
         self.out.self_loads = sorted(self._self_loads)
@@ -589,6 +623,8 @@ class _FunctionAnalyzer:
                 self._add_origin(a.arg, ("job",))
             if leaf == "ParallelRunner":
                 self._add_origin(a.arg, ("runner",))
+            if leaf in _SIM_CTORS:
+                self._add_origin(a.arg, ("sim",))
 
     def _collect_locals(self) -> None:
         for node in self._walk_own():
@@ -653,6 +689,8 @@ class _FunctionAnalyzer:
                         origins.add(("job",))
                     if _annotation_leaf(node.annotation) == "ParallelRunner":
                         origins.add(("runner",))
+                    if _annotation_leaf(node.annotation) in _SIM_CTORS:
+                        origins.add(("sim",))
                     if origins:
                         changed |= self._bind_target(node.target, origins)
                 elif isinstance(node, (ast.For, ast.AsyncFor)):
@@ -667,6 +705,78 @@ class _FunctionAnalyzer:
                     for a in node.args.args:
                         if a.arg in ("job", "j", "jv"):
                             changed |= self._add_origin(a.arg, ("job",))
+
+    # -- async contexts ------------------------------------------------------
+    @staticmethod
+    def _walk_shallow(stmts: list[ast.stmt]) -> Iterator[ast.AST]:
+        """Walk statements without descending into nested ``def``s."""
+        stack: list[ast.AST] = list(stmts)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _catches_cancel(handlers: list[ast.ExceptHandler]) -> bool:
+        """Does any handler catch ``CancelledError`` (or broader)?
+
+        A ``try`` whose cancellation path is intercepted before the
+        ``finally`` runs implements the daemon's hard-stop pattern: on
+        cancel, the handler flips the drain/abort flags so the guarded
+        cleanup awaits in ``finally`` are skipped or bounded.
+        """
+        for h in handlers:
+            if h.type is None:
+                return True
+            types = h.type.elts if isinstance(h.type, ast.Tuple) else [h.type]
+            for t in types:
+                leaf = _expr_leaf(t)
+                # ``except Exception`` does *not* catch CancelledError
+                # (it derives from BaseException), so it does not count.
+                if leaf in ("CancelledError", "BaseException"):
+                    return True
+        return False
+
+    def _collect_async_contexts(self) -> None:
+        """Record await/discard/finally contexts for the body scan.
+
+        :meth:`_walk_own` yields nodes without parent links, so the
+        per-call facts the asyncsafety rules need (is this call awaited?
+        discarded? inside a ``finally``?) are precomputed here as node-id
+        sets, and ``finally``-block awaits are summarised directly.
+        """
+        for node in self._walk_own():
+            if isinstance(node, ast.Await) and isinstance(node.value, ast.Call):
+                self._awaited_ids.add(id(node.value))
+            elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                self._bare_expr_ids.add(id(node.value))
+            elif isinstance(node, _TRY_NODES):
+                guarded = self._catches_cancel(node.handlers)
+                for sub in self._walk_shallow(node.finalbody):
+                    if isinstance(sub, ast.Call):
+                        self._finally_ids.add(id(sub))
+                    elif isinstance(sub, ast.Await):
+                        self._record_finally_await(sub, guarded)
+
+    def _record_finally_await(self, node: ast.Await, guarded: bool) -> None:
+        value = node.value
+        shielded = False
+        desc = "<expr>"
+        if isinstance(value, ast.Call):
+            callee = _dotted(value.func)
+            if callee is not None:
+                desc = callee
+                if callee.rsplit(".", 1)[-1] == "shield":
+                    shielded = True
+        else:
+            leaf = _dotted(value)
+            if leaf is not None:
+                desc = leaf
+        self.out.finally_awaits.append(
+            [desc, int(shielded), int(guarded), node.lineno, node.col_offset]
+        )
 
     # -- body scan ----------------------------------------------------------
     def _scan_body(self) -> None:
@@ -756,6 +866,11 @@ class _FunctionAnalyzer:
         ):
             recv_origins = self.origins_of(node.func.value)
             recv_runner = ("runner",) in recv_origins
+        # RL017 receiver typing for <sim>.run(): a whole-instance
+        # simulation on a Simulator-origin receiver.
+        recv_sim = False
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "run":
+            recv_sim = ("sim",) in self.origins_of(node.func.value)
         args = [self._describe_arg(a) for a in node.args if not isinstance(a, ast.Starred)]
         kwargs = {
             kw.arg: self._describe_arg(kw.value)
@@ -770,8 +885,21 @@ class _FunctionAnalyzer:
                 args=args,
                 kwargs=kwargs,
                 recv_runner=recv_runner,
+                recv_sim=recv_sim,
+                awaited=id(node) in self._awaited_ids,
+                in_finally=id(node) in self._finally_ids,
             )
         )
+        # Task spawns (RL018): record whether the returned handle is kept.
+        leaf = callee.rsplit(".", 1)[-1]
+        if leaf in ("create_task", "ensure_future"):
+            spawned: str | None = None
+            if node.args and isinstance(node.args[0], ast.Call):
+                spawned = _dotted(node.args[0].func)
+            handled = 0 if id(node) in self._bare_expr_ids else 1
+            self.out.spawns.append(
+                [callee, spawned, handled, node.lineno, node.col_offset]
+            )
         # Effects: unseeded RNG / wall clocks.
         if callee in _SEEDED_OK:
             return

@@ -44,15 +44,9 @@ from typing import Iterator
 
 from .base import FileContext, Rule, register
 from .findings import LintFinding
+from .scopes import HOT_PATH_FRAGMENTS
 
-__all__ = ["HotPathOutputRule"]
-
-#: Package prefixes (path fragments) treated as the per-event hot path.
-#: ``repro/serve/`` is included because the daemon runs per protocol
-#: line: its only legitimate output channels are the asyncio stream
-#: writers (protocol records) and the structured recorder — a stray
-#: print would interleave with the JSONL protocol stream itself.
-HOT_PATH_FRAGMENTS = ("repro/core/", "repro/schedulers/", "repro/serve/")
+__all__ = ["HOT_PATH_FRAGMENTS", "HotPathOutputRule"]
 
 
 def _attr_chain_root(node: ast.expr) -> str | None:

@@ -51,30 +51,9 @@ from typing import Iterator
 
 from .base import FileContext, Rule, register
 from .findings import LintFinding
+from .scopes import HOT_CORE_FRAGMENTS, HOT_SECTION_PREFIXES
 
-__all__ = ["HotPathAllocRule"]
-
-#: The engine-core files whose hot sections the rule polices.  The
-#: serve package rides along: its per-op paths run once per protocol
-#: line, and per-job object materialisation belongs at its protocol
-#: boundary (``job_from_op``), not inside worker/dispatch sections.
-HOT_CORE_FRAGMENTS = (
-    "repro/core/engine.py",
-    "repro/core/columnar.py",
-    "repro/serve/",
-)
-
-#: Function-name prefixes marking per-event / per-cohort code.
-HOT_SECTION_PREFIXES = (
-    "_run_",
-    "_handle_",
-    "_cohort_",
-    "_complete_",
-    "_assign_",
-    "_gather",
-    "_start_",
-    "_push_",
-)
+__all__ = ["HOT_CORE_FRAGMENTS", "HOT_SECTION_PREFIXES", "HotPathAllocRule"]
 
 #: Per-job object constructors that must not run per event.
 _PER_JOB_TYPES = frozenset({"Job", "JobView", "TableJobView", "_JobState"})

@@ -34,6 +34,11 @@ macro/e5_cdb_alpha2
     CDB (clairvoyant, α=2) over the seeded E5-style synthetic workload:
     live per-job hooks on every event, pinning the *scalar* path of the
     columnar core so a gathering regression can't hide behind it.
+serve/stdio_two_tenants
+    Two interleaved tenant streams of JSONL ops pushed synchronously
+    through the serving layer's protocol + session path (``parse_op`` →
+    ``TenantSession.apply``) — the per-op cost of ``repro serve
+    --stdio`` minus the event loop, counted in output records/s.
 
 Timing protocol: every case runs ``repeat`` times (default 3) after one
 untimed warm-up iteration for the micro cases; the **best** wall time is
@@ -59,6 +64,7 @@ __all__ = [
     "E1_K2_BASELINE_EVENTS_PER_S",
     "E1_K2_COLUMNAR_BASELINE_EVENTS_PER_S",
     "RATCHET_MARGIN",
+    "SERVE_STDIO_BASELINE_EVENTS_PER_S",
     "BenchRecord",
     "bench_cases",
     "bench_provenance",
@@ -86,6 +92,14 @@ E1_K2_BASELINE_EVENTS_PER_S = 111_846.0
 #: the scalar path trips it).  CI fails the perf-ratchet job when the
 #: measured rate drops more than 10% below this.
 E1_K2_COLUMNAR_BASELINE_EVENTS_PER_S = 450_000.0
+
+#: Ratcheted floor for ``serve/stdio_two_tenants`` — output records/s
+#: through the synchronous protocol + session path (the reference
+#: machine measured ≈85 000 rec/s; the floor absorbs machine variance
+#: while still tripping on an accidental O(n²) in ``parse_op``,
+#: ``TenantSession.apply``, or the record-delivery path).  Checked by
+#: :func:`check_ratchet` whenever the case is part of the run.
+SERVE_STDIO_BASELINE_EVENTS_PER_S = 35_000.0
 
 
 @dataclass(frozen=True)
@@ -162,6 +176,37 @@ def _bench_e5_cdb(jobs: int, seed: int, alpha: float = 2.0) -> int:
     return result.events_processed
 
 
+def _bench_serve_two_tenants(jobs_per_tenant: int) -> int:
+    """Two interleaved tenant streams through the serving layer.
+
+    Feeds JSONL job ops alternating between tenants ``a`` and ``b``
+    through ``parse_op`` → :meth:`TenantSession.apply`, then closes
+    both.  Synchronous on purpose: it times the protocol + session
+    layers themselves (the work `repro serve --stdio` does per op),
+    not asyncio scheduling.  Returns the output-record count.
+    """
+    from ..serve.protocol import parse_op
+    from ..serve.session import TenantSession
+
+    sessions = {name: TenantSession(name) for name in ("a", "b")}
+    records = 0
+    for session in sessions.values():
+        records += len(session.hello())
+    for i in range(jobs_per_tenant):
+        arrival = float(i)
+        for tenant in ("a", "b"):
+            line = (
+                f'{{"op": "job", "tenant": "{tenant}", "id": {i},'
+                f' "arrival": {arrival}, "length": 2.0,'
+                f' "deadline": {arrival + 6.0}}}'
+            )
+            records += len(sessions[tenant].apply(parse_op(line)))
+    for tenant in ("a", "b"):
+        op = parse_op(f'{{"op": "close", "tenant": "{tenant}"}}')
+        records += len(sessions[tenant].apply(op))
+    return records
+
+
 def bench_cases(quick: bool) -> list[tuple[str, Callable[[], int]]]:
     """The pinned suite: ``(case name, zero-arg callable -> event count)``."""
     if quick:
@@ -175,6 +220,10 @@ def bench_cases(quick: bool) -> list[tuple[str, Callable[[], int]]]:
                 lambda: _bench_e1_macro(1, "batch+"),
             ),
             ("macro/e5_cdb_alpha2", lambda: _bench_e5_cdb(1_000, 11)),
+            (
+                "serve/stdio_two_tenants",
+                lambda: _bench_serve_two_tenants(500),
+            ),
         ]
     return [
         ("micro/event_queue", lambda: _bench_event_queue(200_000)),
@@ -186,6 +235,10 @@ def bench_cases(quick: bool) -> list[tuple[str, Callable[[], int]]]:
             lambda: _bench_e1_macro(2, "batch+"),
         ),
         ("macro/e5_cdb_alpha2", lambda: _bench_e5_cdb(5_000, 11)),
+        (
+            "serve/stdio_two_tenants",
+            lambda: _bench_serve_two_tenants(2_500),
+        ),
     ]
 
 
@@ -282,7 +335,7 @@ def run_bench(
             raise ValueError(f"--case {case!r} matches no bench case")
     records: list[BenchRecord] = []
     for name, fn in cases:
-        warmup = name.startswith("micro/") or quick
+        warmup = name.startswith(("micro/", "serve/")) or quick
         events, wall = _time_case(fn, repeat, warmup)
         records.append(
             BenchRecord(
@@ -304,6 +357,9 @@ def run_bench(
                 "macro/e1_paper_k2_batch": E1_K2_BASELINE_EVENTS_PER_S,
                 "macro/e1_paper_k2_batch/columnar_floor": (
                     E1_K2_COLUMNAR_BASELINE_EVENTS_PER_S
+                ),
+                "serve/stdio_two_tenants/floor": (
+                    SERVE_STDIO_BASELINE_EVENTS_PER_S
                 ),
             },
             "results": [asdict(r) for r in records],
@@ -342,13 +398,18 @@ RATCHET_MARGIN = 0.10
 
 
 def check_ratchet(records: Sequence[BenchRecord]) -> str | None:
-    """The perf-ratchet verdict for ``macro/e1_paper_k2_batch``.
+    """The perf-ratchet verdict.
 
-    Returns ``None`` on pass, a human-readable failure message when the
-    measured rate is more than :data:`RATCHET_MARGIN` below
-    :data:`E1_K2_COLUMNAR_BASELINE_EVENTS_PER_S`, and raises
-    :class:`ValueError` when the ratcheted case was not part of the run
-    (e.g. ``--quick``, which substitutes the k=1 profile).
+    The primary gate is ``macro/e1_paper_k2_batch`` against
+    :data:`E1_K2_COLUMNAR_BASELINE_EVENTS_PER_S`; it must be part of
+    the run (:class:`ValueError` otherwise — e.g. under ``--quick``,
+    which substitutes the k=1 profile).  ``serve/stdio_two_tenants``
+    is additionally checked against
+    :data:`SERVE_STDIO_BASELINE_EVENTS_PER_S` whenever it was timed
+    (CI's narrow ``--case macro/e1_paper_k2_batch`` run skips it).
+    Returns ``None`` on pass, a human-readable failure message when a
+    measured rate falls more than :data:`RATCHET_MARGIN` below its
+    floor.
     """
     target = "macro/e1_paper_k2_batch"
     record = next((r for r in records if r.case == target), None)
@@ -366,6 +427,19 @@ def check_ratchet(records: Sequence[BenchRecord]) -> str | None:
             f"{E1_K2_COLUMNAR_BASELINE_EVENTS_PER_S:,.0f} "
             f"- {RATCHET_MARGIN:.0%} margin)"
         )
+    serve = next(
+        (r for r in records if r.case == "serve/stdio_two_tenants"), None
+    )
+    if serve is not None:
+        serve_floor = SERVE_STDIO_BASELINE_EVENTS_PER_S * (1.0 - RATCHET_MARGIN)
+        if serve.events_per_s < serve_floor:
+            return (
+                f"perf ratchet FAILED: {serve.case} measured "
+                f"{serve.events_per_s:,.0f} rec/s < {serve_floor:,.0f} rec/s "
+                f"(recorded serving-layer baseline "
+                f"{SERVE_STDIO_BASELINE_EVENTS_PER_S:,.0f} "
+                f"- {RATCHET_MARGIN:.0%} margin)"
+            )
     return None
 
 

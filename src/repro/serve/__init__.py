@@ -17,6 +17,9 @@ Layers
 * :mod:`repro.serve.daemon` — :class:`ServeDaemon`: bounded queues with
   end-to-end backpressure, graceful SIGTERM drain, periodic
   checkpoints, stdio/Unix/TCP transports.
+* :mod:`repro.serve.loopwatch` — the ``REPRO_LOOPWATCH=1`` instrumented
+  event loop: per-callback stall timing and orphaned-task capture, the
+  runtime twin of lint rules RL017/RL018.
 * :mod:`repro.serve.cli` — the ``serve`` subcommand.
 
 See ``docs/serving.md`` for the protocol walkthrough.
@@ -40,9 +43,19 @@ from .checkpoint import (
     verify_checkpoints,
 )
 from .daemon import ServeDaemon
+from .loopwatch import (
+    InstrumentedEventLoop,
+    LoopStallError,
+    LoopWatch,
+    loopwatch_enabled,
+    watched_run,
+)
 
 __all__ = [
     "DEFAULT_SCHEDULER",
+    "InstrumentedEventLoop",
+    "LoopStallError",
+    "LoopWatch",
     "ProtocolError",
     "ServeDaemon",
     "TenantSession",
@@ -51,9 +64,11 @@ __all__ = [
     "error_record",
     "job_from_op",
     "load_checkpoint",
+    "loopwatch_enabled",
     "parse_op",
     "restore_all",
     "restore_session",
     "save_checkpoint",
     "verify_checkpoints",
+    "watched_run",
 ]

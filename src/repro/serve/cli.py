@@ -15,6 +15,7 @@ from typing import Callable
 from ..schedulers.registry import scheduler_names
 from .checkpoint import verify_checkpoints
 from .daemon import ServeDaemon
+from .loopwatch import LoopStallError, loopwatch_enabled, watched_run
 from .protocol import (
     DEFAULT_SCHEDULER,
     checkpoint_every,
@@ -177,7 +178,26 @@ def cmd_serve(
             await daemon.run_stdio()
 
     try:
-        asyncio.run(_serve())
+        if loopwatch_enabled():
+            # Runtime twin of lint rules RL017/RL018: every callback is
+            # timed, orphaned tasks are captured, and a stall past the
+            # threshold fails the process (see repro.serve.loopwatch).
+            _, watch = watched_run(_serve())
+            snap = watch.metrics.snapshot()
+            _say(
+                "loopwatch: "
+                f"{snap['counters'].get('loopwatch.callbacks', 0):.0f} "
+                "callback(s), "
+                f"{snap['counters'].get('loopwatch.stalls', 0):.0f} "
+                "stall(s), "
+                f"{snap['counters'].get('loopwatch.orphans', 0):.0f} "
+                "orphan(s)"
+            )
+        else:
+            asyncio.run(_serve())
+    except LoopStallError as exc:
+        _say(f"loopwatch: {exc}")
+        return 3
     except ValueError as exc:  # bad --tcp spec, unreadable checkpoint, ...
         _say(f"error: {exc}")
         return 2

@@ -60,7 +60,7 @@ PROTOCOL_VERSION = 1
 _READ_CHUNK = 65536
 
 
-class _LineReader:
+class _LineFramer:
     """Bounded line framing over a raw :class:`asyncio.StreamReader`.
 
     Hand-rolled instead of ``StreamReader.readline`` so an oversized
@@ -138,19 +138,22 @@ class _Connection:
     async def _write_loop(self) -> None:
         while True:
             record = await self.out.get()
-            if record is None:
+            try:
+                if record is None:
+                    return
+                if not self.dead:
+                    try:
+                        self._writer.write(encode_record(record))
+                        await self._writer.drain()
+                        self._daemon.records_out += 1
+                    except (ConnectionError, OSError):
+                        # Consumer went away: keep *consuming* the queue
+                        # so workers blocked in emit() never deadlock.
+                        self.dead = True
+            finally:
+                # Balanced even if drain() is cancelled mid-write, so a
+                # pending out.join() can never hang on a lost credit.
                 self.out.task_done()
-                return
-            if not self.dead:
-                try:
-                    self._writer.write(encode_record(record))
-                    await self._writer.drain()
-                    self._daemon.records_out += 1
-                except (ConnectionError, OSError):
-                    # Consumer went away: keep *consuming* the queue so
-                    # workers blocked in emit() never deadlock.
-                    self.dead = True
-            self.out.task_done()
 
     def abort(self) -> None:
         """Hard-stop a stalled consumer (drain watchdog)."""
@@ -284,7 +287,7 @@ class ServeDaemon:
 
     async def run_stdio(self) -> None:
         """Serve one session over stdin/stdout until EOF or shutdown."""
-        self._prepare()
+        await self._prepare()
         reader, writer, finalize = await _stdio_streams(self._reader_limit())
         if self.on_ready is not None:
             self.on_ready("stdio")
@@ -318,16 +321,20 @@ class ServeDaemon:
         asyncio's default 64KB, so a stalled chain stops reading bytes."""
         return max(self.max_line, 4096)
 
-    def _prepare(self) -> None:
+    async def _prepare(self) -> None:
         self._shutdown_event = asyncio.Event()
         if self.restore and self.checkpoint_dir is not None:
-            for name, session in restore_all(self.checkpoint_dir).items():
+            # Restore is file I/O plus a full op-log replay per tenant:
+            # run it off the loop thread so a big checkpoint directory
+            # cannot stall the first connection (RL017).
+            restored = await asyncio.to_thread(restore_all, self.checkpoint_dir)
+            for name, session in restored.items():
                 self.tenants[name] = _TenantState(self, name, session=session)
 
     async def _run_with_server(
         self, server: asyncio.AbstractServer, address: str
     ) -> None:
-        self._prepare()
+        await self._prepare()
         if self.on_ready is not None:
             self.on_ready(address)
         self._install_signal_handlers()
@@ -378,7 +385,7 @@ class ServeDaemon:
                     "tenants": sorted(self.tenants),
                 }
             )
-            lines = _LineReader(reader, self.max_line)
+            lines = _LineFramer(reader, self.max_line)
             while not self.draining:
                 line, oversized = await lines.next_line()
                 if oversized:
@@ -471,7 +478,7 @@ class ServeDaemon:
         conn: _Connection | None,
     ) -> None:
         try:
-            outs = self._mutate(state, op)
+            outs = await self._mutate(state, op)
         except Exception as exc:  # daemon survives any single bad op
             self.errors += 1
             outs = [
@@ -485,10 +492,18 @@ class ServeDaemon:
             for record in outs:
                 await conn.emit(record)
 
-    def _mutate(
+    async def _mutate(
         self, state: _TenantState, op: dict[str, Any]
     ) -> list[dict[str, Any]]:
-        """Apply one op to a tenant (worker task only: single-writer)."""
+        """Apply one op to a tenant (worker task only: single-writer).
+
+        Session mutation itself is pure CPU and stays on the loop, but
+        checkpoint/trace persistence is real file I/O (atomic-rename
+        JSONL dumps) and runs in a worker thread (RL017).  Single-writer
+        still holds: the tenant worker awaits this coroutine before
+        taking the next op, so the session is never touched by two
+        threads at once.
+        """
         kind = op["op"]
         if kind == "open":
             if state.session is not None:
@@ -518,7 +533,9 @@ class ServeDaemon:
                 raise ProtocolError(
                     "no checkpoint directory configured", tenant=state.name
                 )
-            path = save_checkpoint(state.session, self.checkpoint_dir)
+            path = await asyncio.to_thread(
+                save_checkpoint, state.session, self.checkpoint_dir
+            )
             return [
                 {
                     "kind": "serve.checkpoint",
@@ -543,7 +560,9 @@ class ServeDaemon:
         outs.extend(session.apply(op))
         if kind == "close":
             if self.trace_dir is not None:
-                trace_path = session.write_trace(self.trace_dir)
+                trace_path = await asyncio.to_thread(
+                    session.write_trace, self.trace_dir
+                )
                 outs.append(
                     {
                         "kind": "serve.trace",
@@ -552,13 +571,17 @@ class ServeDaemon:
                     }
                 )
             if self.checkpoint_dir is not None:
-                save_checkpoint(session, self.checkpoint_dir)
+                await asyncio.to_thread(
+                    save_checkpoint, session, self.checkpoint_dir
+                )
         elif (
             self.checkpoint_dir is not None
             and self.checkpoint_interval > 0
             and session.ops_since_checkpoint >= self.checkpoint_interval
         ):
-            save_checkpoint(session, self.checkpoint_dir)
+            await asyncio.to_thread(
+                save_checkpoint, session, self.checkpoint_dir
+            )
         return outs
 
     def _stats_record(self) -> dict[str, Any]:
@@ -621,7 +644,9 @@ class ServeDaemon:
                         state.session is not None
                         and state.session.failed is not None
                     ):
-                        save_checkpoint(state.session, self.checkpoint_dir)
+                        await asyncio.to_thread(
+                            save_checkpoint, state.session, self.checkpoint_dir
+                        )
             # Stop workers.
             for state in list(self.tenants.values()):
                 await state.queue.put(None)

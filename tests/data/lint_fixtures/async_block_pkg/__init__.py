@@ -1,0 +1,15 @@
+"""RL017 fixture package: a coroutine that blocks the event loop.
+
+``offending.py``'s public coroutine launders ``time.sleep`` through a
+sync helper — exactly the blind spot a per-call grep would miss and the
+coroutine-reachability + blocking-fixpoint model catches.  ``clean.py``
+is the same program with the helper passed *by reference* to
+``asyncio.to_thread``, the sanctioned escape hatch (no call edge, so
+exempt by construction).
+
+Both modules are runnable: ``tests/test_serve_loopwatch.py`` drives
+them under :func:`repro.serve.loopwatch.watched_run` and asserts the
+runtime twin agrees with the static verdict in both directions — the
+offending coroutine stalls the instrumented loop past the threshold,
+the clean one never does.
+"""

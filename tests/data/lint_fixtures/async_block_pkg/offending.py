@@ -1,0 +1,25 @@
+"""A loop-reachable coroutine whose sync closure blocks (RL017)."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+#: Seconds each inline persist stalls the loop (the runtime twin's
+#: threshold in the tests sits well below this).
+HOLD = 0.12
+
+
+async def serve_forever(rounds: int = 2) -> int:
+    """Public coroutine API — loop-reachable by construction."""
+    served = 0
+    for _ in range(rounds):
+        _persist()  # RL017: sync call edge into a blocking closure
+        served += 1
+        await asyncio.sleep(0)
+    return served
+
+
+def _persist() -> None:
+    """Pretend checkpoint write: blocks whichever thread runs it."""
+    time.sleep(HOLD)

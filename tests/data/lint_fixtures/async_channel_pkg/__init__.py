@@ -1,0 +1,14 @@
+"""RL019 fixture package: unbounded channels in serving-scoped code.
+
+Both modules opt into the serving-layer backpressure rules via the
+``_SERVE_SCOPE = True`` module constant (the fixture lives outside
+``repro/serve/``).  ``offending.py`` constructs a default
+``asyncio.Queue()`` and ``asyncio.StreamReader()`` — both unbounded;
+``clean.py`` passes explicit bounds.
+
+The runtime half is a direct asyncio assertion
+(``tests/test_serve_loopwatch.py``): overfilling the offending hub
+with ``put_nowait`` never raises — memory growth is the only limit —
+while the clean hub rejects the overflow with ``QueueFull`` at its
+declared bound.
+"""

@@ -1,0 +1,29 @@
+"""The same hub with every channel bounded (RL019 clean)."""
+
+from __future__ import annotations
+
+import asyncio
+
+_SERVE_SCOPE = True  # serving-layer backpressure rules apply here
+
+#: The intake bound a stalled consumer pushes back against.
+BOUND = 8
+
+
+class Hub:
+    def __init__(self) -> None:
+        self.inbox: asyncio.Queue = asyncio.Queue(BOUND)
+        self.frames = asyncio.StreamReader(limit=65536)
+
+
+async def overfill(n: int) -> int:
+    """Stuff items in until the bound rejects one; returns how many fit."""
+    hub = Hub()
+    filled = 0
+    for i in range(n):
+        try:
+            hub.inbox.put_nowait(i)
+        except asyncio.QueueFull:
+            break
+        filled += 1
+    return filled

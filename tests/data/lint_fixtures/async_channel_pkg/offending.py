@@ -1,0 +1,23 @@
+"""Unbounded intake channels: backpressure silently broken (RL019)."""
+
+from __future__ import annotations
+
+import asyncio
+
+_SERVE_SCOPE = True  # serving-layer backpressure rules apply here
+
+
+class Hub:
+    """A stalled consumer grows this hub's memory without limit."""
+
+    def __init__(self) -> None:
+        self.inbox: asyncio.Queue = asyncio.Queue()  # RL019: unbounded
+        self.frames = asyncio.StreamReader()  # RL019: default limit
+
+
+async def overfill(n: int) -> int:
+    """Stuff ``n`` items in without ever blocking; returns the depth."""
+    hub = Hub()
+    for i in range(n):
+        hub.inbox.put_nowait(i)  # never raises QueueFull
+    return hub.inbox.qsize()

@@ -1,0 +1,14 @@
+"""RL020 fixture package: cleanup awaits vs. cancellation.
+
+``offending.py`` flushes an output queue from a bare ``finally`` —
+the second cancellation (a drain timeout, a loop teardown) lands in
+that await and abandons the flush mid-flight.  ``clean.py`` wraps the
+same flush in ``asyncio.shield``, so outer cancellation cannot tear
+it.
+
+The runtime half is a direct asyncio assertion
+(``tests/test_serve_loopwatch.py``): each module's ``run_cancelled``
+delivers one payload, cancels the courier twice, and reports what got
+flushed — the offending flush loses the payload, the shielded one
+lands it.
+"""

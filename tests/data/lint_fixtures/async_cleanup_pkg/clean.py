@@ -1,0 +1,41 @@
+"""The same cleanup await behind ``asyncio.shield`` (RL020 clean)."""
+
+from __future__ import annotations
+
+import asyncio
+
+
+class Courier:
+    def __init__(self) -> None:
+        self.outbox: asyncio.Queue = asyncio.Queue(4)
+        self.sent: list[int] = []
+
+    async def flush(self) -> None:
+        while not self.outbox.empty():
+            await asyncio.sleep(0.05)  # suspend before each hop
+            self.sent.append(self.outbox.get_nowait())
+
+
+async def deliver(courier: Courier, payload: int) -> None:
+    try:
+        await courier.outbox.put(payload)
+        await asyncio.sleep(60.0)
+    finally:
+        # Shielded: cancelling the delivery cannot tear the flush.
+        await asyncio.shield(courier.flush())
+
+
+async def run_cancelled() -> list[int]:
+    """Cancel a delivery twice; the shielded flush still lands."""
+    courier = Courier()
+    task = asyncio.create_task(deliver(courier, 7))
+    await asyncio.sleep(0.01)
+    task.cancel()
+    await asyncio.sleep(0.01)
+    task.cancel()
+    try:
+        await task
+    except asyncio.CancelledError:
+        pass
+    await asyncio.sleep(0.2)  # let the shielded flush finish
+    return courier.sent

@@ -1,0 +1,42 @@
+"""An unshielded await inside ``finally`` (RL020)."""
+
+from __future__ import annotations
+
+import asyncio
+
+
+class Courier:
+    """Bounded outbox whose flush must survive cancellation — it won't."""
+
+    def __init__(self) -> None:
+        self.outbox: asyncio.Queue = asyncio.Queue(4)
+        self.sent: list[int] = []
+
+    async def flush(self) -> None:
+        while not self.outbox.empty():
+            await asyncio.sleep(0.05)  # suspend before each hop
+            self.sent.append(self.outbox.get_nowait())
+
+
+async def deliver(courier: Courier, payload: int) -> None:
+    try:
+        await courier.outbox.put(payload)
+        await asyncio.sleep(60.0)
+    finally:
+        await courier.flush()  # RL020: unshielded cleanup await
+
+
+async def run_cancelled() -> list[int]:
+    """Cancel a delivery twice; the second cancel tears the flush."""
+    courier = Courier()
+    task = asyncio.create_task(deliver(courier, 7))
+    await asyncio.sleep(0.01)  # let it reach the long sleep
+    task.cancel()
+    await asyncio.sleep(0.01)  # cleanup begins, suspends in flush()
+    task.cancel()  # ...and dies there
+    try:
+        await task
+    except asyncio.CancelledError:
+        pass
+    await asyncio.sleep(0.2)
+    return courier.sent

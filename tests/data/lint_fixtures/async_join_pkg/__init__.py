@@ -1,0 +1,20 @@
+"""RL021 fixture package: the ``Queue.join()`` drain protocol.
+
+``offending.py`` holds four broken mills, one per RL021 check:
+
+* ``Mill`` — no ``task_done()`` anywhere: the join can never complete;
+* ``LeakyMill`` — one of two consumers never credits ``task_done()``;
+* ``BareMill`` — ``task_done()`` exists but not on a ``finally`` path,
+  so an exception between ``get()`` and ``task_done()`` skips it;
+* ``EagerMill`` — the ``None`` poison pill is enqueued *before* the
+  join, so the consumer can exit early and strand queued work.
+
+``clean.py`` is the balanced protocol: ``task_done()`` in a
+``finally``, pill strictly after the join.
+
+The runtime half is a direct asyncio assertion
+(``tests/test_serve_loopwatch.py``): each module's ``run_drain``
+produces three items through its ``Mill`` under a timeout — the
+offending drain times out with the join counter stuck high, the clean
+drain completes with every item processed.
+"""

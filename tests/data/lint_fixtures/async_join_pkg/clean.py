@@ -1,0 +1,43 @@
+"""The balanced ``Queue.join()`` drain protocol (RL021 clean)."""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Iterable
+
+
+class Mill:
+    """``task_done()`` in a ``finally``; pill strictly after the join."""
+
+    def __init__(self) -> None:
+        self.queue: asyncio.Queue = asyncio.Queue(8)
+        self.done: list[int] = []
+
+    async def consume(self) -> None:
+        while True:
+            item = await self.queue.get()
+            try:
+                if item is None:
+                    return
+                self.done.append(item)
+            finally:
+                self.queue.task_done()
+
+    async def produce(self, items: Iterable[int]) -> None:
+        for item in items:
+            await self.queue.put(item)
+        await self.queue.join()  # every credit comes back
+        await self.queue.put(None)  # pill after the join: clean exit
+
+
+async def run_drain(timeout: float = 2.0) -> tuple[bool, list[int]]:
+    """Drive ``Mill`` under a generous timeout; the drain completes."""
+    mill = Mill()
+    worker = asyncio.create_task(mill.consume())
+    joined = True
+    try:
+        await asyncio.wait_for(mill.produce([1, 2, 3]), timeout)
+    except asyncio.TimeoutError:
+        joined = False
+    await asyncio.gather(worker, return_exceptions=True)
+    return joined, mill.done

@@ -1,0 +1,119 @@
+"""Four ways to unbalance a ``Queue.join()`` drain (RL021)."""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Iterable
+
+
+class Mill:
+    """No ``task_done()`` anywhere: ``join()`` hangs forever."""
+
+    def __init__(self) -> None:
+        self.queue: asyncio.Queue = asyncio.Queue(8)
+        self.done: list[int] = []
+
+    async def consume(self) -> None:
+        while True:
+            item = await self.queue.get()  # RL021: no task_done at all
+            if item is None:
+                return
+            self.done.append(item)
+
+    async def produce(self, items: Iterable[int]) -> None:
+        for item in items:
+            await self.queue.put(item)
+        await self.queue.join()  # RL021: waits on credits nobody returns
+        await self.queue.put(None)
+
+
+class LeakyMill:
+    """Two consumers, one of which never credits ``task_done()``."""
+
+    def __init__(self) -> None:
+        self.queue: asyncio.Queue = asyncio.Queue(8)
+        self.done: list[int] = []
+
+    async def consume_ok(self) -> None:
+        while True:
+            item = await self.queue.get()
+            try:
+                if item is None:
+                    return
+                self.done.append(item)
+            finally:
+                self.queue.task_done()
+
+    async def consume_leaky(self) -> None:
+        while True:
+            item = await self.queue.get()  # RL021: this consumer never credits
+            if item is None:
+                return
+            self.done.append(item)
+
+    async def produce(self, items: Iterable[int]) -> None:
+        for item in items:
+            await self.queue.put(item)
+        await self.queue.join()
+        await self.queue.put(None)
+
+
+class BareMill:
+    """``task_done()`` off the ``finally`` path: exceptions skip it."""
+
+    def __init__(self) -> None:
+        self.queue: asyncio.Queue = asyncio.Queue(8)
+        self.done: list[int] = []
+
+    async def consume(self) -> None:
+        while True:
+            item = await self.queue.get()
+            if item is None:
+                self.queue.task_done()  # RL021: not on a finally path
+                return
+            self.done.append(item)
+            self.queue.task_done()
+
+    async def produce(self, items: Iterable[int]) -> None:
+        for item in items:
+            await self.queue.put(item)
+        await self.queue.join()
+        await self.queue.put(None)
+
+
+class EagerMill:
+    """The poison pill goes in before the join: work gets stranded."""
+
+    def __init__(self) -> None:
+        self.queue: asyncio.Queue = asyncio.Queue(8)
+        self.done: list[int] = []
+
+    async def consume(self) -> None:
+        while True:
+            item = await self.queue.get()
+            try:
+                if item is None:
+                    return
+                self.done.append(item)
+            finally:
+                self.queue.task_done()
+
+    async def produce(self, items: Iterable[int]) -> None:
+        await self.queue.put(None)  # RL021: pill enqueued before the join
+        for item in items:
+            await self.queue.put(item)
+        await self.queue.join()
+
+
+async def run_drain(timeout: float = 0.2) -> tuple[bool, list[int]]:
+    """Drive ``Mill`` under a timeout; the join never resolves."""
+    mill = Mill()
+    worker = asyncio.create_task(mill.consume())
+    joined = True
+    try:
+        await asyncio.wait_for(mill.produce([1, 2, 3]), timeout)
+    except asyncio.TimeoutError:
+        joined = False
+    worker.cancel()
+    await asyncio.gather(worker, return_exceptions=True)
+    return joined, mill.done

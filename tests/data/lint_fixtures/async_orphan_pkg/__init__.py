@@ -1,0 +1,15 @@
+"""RL018 fixture package: a discarded ``create_task`` handle.
+
+``offending.py`` spawns a failing worker as a bare expression
+statement: the only strong reference dies immediately and the worker's
+``RuntimeError`` is parked until the interpreter's "Task exception was
+never retrieved" teardown diagnostic.  ``clean.py`` stores and awaits
+the handle, so the exception path is owned.
+
+Both modules are runnable: ``tests/test_serve_loopwatch.py`` drives
+them under :func:`repro.serve.loopwatch.watched_run`, whose
+``gc.collect()`` makes the orphan diagnostic deterministic — the
+instrumented loop's exception handler must capture exactly one orphan
+for the offending module and none for the clean one, mirroring the
+static RL018 verdicts.
+"""

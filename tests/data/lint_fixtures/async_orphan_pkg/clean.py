@@ -1,0 +1,15 @@
+"""The same spawn with an owned handle (RL018 clean)."""
+
+from __future__ import annotations
+
+import asyncio
+
+
+async def kickoff() -> None:
+    """Store the handle and await it: exceptions surface here."""
+    task = asyncio.create_task(_worker())
+    await task
+
+
+async def _worker() -> None:
+    await asyncio.sleep(0)

@@ -1,0 +1,15 @@
+"""A spawned task whose handle is dropped on the floor (RL018)."""
+
+from __future__ import annotations
+
+import asyncio
+
+
+async def kickoff() -> None:
+    """Fire-and-forget a worker that fails — nobody will ever know."""
+    asyncio.create_task(_worker())  # RL018: handle discarded
+    await asyncio.sleep(0.01)
+
+
+async def _worker() -> None:
+    raise RuntimeError("orphaned failure")

@@ -605,3 +605,82 @@ class TestStdioMode:
             _parse_hostport("no-port")
         assert _parse_hostport("127.0.0.1:7077") == ("127.0.0.1", 7077)
         assert _parse_hostport("[::1]:7077") == ("[::1]", 7077)
+
+
+class TestLineFramer:
+    """Unit tests for the bounded framer, straight over a StreamReader.
+
+    The daemon-level tests above cover the happy drop path; these pin
+    the exact boundary and the chunk/EOF edges that only show up when
+    the oversized line straddles internal reads.
+    """
+
+    @staticmethod
+    def _framer(data: bytes, max_line: int):
+        from repro.serve.daemon import _LineFramer
+
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return _LineFramer(reader, max_line)
+
+    def test_exact_boundary_line_accepted(self):
+        async def scenario():
+            line = b"x" * 64  # len == max_line: allowed, not oversized
+            framer = self._framer(line + b"\n" + b"y" * 65 + b"\n", 64)
+            assert await framer.next_line() == (line, False)
+            assert await framer.next_line() == (b"", True)  # one byte over
+            assert await framer.next_line() == (None, False)
+
+        run_async(scenario())
+
+    def test_oversized_line_spanning_read_chunks(self):
+        async def scenario():
+            # 200k of junk forces several 64 KiB reads inside the drop
+            # loop before the newline shows up; the next line survives.
+            data = b"j" * 200_000 + b"\n" + b'{"op": "stats"}\n'
+            framer = self._framer(data, 128)
+            assert await framer.next_line() == (b"", True)
+            assert await framer.next_line() == (b'{"op": "stats"}', False)
+            assert await framer.next_line() == (None, False)
+
+        run_async(scenario())
+
+    def test_eof_mid_drop(self):
+        async def scenario():
+            # The stream ends inside an oversized, never-terminated
+            # line: EOF is reported *with* the oversized flag so the
+            # caller can account for the dropped garbage.
+            framer = self._framer(b"z" * 100_000, 128)
+            assert await framer.next_line() == (None, True)
+            assert await framer.next_line() == (None, False)
+
+        run_async(scenario())
+
+    def test_unterminated_tail_returned_at_eof(self):
+        async def scenario():
+            framer = self._framer(b"a\nb", 64)
+            assert await framer.next_line() == (b"a", False)
+            assert await framer.next_line() == (b"b", False)
+            assert await framer.next_line() == (None, False)
+
+        run_async(scenario())
+
+    def test_oversized_unterminated_tail_at_eof(self):
+        async def scenario():
+            # Tail with no newline AND over the bound: EOF + oversized.
+            framer = self._framer(b"a\n" + b"b" * 65, 64)
+            assert await framer.next_line() == (b"a", False)
+            assert await framer.next_line() == (None, True)
+
+        run_async(scenario())
+
+    def test_many_exact_boundary_lines(self):
+        async def scenario():
+            lines = [bytes([65 + i]) * 32 for i in range(8)]
+            framer = self._framer(b"\n".join(lines) + b"\n", 32)
+            for expected in lines:
+                assert await framer.next_line() == (expected, False)
+            assert await framer.next_line() == (None, False)
+
+        run_async(scenario())
