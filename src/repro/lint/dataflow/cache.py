@@ -42,8 +42,10 @@ from typing import Any
 
 __all__ = ["AnalysisCache", "default_cache_path", "file_key", "ruleset_digest"]
 
-#: Bump when the summary schema or finding replay format changes.
-CACHE_VERSION = 3
+#: Bump when the summary schema, finding replay format, or lint scope
+#: constants change (scope fragments feed rule applicability, which a
+#: stale cache would otherwise keep serving from the old scope).
+CACHE_VERSION = 4
 
 #: Directory name used by the CLI default (gitignored).
 CACHE_DIR_NAME = ".repro_lint_cache"

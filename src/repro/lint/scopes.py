@@ -29,16 +29,26 @@ __all__ = [
 #: line: its only legitimate output channels are the asyncio stream
 #: writers (protocol records) and the structured recorder — a stray
 #: print would interleave with the JSONL protocol stream itself.
-HOT_PATH_FRAGMENTS = ("repro/core/", "repro/schedulers/", "repro/serve/")
+#: ``repro/obs/live.py`` rides along: the live telemetry plane is fed
+#: once per record from the serve sessions' collect loop.
+HOT_PATH_FRAGMENTS = (
+    "repro/core/",
+    "repro/schedulers/",
+    "repro/serve/",
+    "repro/obs/live.py",
+)
 
 #: The engine-core files whose hot sections RL012 polices.  The serve
 #: package rides along: its per-op paths run once per protocol line,
 #: and per-job object materialisation belongs at its protocol boundary
-#: (``job_from_op``), not inside worker/dispatch sections.
+#: (``job_from_op``), not inside worker/dispatch sections.  So does the
+#: live telemetry plane (``repro/obs/live.py``): its ``_handle_*``
+#: record handlers run once per engine record on armed serve sessions.
 HOT_CORE_FRAGMENTS = (
     "repro/core/engine.py",
     "repro/core/columnar.py",
     "repro/serve/",
+    "repro/obs/live.py",
 )
 
 #: Function-name prefixes marking per-event / per-cohort code.

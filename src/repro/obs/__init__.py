@@ -19,9 +19,14 @@ Components
   files and Chrome ``trace_event`` JSON for Perfetto.
 * :mod:`repro.obs.aggregate` — summaries, merges, and regression diffs.
 * :mod:`repro.obs.explain` — decision-provenance narratives cross-checked
-  against :func:`repro.core.audit`.
+  against :func:`repro.core.audit`, plus the live-LB reconciliation.
+* :mod:`repro.obs.live` — the live telemetry plane: per-tenant span,
+  queue depth, decision mix, and the online competitive-ratio estimate
+  the serving daemon exposes (``REPRO_TELEMETRY``).
+* :mod:`repro.obs.top` — the ``repro obs top`` terminal dashboard over
+  the daemon's telemetry listener.
 * :mod:`repro.obs.cli` — ``python -m repro obs summarize|explain|diff|
-  export|overhead``.
+  export|overhead|top``.
 
 See ``docs/observability.md`` for the guided tour.
 """
@@ -64,6 +69,17 @@ from .aggregate import (
     summarize_trace,
 )
 from .explain import Explanation, JobStory, explain_trace
+from .live import (
+    IntervalUnion,
+    LiveAggregator,
+    OnlineOptLowerBound,
+    TELEMETRY_ADDR_ENV,
+    TELEMETRY_ENV,
+    TenantTelemetry,
+    render_prometheus,
+    telemetry_addr,
+    telemetry_enabled,
+)
 
 __all__ = [
     "DECISION_RULES",
@@ -71,10 +87,16 @@ __all__ = [
     "DiffEntry",
     "Explanation",
     "Histogram",
+    "IntervalUnion",
     "JSONL_VERSION",
     "JobStory",
+    "LiveAggregator",
     "LoadedTrace",
     "MetricsRegistry",
+    "OnlineOptLowerBound",
+    "TELEMETRY_ADDR_ENV",
+    "TELEMETRY_ENV",
+    "TenantTelemetry",
     "NULL_RECORDER",
     "NullRecorder",
     "ObsRecord",
@@ -95,11 +117,14 @@ __all__ = [
     "merge_metric_dicts",
     "read_jsonl",
     "render_diff",
+    "render_prometheus",
     "render_summary",
     "reset_recorder",
     "scan_jsonl",
     "set_recorder",
     "summarize_trace",
+    "telemetry_addr",
+    "telemetry_enabled",
     "trace_dir",
     "trace_enabled",
     "write_jsonl",

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Union
 
 from .jsonl import LoadedTrace
+from .live import TenantTelemetry
 from .metrics import MetricsRegistry
 from .recorder import TraceRecorder
 from .records import KIND_DECISION, KIND_SPAN_END
@@ -63,13 +64,31 @@ class TraceSummary:
     gauges: dict[str, float] = field(default_factory=dict)
     #: histogram name -> {"count", "mean", "min", "max"}
     histograms: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: tenant name -> :meth:`~repro.obs.live.TenantTelemetry.snapshot`
+    #: (only for traces whose records carry a ``tenant`` attr — i.e.
+    #: serve-daemon traces, including the merged multi-tenant one).
+    tenants: dict[str, dict[str, Any]] = field(default_factory=dict)
 
 
 def summarize_trace(trace: Union[TraceRecorder, LoadedTrace]) -> TraceSummary:
-    """Roll a trace up into a :class:`TraceSummary`."""
+    """Roll a trace up into a :class:`TraceSummary`.
+
+    Records tagged with a ``tenant`` attr (every serve-session trace,
+    per-tenant and merged alike) are additionally replayed through one
+    :class:`~repro.obs.live.TenantTelemetry` per tenant, so a
+    multi-tenant trace summarizes to per-tenant span / queue depth /
+    decision mix / ratio instead of one blended rollup.
+    """
     summary = TraceSummary(meta=dict(getattr(trace, "meta", {}) or {}))
     summary.record_count = len(trace.records)
+    telemetries: dict[str, TenantTelemetry] = {}
     for record in trace.records:
+        tenant = record.attrs.get("tenant")
+        if tenant is not None:
+            telemetry = telemetries.get(tenant)
+            if telemetry is None:
+                telemetry = telemetries[tenant] = TenantTelemetry(str(tenant))
+            telemetry.observe(record)
         summary.kind_counts[record.kind] = summary.kind_counts.get(record.kind, 0) + 1
         if record.kind == KIND_DECISION:
             summary.decisions[record.name] = summary.decisions.get(record.name, 0) + 1
@@ -95,6 +114,9 @@ def summarize_trace(trace: Union[TraceRecorder, LoadedTrace]) -> TraceSummary:
             "min": hist.vmin if hist.count else 0.0,
             "max": hist.vmax if hist.count else 0.0,
         }
+    summary.tenants = {
+        name: telemetries[name].snapshot() for name in sorted(telemetries)
+    }
     return summary
 
 
@@ -116,6 +138,27 @@ def render_summary(summary: TraceSummary) -> str:
         lines.append("decisions :")
         for rule, count in sorted(summary.decisions.items()):
             lines.append(f"  {rule:<22} {count:>8}")
+    if summary.tenants:
+        lines.append("tenants   :")
+        lines.append(
+            f"  {'name':<16} {'done':>6} {'pend':>5} {'span':>10} "
+            f"{'opt_lb':>10} {'ratio':>7}  top rule"
+        )
+        for name, snap in summary.tenants.items():
+            jobs = snap["jobs"]
+            ratio = snap["ratio"]
+            mix = snap["decisions"]
+            top_rule = (
+                max(mix.items(), key=lambda kv: (kv[1], kv[0]))[0]
+                if mix
+                else "-"
+            )
+            rendered = f"{ratio:.3f}" if ratio is not None else "-"
+            lines.append(
+                f"  {name:<16} {jobs['completed']:>6} {jobs['pending']:>5} "
+                f"{snap['span']:>10.4g} {snap['opt_lb']['value']:>10.4g} "
+                f"{rendered:>7}  {top_rule}"
+            )
     if summary.spans:
         lines.append("spans     :")
         lines.append(f"  {'name':<28} {'count':>7} {'total_s':>10} {'mean_s':>10}")

@@ -14,16 +14,29 @@ the narrative explains must be a start the auditor accepts.  A trace
 that tells a tale the auditor rejects is a bug — in the scheduler, the
 instrumentation, or the engine — and the explanation says so loudly
 instead of narrating fiction.
+
+The same replay reconciles the **live telemetry plane**: every record
+is fed through a :class:`~repro.obs.live.TenantTelemetry` (grouped by
+the ``tenant`` attr serve sessions tag records with; untagged traces
+form one anonymous group), proving at runtime that the incremental OPT
+lower bound was monotone nondecreasing at every step and, once the
+instance is fully reconstructed, that it never exceeded the certified
+offline reference (:func:`repro.offline.lower_bounds.span_lower_bound`
+through :class:`repro.perf.cache.ReferenceCache`).  ``--strict`` fails
+on either violation: a live dashboard that over-claimed the lower bound
+(and hence under-claimed the competitive ratio) is as much a bug as an
+infeasible schedule.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Union
+from typing import Any, Union
 
 from ..core.audit import audit
 from ..core.job import Instance, Job
 from .jsonl import LoadedTrace
+from .live import TenantTelemetry
 from .recorder import TraceRecorder
 from .records import (
     KIND_DECISION,
@@ -35,12 +48,18 @@ from .records import (
 
 __all__ = ["Explanation", "JobStory", "explain_trace"]
 
+#: Float slack for the live-LB ≤ certified-reference comparison.
+_LB_TOLERANCE = 1e-9
+
 
 @dataclass
 class JobStory:
     """One job's reconstructed history and its start-decision provenance."""
 
     job_id: int
+    #: the serve-session tenant the record stream was tagged with
+    #: (``None`` for plain single-run traces).
+    tenant: str | None = None
     arrival: float | None = None
     deadline: float | None = None
     start: float | None = None
@@ -76,7 +95,9 @@ class JobStory:
 
     def narrative(self) -> str:
         """One or two lines: when the job started and which rule fired."""
-        bits = [f"J{self.job_id}"]
+        bits = [
+            f"{self.tenant}/J{self.job_id}" if self.tenant else f"J{self.job_id}"
+        ]
         if self.arrival is not None and self.deadline is not None:
             bits.append(f"window [{self.arrival:g}, d={self.deadline:g}]")
         if self.length is not None:
@@ -128,11 +149,33 @@ class Explanation:
     #: decision names outside :data:`~repro.obs.records.DECISION_RULES`,
     #: with occurrence counts — the runtime face of RL015.
     unknown_rules: dict[str, int] = field(default_factory=dict)
+    #: per-tenant live-LB reconciliation rows (``""`` = untagged trace):
+    #: ``{span, live_lb, ratio, monotone, reference_lb, consistent}``.
+    telemetry: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     @property
     def fully_attributed(self) -> bool:
         """Every reconstructed start carries a paper rule."""
         return self.unattributed == 0
+
+    @property
+    def lb_monotone(self) -> bool | None:
+        """The replayed live LB never decreased (``None``: nothing replayed)."""
+        if not self.telemetry:
+            return None
+        return all(row["monotone"] for row in self.telemetry.values())
+
+    @property
+    def lb_consistent(self) -> bool | None:
+        """Live LB ≤ certified offline reference for every tenant whose
+        instance reconstructed completely (``None``: no reference)."""
+        rows = [
+            row for row in self.telemetry.values()
+            if row["reference_lb"] is not None
+        ]
+        if not rows:
+            return None
+        return all(row["consistent"] for row in rows)
 
     @property
     def vocabulary_clean(self) -> bool:
@@ -154,6 +197,24 @@ class Explanation:
                 f"vocabulary: UNKNOWN rule {name!r} emitted {count}x — not in "
                 "DECISION_RULES (RL015 violated at runtime)"
             )
+        for name, row in sorted(self.telemetry.items()):
+            label = name or "(trace)"
+            ratio = row["ratio"]
+            bits = [
+                f"span={row['span']:g}",
+                f"live LB={row['live_lb']:g}",
+                f"ratio={ratio:.3f}" if ratio is not None else "ratio=-",
+                "monotone" if row["monotone"] else "NON-MONOTONE",
+            ]
+            reference = row["reference_lb"]
+            if reference is not None:
+                verdict = (
+                    "≤ certified reference"
+                    if row["consistent"]
+                    else "EXCEEDS certified reference"
+                )
+                bits.append(f"{verdict} {reference:g}")
+            lines.append(f"telemetry : {label}: " + ", ".join(bits))
         lines.append("")
         for story in self.stories[:limit]:
             lines.append(story.narrative())
@@ -164,31 +225,47 @@ class Explanation:
 
 def explain_trace(trace: Union[TraceRecorder, LoadedTrace]) -> Explanation:
     """Build the decision-provenance narrative for one trace."""
-    stories: dict[int, JobStory] = {}
+    stories: dict[tuple[str, int], JobStory] = {}
 
-    def story(job_id: int) -> JobStory:
-        st = stories.get(job_id)
+    def story(tenant: str, job_id: int) -> JobStory:
+        st = stories.get((tenant, job_id))
         if st is None:
-            st = stories[job_id] = JobStory(job_id)
+            st = stories[(tenant, job_id)] = JobStory(
+                job_id, tenant=tenant or None
+            )
         return st
 
     vocabulary = decision_vocabulary()
     unknown: dict[str, int] = {}
+    # Live-telemetry replay: one estimator per tenant tag, with the
+    # monotonicity of the incremental OPT LB checked at every record.
+    replays: dict[str, TenantTelemetry] = {}
+    monotone: dict[str, bool] = {}
 
     for record in trace.records:
+        tenant = str(record.attrs.get("tenant") or "")
+        if record.kind in (KIND_DECISION, KIND_INSTANT):
+            telemetry = replays.get(tenant)
+            if telemetry is None:
+                telemetry = replays[tenant] = TenantTelemetry(tenant or "(trace)")
+                monotone[tenant] = True
+            before = telemetry.lb.value
+            telemetry.observe(record)
+            if telemetry.lb.value < before:
+                monotone[tenant] = False
         if record.kind == KIND_DECISION:
             if record.name not in vocabulary:
                 unknown[record.name] = unknown.get(record.name, 0) + 1
             job = record.attrs.get("job")
             if job is not None:
-                story(int(job)).decisions.append(record)
+                story(tenant, int(job)).decisions.append(record)
             continue
         if record.kind != KIND_INSTANT:
             continue
         job = record.attrs.get("job")
         if job is None:
             continue
-        st = story(int(job))
+        st = story(tenant, int(job))
         t = float(record.attrs.get("t", record.ts))
         if record.name == "engine.release":
             st.arrival = float(record.attrs.get("arrival", t))
@@ -208,7 +285,9 @@ def explain_trace(trace: Union[TraceRecorder, LoadedTrace]) -> Explanation:
                 st.length = t - st.start
 
     explanation = Explanation(
-        stories=sorted(stories.values(), key=lambda s: s.job_id),
+        stories=sorted(
+            stories.values(), key=lambda s: (s.tenant or "", s.job_id)
+        ),
         unknown_rules=unknown,
     )
     for st in explanation.stories:
@@ -219,30 +298,88 @@ def explain_trace(trace: Union[TraceRecorder, LoadedTrace]) -> Explanation:
         else:
             explanation.attributed += 1
 
-    # ---- audit cross-check ------------------------------------------------
-    jobs: list[Job] = []
-    starts: dict[int, float] = {}
-    complete = True
+    # ---- audit cross-check + live-LB reconciliation -----------------------
+    # Per tenant group: merged multi-tenant traces carry independent job
+    # id spaces and independent engine clocks, so each group rebuilds
+    # (and audits, and reconciles) its own instance.
+    groups: dict[str, list[JobStory]] = {}
     for st in explanation.stories:
-        if st.arrival is None or st.deadline is None or st.length is None:
-            complete = False
-            continue
-        jobs.append(
-            Job(id=st.job_id, arrival=st.arrival, deadline=st.deadline, length=st.length)
-        )
-        if st.start is not None:
-            starts[st.job_id] = st.start
-    if jobs:
-        report = audit(Instance(jobs, name="rebuilt-from-trace"), starts)
-        explanation.audit_feasible = report.feasible
-        for finding in report.violations:
-            explanation.audit_notes.append(f"{finding.code}: {finding.message}")
-        if not complete:
-            explanation.audit_notes.append(
-                "partial reconstruction: some jobs lacked release/completion "
-                "records and were excluded from the audit"
+        groups.setdefault(st.tenant or "", []).append(st)
+
+    feasible: bool | None = None
+    audited_any = False
+    incomplete_any = False
+    reference_fn = None
+    for tenant, group in sorted(groups.items()):
+        jobs: list[Job] = []
+        starts: dict[int, float] = {}
+        complete = True
+        for st in group:
+            if st.arrival is None or st.deadline is None or st.length is None:
+                complete = False
+                incomplete_any = True
+                continue
+            jobs.append(
+                Job(
+                    id=st.job_id,
+                    arrival=st.arrival,
+                    deadline=st.deadline,
+                    length=st.length,
+                )
             )
-    elif explanation.stories:
+            if st.start is not None:
+                starts[st.job_id] = st.start
+        if jobs:
+            audited_any = True
+            name = "rebuilt-from-trace" + (f":{tenant}" if tenant else "")
+            report = audit(Instance(jobs, name=name), starts)
+            feasible = (
+                report.feasible
+                if feasible is None
+                else (feasible and report.feasible)
+            )
+            prefix = f"{tenant}: " if tenant else ""
+            for finding in report.violations:
+                explanation.audit_notes.append(
+                    f"{prefix}{finding.code}: {finding.message}"
+                )
+        telemetry = replays.get(tenant)
+        if telemetry is None:
+            continue
+        live_lb = telemetry.lb.value
+        reference: float | None = None
+        consistent: bool | None = None
+        if jobs and complete:
+            if reference_fn is None:
+                from ..offline import span_lower_bound
+                from ..perf import cached_reference
+
+                reference_fn = cached_reference(span_lower_bound)
+            reference = float(
+                reference_fn(
+                    Instance(
+                        jobs,
+                        name="telemetry-reconcile"
+                        + (f":{tenant}" if tenant else ""),
+                    )
+                )
+            )
+            consistent = live_lb <= reference + _LB_TOLERANCE
+        explanation.telemetry[tenant] = {
+            "span": telemetry.span,
+            "live_lb": live_lb,
+            "ratio": telemetry.ratio,
+            "monotone": monotone[tenant],
+            "reference_lb": reference,
+            "consistent": consistent,
+        }
+    explanation.audit_feasible = feasible
+    if audited_any and incomplete_any:
+        explanation.audit_notes.append(
+            "partial reconstruction: some jobs lacked release/completion "
+            "records and were excluded from the audit"
+        )
+    if not audited_any and explanation.stories:
         explanation.audit_notes.append(
             "no auditable jobs reconstructed (trace lacks engine.release records)"
         )

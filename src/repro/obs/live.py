@@ -1,0 +1,560 @@
+"""Live telemetry plane: streaming per-tenant span / ratio aggregation.
+
+The serving daemon multiplexes many tenant scheduler streams; this
+module is what lets an operator *watch* them.  A
+:class:`TenantTelemetry` consumes the structured records the engine
+already emits through the recorder protocol (``engine.release`` /
+``engine.start`` / ``engine.completion`` instants plus ``decision``
+records) and maintains, online:
+
+* the **observed span** — the measure of the union of committed run
+  intervals ``[s, s+p)`` (an incremental version of
+  :func:`repro.core.intervals.union_measure`);
+* busy/idle split of the tenant's clock, queue depth (released minus
+  started) and run counts;
+* the decision-rule mix over the closed
+  :data:`~repro.obs.records.DECISION_RULES` vocabulary;
+* an **online competitive-ratio estimate** ``span / LB`` where ``LB``
+  is :class:`OnlineOptLowerBound` — an incremental form of the repo's
+  certified offline bounds (:mod:`repro.offline.lower_bounds`).
+
+Ratio-LB math
+-------------
+``OnlineOptLowerBound`` is the running max of three quantities, each
+maintained incrementally and each individually monotone nondecreasing
+as jobs are added — so the combined bound is monotone by construction:
+
+* **chain bound** — the max-weight chain in the must-be-disjoint DAG
+  (``a(j) >= d(i) + p(i)`` ⇒ no scheduler can overlap ``i`` and ``j``).
+  Instead of the offline Fenwick sweep, a Pareto front of
+  ``(latest_completion, best_chain_weight)`` pairs — strictly
+  increasing in both coordinates — answers "best chain ending at
+  latest-completion ``<= a``" with one bisect, then inserts the
+  extended chain and prunes dominated entries.  Amortized
+  ``O(log n)`` per arrival.  When jobs are fed in nondecreasing
+  arrival order (the serve stream guarantees it; equal arrivals never
+  chain onto each other since ``a < d + p``), the front reproduces
+  :func:`repro.offline.lower_bounds.chain_lower_bound` exactly; fed in
+  any other order it stays a *sound* (possibly weaker) bound, because
+  every queried predecessor really satisfies the disjointness test.
+* **mandatory bound** — the union measure of ``[d, a+p)`` over jobs
+  with ``laxity < p`` (they occupy that window in every feasible
+  schedule), maintained by the same incremental interval union.
+* **max length** — a single running max.
+
+``span / LB >= span / OPT``: the live ratio is a sound *upper*
+estimate of the schedule's competitive ratio on the instance so far.
+``repro obs explain`` replays this estimator over finished traces and
+cross-checks it against the certified offline reference
+(:func:`repro.offline.lower_bounds.span_lower_bound` through
+:class:`repro.perf.cache.ReferenceCache`).
+
+Knobs
+-----
+``REPRO_TELEMETRY``
+    Arms (default) or disarms the daemon's live aggregation; disarmed,
+    sessions skip the per-record feed entirely.
+``REPRO_TELEMETRY_ADDR``
+    ``host:port`` for the daemon's read-only telemetry listener
+    (equivalent to ``repro serve --telemetry``); unset means no
+    listener.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left, bisect_right
+from typing import Any, Mapping
+
+from .records import KIND_DECISION, KIND_INSTANT, ObsRecord
+
+__all__ = [
+    "IntervalUnion",
+    "LiveAggregator",
+    "OnlineOptLowerBound",
+    "TELEMETRY_ADDR_ENV",
+    "TELEMETRY_ENV",
+    "TenantTelemetry",
+    "render_prometheus",
+    "telemetry_addr",
+    "telemetry_enabled",
+]
+
+#: Environment variable arming the daemon's live aggregation (default on).
+TELEMETRY_ENV = "REPRO_TELEMETRY"
+#: Environment variable naming the telemetry listener's ``host:port``.
+TELEMETRY_ADDR_ENV = "REPRO_TELEMETRY_ADDR"
+
+_FALSEY = ("", "0", "false", "off")
+
+
+def telemetry_enabled() -> bool:
+    """Whether ``REPRO_TELEMETRY`` arms live aggregation (default yes)."""
+    return os.environ.get(TELEMETRY_ENV, "1").strip().lower() not in _FALSEY
+
+
+def telemetry_addr(override: str | None = None) -> tuple[str, int] | None:
+    """The telemetry listener address, or ``None`` when unconfigured.
+
+    ``override`` (the ``--telemetry`` flag) wins over
+    ``REPRO_TELEMETRY_ADDR``; both use ``host:port`` syntax.
+    """
+    spec = override if override is not None else os.environ.get(
+        TELEMETRY_ADDR_ENV, ""
+    )
+    spec = spec.strip()
+    if not spec:
+        return None
+    host, _, port = spec.rpartition(":")
+    if not host or not port:
+        raise ValueError(f"telemetry address takes HOST:PORT, got {spec!r}")
+    return host, int(port)
+
+
+class IntervalUnion:
+    """Incremental union measure of half-open intervals ``[s, e)``.
+
+    Disjoint merged intervals live in two parallel sorted lists; each
+    ``add`` bisects for the overlap range, splices, and updates the
+    running ``total`` — amortized ``O(log n)`` because every merged
+    interval is removed at most once.  Touching intervals are merged
+    (identical measure, smaller lists).
+    """
+
+    __slots__ = ("_starts", "_ends", "total")
+
+    def __init__(self) -> None:
+        self._starts: list[float] = []
+        self._ends: list[float] = []
+        self.total = 0.0
+
+    def add(self, start: float, end: float) -> None:
+        """Fold ``[start, end)`` into the union (no-op when empty)."""
+        if end <= start:
+            return
+        starts, ends = self._starts, self._ends
+        lo = bisect_left(ends, start)
+        hi = bisect_right(starts, end)
+        if lo == hi:  # disjoint from everything
+            starts.insert(lo, start)
+            ends.insert(lo, end)
+            self.total += end - start
+            return
+        new_start = min(start, starts[lo])
+        new_end = max(end, ends[hi - 1])
+        removed = 0.0
+        for k in range(lo, hi):
+            removed += ends[k] - starts[k]
+        del starts[lo:hi]
+        del ends[lo:hi]
+        starts.insert(lo, new_start)
+        ends.insert(lo, new_end)
+        self.total += (new_end - new_start) - removed
+
+    def measure_until(self, t: float) -> float:
+        """Measure of the union intersected with ``(-inf, t]``."""
+        starts, ends = self._starts, self._ends
+        k = bisect_right(starts, t)
+        covered = 0.0
+        for i in range(k):
+            end = ends[i]
+            covered += (end if end <= t else t) - starts[i]
+        return covered
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+
+class OnlineOptLowerBound:
+    """Monotone incremental lower bound on OPT's span (see module doc).
+
+    ``add(arrival, deadline, length)`` folds one released job in;
+    ``value`` only ever grows.  On a full instance fed in nondecreasing
+    arrival order the bound equals the certified offline
+    :func:`~repro.offline.lower_bounds.span_lower_bound`.
+    """
+
+    __slots__ = ("_lcs", "_vals", "chain", "max_length", "_mandatory")
+
+    def __init__(self) -> None:
+        # Pareto front: _lcs strictly increasing, _vals strictly increasing.
+        self._lcs: list[float] = []
+        self._vals: list[float] = []
+        self.chain = 0.0
+        self.max_length = 0.0
+        self._mandatory = IntervalUnion()
+
+    @property
+    def mandatory(self) -> float:
+        """The incremental mandatory-interval bound component."""
+        return self._mandatory.total
+
+    @property
+    def value(self) -> float:
+        """The combined bound: max(chain, mandatory, max length)."""
+        chain = self.chain
+        mandatory = self._mandatory.total
+        best = chain if chain >= mandatory else mandatory
+        return best if best >= self.max_length else self.max_length
+
+    def add(self, arrival: float, deadline: float, length: float) -> None:
+        """Fold one released job ``(a, d, p)`` into the bound."""
+        if length > self.max_length:
+            self.max_length = length
+        if arrival + length > deadline:  # laxity < p: mandatory interval
+            self._mandatory.add(deadline, arrival + length)
+        lcs, vals = self._lcs, self._vals
+        # Best chain whose last job completes by this arrival, extended.
+        i = bisect_right(lcs, arrival) - 1
+        cand = (vals[i] if i >= 0 else 0.0) + length
+        if cand > self.chain:
+            self.chain = cand
+        lc = deadline + length
+        j = bisect_left(lcs, lc)
+        if j > 0 and vals[j - 1] >= cand:
+            return  # dominated by an earlier completion with a better chain
+        n = len(lcs)
+        if j < n and lcs[j] == lc:
+            if vals[j] >= cand:
+                return
+            vals[j] = cand
+            k = j + 1
+        else:
+            lcs.insert(j, lc)
+            vals.insert(j, cand)
+            n += 1
+            k = j + 1
+        # Prune now-dominated successors (later completion, weaker chain).
+        m = k
+        while m < n and vals[m] <= cand:
+            m += 1
+        if m > k:
+            del lcs[k:m]
+            del vals[k:m]
+
+
+class TenantTelemetry:
+    """One tenant's live aggregates, fed one :class:`ObsRecord` at a time.
+
+    The serve session calls the ``_handle_*`` methods directly from its
+    per-op collect loop (they are inside the RL011/RL012 hot-section
+    lint scope: no stdio, no per-job object materialisation);
+    :meth:`observe` is the generic record-dispatch entry used by trace
+    replay (``repro obs explain`` / ``summarize``) and tests.
+    """
+
+    __slots__ = (
+        "tenant",
+        "clock",
+        "released",
+        "started",
+        "completed",
+        "total_work",
+        "first_arrival",
+        "decisions",
+        "lb",
+        "_span",
+        "_lengths",
+        "_open_runs",
+        "_deferred",
+    )
+
+    def __init__(self, tenant: str) -> None:
+        self.tenant = tenant
+        self.clock = 0.0
+        self.released = 0
+        self.started = 0
+        self.completed = 0
+        self.total_work = 0.0
+        self.first_arrival: float | None = None
+        self.decisions: dict[str, int] = {}
+        self.lb = OnlineOptLowerBound()
+        self._span = IntervalUnion()
+        self._lengths: dict[int, float] = {}
+        self._open_runs: dict[int, float] = {}
+        # Released without a known length (non-clairvoyant streams):
+        # (arrival, deadline) parked until the completion reveals p.
+        self._deferred: dict[int, tuple[float, float]] = {}
+
+    # ------------------------------------------------------- record handlers
+    def _handle_release(self, attrs: Mapping[str, Any]) -> None:
+        self.released += 1
+        arrival = float(attrs["arrival"])
+        if self.first_arrival is None or arrival < self.first_arrival:
+            self.first_arrival = arrival
+        deadline = float(attrs["deadline"])
+        length = attrs.get("length")
+        job = int(attrs["job"])
+        if length is None:
+            self._deferred[job] = (arrival, deadline)
+        else:
+            p = float(length)
+            self._lengths[job] = p
+            self.total_work += p
+            self.lb.add(arrival, deadline, p)
+
+    def _handle_start(self, attrs: Mapping[str, Any]) -> None:
+        self.started += 1
+        t = float(attrs["t"])
+        if t > self.clock:
+            self.clock = t
+        job = int(attrs["job"])
+        p = self._lengths.pop(job, None)
+        if p is None:
+            self._open_runs[job] = t  # length lands with the completion
+        else:
+            self._span.add(t, t + p)
+
+    def _handle_completion(self, attrs: Mapping[str, Any]) -> None:
+        self.completed += 1
+        t = float(attrs["t"])
+        if t > self.clock:
+            self.clock = t
+        job = int(attrs["job"])
+        start = self._open_runs.pop(job, None)
+        if start is not None:
+            self._span.add(start, t)
+        deferred = self._deferred.pop(job, None)
+        if deferred is not None:
+            length = attrs.get("length")
+            p = float(length) if length is not None else t - (
+                start if start is not None else t
+            )
+            self.total_work += p
+            self.lb.add(deferred[0], deferred[1], p)
+
+    def _handle_decision(self, rule: str) -> None:
+        counts = self.decisions
+        counts[rule] = counts.get(rule, 0) + 1
+
+    # ------------------------------------------------------------ public api
+    def observe(self, record: ObsRecord) -> None:
+        """Dispatch one structured record into the aggregates."""
+        kind = record.kind
+        if kind == KIND_INSTANT:
+            name = record.name
+            if name == "engine.release":
+                self._handle_release(record.attrs)
+            elif name == "engine.start":
+                self._handle_start(record.attrs)
+            elif name == "engine.completion":
+                self._handle_completion(record.attrs)
+        elif kind == KIND_DECISION:
+            self._handle_decision(record.name)
+
+    @property
+    def span(self) -> float:
+        """Measure of the union of committed run intervals."""
+        return self._span.total
+
+    @property
+    def ratio(self) -> float | None:
+        """Live competitive-ratio upper estimate (``None`` before any
+        run has committed span — a ratio of 0 would be noise, not
+        an estimate)."""
+        lb = self.lb.value
+        span = self._span.total
+        if lb <= 0.0 or span <= 0.0:
+            return None
+        return span / lb
+
+    def snapshot(self) -> dict[str, Any]:
+        """The tenant's aggregates as one JSON-serialisable dict."""
+        lb = self.lb
+        clock = self.clock
+        busy = self._span.measure_until(clock)
+        horizon = clock - (
+            self.first_arrival if self.first_arrival is not None else clock
+        )
+        idle = horizon - busy
+        return {
+            "tenant": self.tenant,
+            "clock": clock,
+            "jobs": {
+                "released": self.released,
+                "started": self.started,
+                "completed": self.completed,
+                "pending": self.released - self.started,
+                "running": self.started - self.completed,
+            },
+            "span": self._span.total,
+            "busy_s": busy,
+            "idle_s": idle if idle > 0.0 else 0.0,
+            "total_work": self.total_work,
+            "decisions": dict(sorted(self.decisions.items())),
+            "opt_lb": {
+                "value": lb.value,
+                "chain": lb.chain,
+                "mandatory": lb.mandatory,
+                "max_length": lb.max_length,
+            },
+            "ratio": self.ratio,
+        }
+
+
+class LiveAggregator:
+    """All tenants' telemetry plus daemon-level context, one snapshot.
+
+    The daemon owns exactly one; sessions feed their tenant's
+    :class:`TenantTelemetry` and readers (the ``stats`` protocol op and
+    the telemetry listener) call :meth:`snapshot` /
+    :func:`render_prometheus`.
+    """
+
+    def __init__(self) -> None:
+        self.tenants: dict[str, TenantTelemetry] = {}
+
+    def tenant(self, name: str) -> TenantTelemetry:
+        """Get or create one tenant's telemetry."""
+        telemetry = self.tenants.get(name)
+        if telemetry is None:
+            telemetry = self.tenants[name] = TenantTelemetry(name)
+        return telemetry
+
+    def observe(self, tenant: str, record: ObsRecord) -> None:
+        """Replay-style feed: dispatch one record to one tenant."""
+        self.tenant(tenant).observe(record)
+
+    def snapshot(
+        self,
+        *,
+        daemon: Mapping[str, Any] | None = None,
+        loopwatch: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """The full telemetry snapshot (the ``/snapshot`` JSON payload).
+
+        ``daemon`` and ``loopwatch`` are caller-supplied sections (queue
+        depths and intake counters from the daemon; stall/pending
+        metrics from :mod:`repro.serve.loopwatch`) merged in verbatim.
+        """
+        tenants = {
+            name: telemetry.snapshot()
+            for name, telemetry in sorted(self.tenants.items())
+        }
+        ratios = [
+            snap["ratio"] for snap in tenants.values()
+            if snap["ratio"] is not None
+        ]
+        payload: dict[str, Any] = {
+            "kind": "telemetry",
+            "tenants": tenants,
+            "aggregate": {
+                "tenants": len(tenants),
+                "released": sum(s["jobs"]["released"] for s in tenants.values()),
+                "started": sum(s["jobs"]["started"] for s in tenants.values()),
+                "completed": sum(
+                    s["jobs"]["completed"] for s in tenants.values()
+                ),
+                "span": sum(s["span"] for s in tenants.values()),
+                "max_ratio": max(ratios) if ratios else None,
+            },
+        }
+        if daemon is not None:
+            payload["daemon"] = dict(daemon)
+        if loopwatch is not None:
+            payload["loopwatch"] = dict(loopwatch)
+        return payload
+
+
+def _label(value: str) -> str:
+    """Escape a Prometheus label value."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _metric(value: float | int | None) -> str:
+    if value is None:
+        return "NaN"
+    return f"{value:g}"
+
+
+def render_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """Render a :meth:`LiveAggregator.snapshot` as Prometheus text.
+
+    One exposition per scrape — gauges for the per-tenant aggregates,
+    counters for intake/decision totals — terminated by a newline, as
+    the text exposition format requires.
+    """
+    lines: list[str] = []
+
+    def gauge(name: str, help_text: str) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} gauge")
+
+    def counter(name: str, help_text: str) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} counter")
+
+    tenants: Mapping[str, Any] = snapshot.get("tenants", {})
+    gauge("repro_tenant_span", "observed span (union of committed runs)")
+    for name, snap in tenants.items():
+        lines.append(
+            f'repro_tenant_span{{tenant="{_label(name)}"}} '
+            f"{_metric(snap['span'])}"
+        )
+    gauge("repro_tenant_opt_lb", "incremental certified lower bound on OPT span")
+    for name, snap in tenants.items():
+        lines.append(
+            f'repro_tenant_opt_lb{{tenant="{_label(name)}"}} '
+            f"{_metric(snap['opt_lb']['value'])}"
+        )
+    gauge("repro_tenant_ratio", "live competitive-ratio upper estimate")
+    for name, snap in tenants.items():
+        lines.append(
+            f'repro_tenant_ratio{{tenant="{_label(name)}"}} '
+            f"{_metric(snap['ratio'])}"
+        )
+    gauge("repro_tenant_clock", "tenant logical clock")
+    for name, snap in tenants.items():
+        lines.append(
+            f'repro_tenant_clock{{tenant="{_label(name)}"}} '
+            f"{_metric(snap['clock'])}"
+        )
+    gauge("repro_tenant_jobs", "job counts by state")
+    for name, snap in tenants.items():
+        for state, count in snap["jobs"].items():
+            lines.append(
+                f'repro_tenant_jobs{{tenant="{_label(name)}",'
+                f'state="{state}"}} {count}'
+            )
+    counter("repro_tenant_decisions_total", "scheduler decisions by paper rule")
+    for name, snap in tenants.items():
+        for rule, count in snap["decisions"].items():
+            lines.append(
+                f'repro_tenant_decisions_total{{tenant="{_label(name)}",'
+                f'rule="{_label(rule)}"}} {count}'
+            )
+    daemon: Mapping[str, Any] = snapshot.get("daemon", {})
+    for key in ("lines_in", "records_out", "errors"):
+        if key in daemon:
+            counter(f"repro_daemon_{key}_total", f"daemon {key.replace('_', ' ')}")
+            lines.append(f"repro_daemon_{key}_total {_metric(daemon[key])}")
+    queued = daemon.get("queued")
+    if isinstance(queued, Mapping):
+        gauge("repro_daemon_tenant_queue_depth", "queued ops per tenant")
+        for name, depth in queued.items():
+            lines.append(
+                "repro_daemon_tenant_queue_depth"
+                f'{{tenant="{_label(name)}"}} {_metric(depth)}'
+            )
+    loopwatch: Mapping[str, Any] = snapshot.get("loopwatch", {})
+    counters: Mapping[str, Any] = loopwatch.get("counters", {})
+    if counters:
+        counter("repro_loopwatch_total", "instrumented event-loop counters")
+        for name, value in sorted(counters.items()):
+            short = name.removeprefix("loopwatch.")
+            lines.append(
+                f'repro_loopwatch_total{{counter="{_label(short)}"}} '
+                f"{_metric(value)}"
+            )
+    gauges: Mapping[str, Any] = loopwatch.get("gauges", {})
+    if gauges:
+        gauge("repro_loopwatch_gauge", "instrumented event-loop gauges")
+        for name, value in sorted(gauges.items()):
+            short = name.removeprefix("loopwatch.")
+            lines.append(
+                f'repro_loopwatch_gauge{{gauge="{_label(short)}"}} '
+                f"{_metric(value)}"
+            )
+    return "\n".join(lines) + "\n"

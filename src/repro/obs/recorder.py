@@ -160,14 +160,24 @@ class TraceRecorder(Recorder):
         observability layer into the memory bottleneck it is meant to
         find).  Beyond the cap, records are dropped and counted in the
         ``obs.records_dropped`` counter — metrics keep aggregating.
+    tag:
+        Attributes stamped onto every stored record (the serve layer
+        tags each session's records with its tenant, which is what lets
+        merged multi-tenant traces summarize per tenant).
     """
 
     enabled = True
 
-    def __init__(self, *, max_records: int = 1_000_000) -> None:
+    def __init__(
+        self,
+        *,
+        max_records: int = 1_000_000,
+        tag: dict[str, Any] | None = None,
+    ) -> None:
         self.records: list[ObsRecord] = []
         self.metrics = MetricsRegistry()
         self.max_records = max_records
+        self.tag = dict(tag) if tag else None
         self.epoch = _time.perf_counter()
 
     # -- internals -----------------------------------------------------------
@@ -178,6 +188,9 @@ class TraceRecorder(Recorder):
         if len(self.records) >= self.max_records:
             self.metrics.counter_add("obs.records_dropped")
             return
+        tag = self.tag
+        if tag is not None:
+            attrs.update(tag)
         self.records.append(ObsRecord(self._now(), kind, name, attrs))
 
     # -- structured records --------------------------------------------------

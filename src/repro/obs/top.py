@@ -1,0 +1,117 @@
+"""``repro obs top`` — the refreshing terminal dashboard for a daemon.
+
+Connects to a running serve daemon's read-only telemetry listener
+(``repro serve --telemetry HOST:PORT``), fetches the JSON snapshot, and
+renders one table row per tenant: clock, queue depth, run counts,
+observed span, the incremental OPT lower bound, the live
+competitive-ratio estimate, and the dominant decision rules.
+
+``repro obs top --connect HOST:PORT`` refreshes in place until
+interrupted; ``--once`` prints a single frame, and ``--once --format
+json`` dumps the raw snapshot for scripts and CI (the serve-smoke job
+reconciles that scraped ratio against ``repro obs explain``).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Mapping
+
+__all__ = ["fetch_snapshot", "render_top"]
+
+#: ANSI: clear screen + home — the dashboard repaints in place.
+CLEAR = "\x1b[2J\x1b[H"
+
+
+def fetch_snapshot(connect: str, *, timeout: float = 5.0) -> dict[str, Any]:
+    """Fetch one telemetry snapshot from ``host:port``.
+
+    Raises :class:`OSError` (connection refused/reset/timeout) or
+    :class:`ValueError` (bad address or non-JSON payload) — the CLI
+    turns both into a clean exit instead of a traceback.
+    """
+    host, _, port = connect.rpartition(":")
+    if not host or not port:
+        raise ValueError(f"--connect takes HOST:PORT, got {connect!r}")
+    conn = http.client.HTTPConnection(host, int(port), timeout=timeout)
+    try:
+        conn.request("GET", "/snapshot")
+        response = conn.getresponse()
+        body = response.read()
+        if response.status != 200:
+            raise ValueError(
+                f"telemetry endpoint answered {response.status} "
+                f"{response.reason}"
+            )
+    finally:
+        conn.close()
+    payload = json.loads(body)
+    if not isinstance(payload, dict):
+        raise ValueError("telemetry snapshot is not a JSON object")
+    return payload
+
+
+def _fmt_ratio(ratio: Any) -> str:
+    return f"{ratio:.3f}" if isinstance(ratio, (int, float)) else "-"
+
+
+def _top_rules(decisions: Mapping[str, int], limit: int = 2) -> str:
+    """The dominant decision rules, e.g. ``batch-start:12 open-phase:3``."""
+    ranked = sorted(decisions.items(), key=lambda kv: (-kv[1], kv[0]))
+    return " ".join(f"{rule}:{count}" for rule, count in ranked[:limit]) or "-"
+
+
+def render_top(snapshot: Mapping[str, Any]) -> str:
+    """Render one dashboard frame from a telemetry snapshot."""
+    tenants: Mapping[str, Any] = snapshot.get("tenants", {})
+    daemon: Mapping[str, Any] = snapshot.get("daemon", {})
+    lines: list[str] = []
+    lines.append(
+        "repro obs top — "
+        f"{len(tenants)} tenant(s), "
+        f"lines_in={daemon.get('lines_in', '-')}, "
+        f"records_out={daemon.get('records_out', '-')}, "
+        f"errors={daemon.get('errors', '-')}"
+        + (", DRAINING" if daemon.get("draining") else "")
+    )
+    header = (
+        f"{'tenant':<16} {'clock':>9} {'pend':>5} {'run':>4} {'done':>6} "
+        f"{'span':>10} {'opt_lb':>10} {'ratio':>7}  rules"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    queued: Mapping[str, Any] = (
+        daemon.get("queued", {}) if isinstance(daemon.get("queued"), Mapping)
+        else {}
+    )
+    for name, snap in sorted(tenants.items()):
+        jobs = snap["jobs"]
+        pending = jobs["pending"] + int(queued.get(name, 0) or 0)
+        lines.append(
+            f"{name:<16} {snap['clock']:>9g} {pending:>5} "
+            f"{jobs['running']:>4} {jobs['completed']:>6} "
+            f"{snap['span']:>10.4g} {snap['opt_lb']['value']:>10.4g} "
+            f"{_fmt_ratio(snap['ratio']):>7}  {_top_rules(snap['decisions'])}"
+        )
+    if not tenants:
+        lines.append("(no tenants yet)")
+    aggregate: Mapping[str, Any] = snapshot.get("aggregate", {})
+    if aggregate:
+        lines.append(
+            f"total: released={aggregate.get('released', 0)} "
+            f"started={aggregate.get('started', 0)} "
+            f"completed={aggregate.get('completed', 0)} "
+            f"span={aggregate.get('span', 0.0):g} "
+            f"max_ratio={_fmt_ratio(aggregate.get('max_ratio'))}"
+        )
+    loopwatch: Mapping[str, Any] = snapshot.get("loopwatch", {})
+    counters: Mapping[str, Any] = loopwatch.get("counters", {})
+    if counters:
+        lines.append(
+            "loopwatch: "
+            f"{counters.get('loopwatch.callbacks', 0):.0f} callback(s), "
+            f"{counters.get('loopwatch.stalls', 0):.0f} stall(s), "
+            f"{counters.get('loopwatch.orphans', 0):.0f} orphan(s)"
+        )
+    return "\n".join(lines)

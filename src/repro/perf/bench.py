@@ -39,6 +39,11 @@ serve/stdio_two_tenants
     through the serving layer's protocol + session path (``parse_op`` →
     ``TenantSession.apply``) — the per-op cost of ``repro serve
     --stdio`` minus the event loop, counted in output records/s.
+serve/telemetry_armed
+    The same two-tenant serve workload with the live telemetry plane
+    armed (per-tenant span/ratio aggregation riding the record feed,
+    plus periodic full snapshots) — pins the cost of ``REPRO_TELEMETRY``
+    so the O(1)-amortized incremental OPT lower bound stays O(1).
 
 Timing protocol: every case runs ``repeat`` times (default 3) after one
 untimed warm-up iteration for the micro cases; the **best** wall time is
@@ -65,6 +70,7 @@ __all__ = [
     "E1_K2_COLUMNAR_BASELINE_EVENTS_PER_S",
     "RATCHET_MARGIN",
     "SERVE_STDIO_BASELINE_EVENTS_PER_S",
+    "SERVE_TELEMETRY_BASELINE_EVENTS_PER_S",
     "BenchRecord",
     "bench_cases",
     "bench_provenance",
@@ -100,6 +106,14 @@ E1_K2_COLUMNAR_BASELINE_EVENTS_PER_S = 450_000.0
 #: ``TenantSession.apply``, or the record-delivery path).  Checked by
 #: :func:`check_ratchet` whenever the case is part of the run.
 SERVE_STDIO_BASELINE_EVENTS_PER_S = 35_000.0
+
+#: Ratcheted floor for ``serve/telemetry_armed`` — the same two-tenant
+#: protocol + session workload with the live telemetry plane armed
+#: (:class:`repro.obs.live.TenantTelemetry` per session, periodic
+#: aggregator snapshots).  Set below the disarmed floor by roughly the
+#: tolerated telemetry overhead: a drop past it means the per-record
+#: feed or the incremental OPT lower bound stopped being O(1)-amortized.
+SERVE_TELEMETRY_BASELINE_EVENTS_PER_S = 32_000.0
 
 
 @dataclass(frozen=True)
@@ -176,7 +190,9 @@ def _bench_e5_cdb(jobs: int, seed: int, alpha: float = 2.0) -> int:
     return result.events_processed
 
 
-def _bench_serve_two_tenants(jobs_per_tenant: int) -> int:
+def _bench_serve_two_tenants(
+    jobs_per_tenant: int, *, telemetry: bool = False, snapshot_every: int = 0
+) -> int:
     """Two interleaved tenant streams through the serving layer.
 
     Feeds JSONL job ops alternating between tenants ``a`` and ``b``
@@ -184,11 +200,25 @@ def _bench_serve_two_tenants(jobs_per_tenant: int) -> int:
     both.  Synchronous on purpose: it times the protocol + session
     layers themselves (the work `repro serve --stdio` does per op),
     not asyncio scheduling.  Returns the output-record count.
+
+    ``telemetry=True`` arms the live telemetry plane (a
+    :class:`repro.obs.live.TenantTelemetry` per session, exactly as the
+    daemon wires it), and ``snapshot_every`` additionally renders a full
+    aggregator snapshot every that-many job indices — the cost a scrape
+    of the daemon's ``/snapshot`` endpoint adds.  ``repro obs overhead
+    --telemetry`` times the armed/disarmed pair of this workload.
     """
+    from ..obs.live import LiveAggregator
     from ..serve.protocol import parse_op
     from ..serve.session import TenantSession
 
-    sessions = {name: TenantSession(name) for name in ("a", "b")}
+    live = LiveAggregator() if telemetry else None
+    sessions = {
+        name: TenantSession(
+            name, telemetry=live.tenant(name) if live is not None else None
+        )
+        for name in ("a", "b")
+    }
     records = 0
     for session in sessions.values():
         records += len(session.hello())
@@ -201,9 +231,13 @@ def _bench_serve_two_tenants(jobs_per_tenant: int) -> int:
                 f' "deadline": {arrival + 6.0}}}'
             )
             records += len(sessions[tenant].apply(parse_op(line)))
+        if live is not None and snapshot_every and i % snapshot_every == 0:
+            live.snapshot()
     for tenant in ("a", "b"):
         op = parse_op(f'{{"op": "close", "tenant": "{tenant}"}}')
         records += len(sessions[tenant].apply(op))
+    if live is not None:
+        live.snapshot()
     return records
 
 
@@ -224,6 +258,12 @@ def bench_cases(quick: bool) -> list[tuple[str, Callable[[], int]]]:
                 "serve/stdio_two_tenants",
                 lambda: _bench_serve_two_tenants(500),
             ),
+            (
+                "serve/telemetry_armed",
+                lambda: _bench_serve_two_tenants(
+                    500, telemetry=True, snapshot_every=100
+                ),
+            ),
         ]
     return [
         ("micro/event_queue", lambda: _bench_event_queue(200_000)),
@@ -238,6 +278,12 @@ def bench_cases(quick: bool) -> list[tuple[str, Callable[[], int]]]:
         (
             "serve/stdio_two_tenants",
             lambda: _bench_serve_two_tenants(2_500),
+        ),
+        (
+            "serve/telemetry_armed",
+            lambda: _bench_serve_two_tenants(
+                2_500, telemetry=True, snapshot_every=250
+            ),
         ),
     ]
 
@@ -361,6 +407,9 @@ def run_bench(
                 "serve/stdio_two_tenants/floor": (
                     SERVE_STDIO_BASELINE_EVENTS_PER_S
                 ),
+                "serve/telemetry_armed/floor": (
+                    SERVE_TELEMETRY_BASELINE_EVENTS_PER_S
+                ),
             },
             "results": [asdict(r) for r in records],
         }
@@ -404,9 +453,11 @@ def check_ratchet(records: Sequence[BenchRecord]) -> str | None:
     :data:`E1_K2_COLUMNAR_BASELINE_EVENTS_PER_S`; it must be part of
     the run (:class:`ValueError` otherwise — e.g. under ``--quick``,
     which substitutes the k=1 profile).  ``serve/stdio_two_tenants``
-    is additionally checked against
-    :data:`SERVE_STDIO_BASELINE_EVENTS_PER_S` whenever it was timed
-    (CI's narrow ``--case macro/e1_paper_k2_batch`` run skips it).
+    and ``serve/telemetry_armed`` are additionally checked against
+    :data:`SERVE_STDIO_BASELINE_EVENTS_PER_S` /
+    :data:`SERVE_TELEMETRY_BASELINE_EVENTS_PER_S` whenever they were
+    timed (CI's narrow ``--case macro/e1_paper_k2_batch`` run skips
+    them).
     Returns ``None`` on pass, a human-readable failure message when a
     measured rate falls more than :data:`RATCHET_MARGIN` below its
     floor.
@@ -427,17 +478,21 @@ def check_ratchet(records: Sequence[BenchRecord]) -> str | None:
             f"{E1_K2_COLUMNAR_BASELINE_EVENTS_PER_S:,.0f} "
             f"- {RATCHET_MARGIN:.0%} margin)"
         )
-    serve = next(
-        (r for r in records if r.case == "serve/stdio_two_tenants"), None
-    )
-    if serve is not None:
-        serve_floor = SERVE_STDIO_BASELINE_EVENTS_PER_S * (1.0 - RATCHET_MARGIN)
+    serve_floors = {
+        "serve/stdio_two_tenants": SERVE_STDIO_BASELINE_EVENTS_PER_S,
+        "serve/telemetry_armed": SERVE_TELEMETRY_BASELINE_EVENTS_PER_S,
+    }
+    for case, baseline in serve_floors.items():
+        serve = next((r for r in records if r.case == case), None)
+        if serve is None:
+            continue
+        serve_floor = baseline * (1.0 - RATCHET_MARGIN)
         if serve.events_per_s < serve_floor:
             return (
                 f"perf ratchet FAILED: {serve.case} measured "
                 f"{serve.events_per_s:,.0f} rec/s < {serve_floor:,.0f} rec/s "
                 f"(recorded serving-layer baseline "
-                f"{SERVE_STDIO_BASELINE_EVENTS_PER_S:,.0f} "
+                f"{baseline:,.0f} "
                 f"- {RATCHET_MARGIN:.0%} margin)"
             )
     return None

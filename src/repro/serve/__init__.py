@@ -20,6 +20,9 @@ Layers
 * :mod:`repro.serve.loopwatch` — the ``REPRO_LOOPWATCH=1`` instrumented
   event loop: per-callback stall timing and orphaned-task capture, the
   runtime twin of lint rules RL017/RL018.
+* :mod:`repro.serve.telemetry` — the read-only telemetry listener:
+  Prometheus text and JSON snapshots of the live per-tenant
+  span/ratio aggregates (:mod:`repro.obs.live`).
 * :mod:`repro.serve.cli` — the ``serve`` subcommand.
 
 See ``docs/serving.md`` for the protocol walkthrough.
@@ -43,6 +46,7 @@ from .checkpoint import (
     verify_checkpoints,
 )
 from .daemon import ServeDaemon
+from .telemetry import TelemetryServer
 from .loopwatch import (
     InstrumentedEventLoop,
     LoopStallError,
@@ -58,6 +62,7 @@ __all__ = [
     "LoopWatch",
     "ProtocolError",
     "ServeDaemon",
+    "TelemetryServer",
     "TenantSession",
     "checkpoint_path",
     "encode_record",

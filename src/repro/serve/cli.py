@@ -12,10 +12,17 @@ import argparse
 import asyncio
 from typing import Callable
 
+from ..obs.live import telemetry_addr
 from ..schedulers.registry import scheduler_names
 from .checkpoint import verify_checkpoints
 from .daemon import ServeDaemon
-from .loopwatch import LoopStallError, loopwatch_enabled, watched_run
+from .loopwatch import (
+    LoopStallError,
+    LoopWatch,
+    loopwatch_enabled,
+    stall_threshold,
+    watched_run,
+)
 from .protocol import (
     DEFAULT_SCHEDULER,
     checkpoint_every,
@@ -74,6 +81,16 @@ def add_serve_parser(
         "--trace-dir", default=None,
         help="directory closed tenants write obs traces into "
         "(reconcilable with `repro obs explain --strict`)",
+    )
+    p.add_argument(
+        "--telemetry", metavar="HOST:PORT", default=None,
+        help="read-only telemetry listener: Prometheus text on /metrics, "
+        "JSON on /snapshot (REPRO_TELEMETRY_ADDR; off when unset)",
+    )
+    p.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disarm the live telemetry plane entirely "
+        "(equivalent to REPRO_TELEMETRY=0)",
     )
     p.add_argument(
         "--restore", action="store_true",
@@ -145,6 +162,7 @@ def cmd_serve(
         return 0
 
     try:
+        listen = telemetry_addr(args.telemetry)
         daemon = ServeDaemon(
             scheduler=args.scheduler,
             queue_size_override=(
@@ -162,11 +180,19 @@ def cmd_serve(
             trace_dir=args.trace_dir,
             restore=args.restore,
             drain_timeout=args.drain_timeout,
+            telemetry=False if args.no_telemetry else None,
+            telemetry_listen=listen,
         )
     except ValueError as exc:
         _say(f"error: {exc}")
         return 2
-    daemon.on_ready = lambda address: _say(f"serving on {address}")
+
+    def _ready(address: str) -> None:
+        _say(f"serving on {address}")
+        if daemon.telemetry_address is not None:
+            _say(f"telemetry on {daemon.telemetry_address}")
+
+    daemon.on_ready = _ready
 
     async def _serve() -> None:
         if args.unix:
@@ -182,7 +208,11 @@ def cmd_serve(
             # Runtime twin of lint rules RL017/RL018: every callback is
             # timed, orphaned tasks are captured, and a stall past the
             # threshold fails the process (see repro.serve.loopwatch).
-            _, watch = watched_run(_serve())
+            # The watch is created up front so its metrics registry can
+            # merge into live telemetry snapshots mid-run.
+            watch = LoopWatch(stall_threshold())
+            daemon.loop_metrics = watch.metrics
+            watched_run(_serve(), watch=watch)
             snap = watch.metrics.snapshot()
             _say(
                 "loopwatch: "

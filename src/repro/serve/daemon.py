@@ -38,6 +38,10 @@ import threading
 from pathlib import Path
 from typing import Any, BinaryIO, Callable
 
+from ..obs.live import LiveAggregator, TenantTelemetry, telemetry_enabled
+from ..obs.metrics import MetricsRegistry
+from ..obs.recorder import TraceRecorder
+from ..obs.records import ObsRecord
 from ..schedulers.registry import scheduler_names
 from .checkpoint import restore_all, save_checkpoint
 from .protocol import (
@@ -51,8 +55,12 @@ from .protocol import (
     queue_size,
 )
 from .session import TenantSession
+from .telemetry import TelemetryServer
 
 __all__ = ["ServeDaemon"]
+
+#: File name of the merged multi-tenant trace written at drain.
+MERGED_TRACE_NAME = "_daemon.trace.jsonl"
 
 #: Protocol version stamped on ``serve.ready`` records.
 PROTOCOL_VERSION = 1
@@ -230,6 +238,13 @@ class ServeDaemon:
     drain_timeout:
         Seconds a graceful drain waits for consumers before aborting
         stalled connections.
+    telemetry:
+        Arm the live per-tenant telemetry plane (``None`` defers to the
+        ``REPRO_TELEMETRY`` knob, which defaults to on).
+    telemetry_listen:
+        ``(host, port)`` for the read-only telemetry listener
+        (:class:`~repro.serve.telemetry.TelemetryServer`); ``None``
+        means no listener.
     """
 
     def __init__(
@@ -243,6 +258,8 @@ class ServeDaemon:
         trace_dir: "str | Path | None" = None,
         restore: bool = False,
         drain_timeout: float = 30.0,
+        telemetry: bool | None = None,
+        telemetry_listen: tuple[str, int] | None = None,
     ) -> None:
         self.default_scheduler = scheduler
         self.queue_size = queue_size(queue_size_override)
@@ -257,6 +274,17 @@ class ServeDaemon:
         #: Called with the bound address once the daemon is listening
         #: (the CLI prints it; the daemon itself never writes to stdio).
         self.on_ready: Callable[[str], None] | None = None
+
+        armed = telemetry_enabled() if telemetry is None else telemetry
+        #: Live telemetry plane (``None`` when disarmed — sessions then
+        #: skip the per-record feed entirely).
+        self.live: LiveAggregator | None = LiveAggregator() if armed else None
+        self.telemetry_listen = telemetry_listen
+        self.telemetry_server: TelemetryServer | None = None
+        self.telemetry_address: str | None = None
+        #: Loopwatch metrics registry merged into telemetry snapshots
+        #: (the CLI sets this when ``REPRO_LOOPWATCH`` is armed).
+        self.loop_metrics: MetricsRegistry | None = None
 
         self.tenants: dict[str, _TenantState] = {}
         self.connections: set[_Connection] = set()
@@ -329,7 +357,19 @@ class ServeDaemon:
             # cannot stall the first connection (RL017).
             restored = await asyncio.to_thread(restore_all, self.checkpoint_dir)
             for name, session in restored.items():
+                if self.live is not None:
+                    # The replay ran without telemetry; backfill it from
+                    # the regenerated records, then arm the live feed.
+                    telemetry = self.live.tenant(name)
+                    for record in session.recorder.records:
+                        telemetry.observe(record)
+                    session.telemetry = telemetry
                 self.tenants[name] = _TenantState(self, name, session=session)
+        if self.live is not None and self.telemetry_listen is not None:
+            self.telemetry_server = TelemetryServer(self)
+            self.telemetry_address = await self.telemetry_server.start(
+                *self.telemetry_listen
+            )
 
     async def _run_with_server(
         self, server: asyncio.AbstractServer, address: str
@@ -521,7 +561,10 @@ class ServeDaemon:
                     "open 'params' must be an object", tenant=state.name
                 )
             state.session = TenantSession(
-                state.name, scheduler=scheduler, params=params
+                state.name,
+                scheduler=scheduler,
+                params=params,
+                telemetry=self._tenant_telemetry(state.name),
             )
             return state.session.hello()
         if kind == "checkpoint":
@@ -553,7 +596,9 @@ class ServeDaemon:
                     f"tenant {state.name!r} is not open", tenant=state.name
                 )
             session = TenantSession(
-                state.name, scheduler=self.default_scheduler
+                state.name,
+                scheduler=self.default_scheduler,
+                telemetry=self._tenant_telemetry(state.name),
             )
             state.session = session
             outs.extend(session.hello())
@@ -584,6 +629,36 @@ class ServeDaemon:
             )
         return outs
 
+    def _tenant_telemetry(self, name: str) -> TenantTelemetry | None:
+        return self.live.tenant(name) if self.live is not None else None
+
+    def telemetry_snapshot(self) -> dict[str, Any]:
+        """The full live-telemetry snapshot (``stats`` op / listener).
+
+        Per-tenant aggregates from the :class:`LiveAggregator`, daemon
+        intake counters and queue depths, and — when the CLI armed the
+        instrumented loop — the loopwatch stall/pending metrics.
+        """
+        if self.live is None:
+            return {"kind": "telemetry", "enabled": False, "tenants": {}}
+        daemon_section: dict[str, Any] = {
+            "lines_in": self.lines_in,
+            "records_out": self.records_out,
+            "errors": self.errors,
+            "draining": self.draining,
+            "queued": {
+                name: state.queue.qsize()
+                for name, state in sorted(self.tenants.items())
+            },
+        }
+        loop_metrics = self.loop_metrics
+        return self.live.snapshot(
+            daemon=daemon_section,
+            loopwatch=(
+                loop_metrics.snapshot() if loop_metrics is not None else None
+            ),
+        )
+
     def _stats_record(self) -> dict[str, Any]:
         tenants: dict[str, Any] = {}
         for name, state in sorted(self.tenants.items()):
@@ -597,7 +672,7 @@ class ServeDaemon:
                 if session.failed is not None:
                     entry["failed"] = session.failed
             tenants[name] = entry
-        return {
+        record: dict[str, Any] = {
             "kind": "serve.stats",
             "lines_in": self.lines_in,
             "records_out": self.records_out,
@@ -605,6 +680,15 @@ class ServeDaemon:
             "draining": self.draining,
             "tenants": tenants,
         }
+        if self.live is not None:
+            record["telemetry"] = self.telemetry_snapshot()
+        else:
+            record["telemetry"] = {
+                "kind": "telemetry",
+                "enabled": False,
+                "tenants": {},
+            }
+        return record
 
     # ----------------------------------------------------------------- drain
     async def _drain(self) -> None:
@@ -655,6 +739,11 @@ class ServeDaemon:
                     *(state.task for state in self.tenants.values()),
                     return_exceptions=True,
                 )
+            # The merged multi-tenant trace (sessions are quiescent now:
+            # workers stopped above) — what `repro obs summarize` splits
+            # back into per-tenant breakdowns.
+            if self.trace_dir is not None:
+                await asyncio.to_thread(self._write_merged_trace)
             # Flush and close every connection (checkpoints are already
             # on disk, so a dead consumer costs only its own records).
             for conn in list(self.connections):
@@ -662,6 +751,51 @@ class ServeDaemon:
             self.connections.clear()
         finally:
             watchdog.cancel()
+            if self.telemetry_server is not None:
+                # Shielded: a cancelled drain must still unbind the
+                # telemetry listener, not abandon the socket (RL020).
+                await asyncio.shield(self.telemetry_server.close())
+                self.telemetry_server = None
+
+    def _write_merged_trace(self) -> str | None:
+        """Write every session's records as one tenant-tagged trace.
+
+        Each session's recorder has its own wall-clock epoch; records
+        are shifted onto the earliest epoch and re-sorted so the merged
+        timeline is globally consistent.  Metrics registries merge
+        additively.  Runs in a worker thread (file I/O, RL017).
+        """
+        sessions = [
+            state.session
+            for _, state in sorted(self.tenants.items())
+            if state.session is not None
+        ]
+        if not sessions or self.trace_dir is None:
+            return None
+        total = sum(len(s.recorder.records) for s in sessions)
+        merged = TraceRecorder(max_records=total + 1)
+        base = min(s.recorder.epoch for s in sessions)
+        rows: list[ObsRecord] = []
+        for session in sessions:
+            recorder = session.recorder
+            shift = recorder.epoch - base
+            for record in recorder.records:
+                rows.append(
+                    ObsRecord(
+                        record.ts + shift, record.kind, record.name,
+                        record.attrs,
+                    )
+                )
+            merged.merge_metrics(recorder.metrics_snapshot())
+        rows.sort(key=lambda record: record.ts)
+        merged.records = rows
+        merged.epoch = base
+        return merged.write_jsonl(
+            self.trace_dir / MERGED_TRACE_NAME,
+            command="serve",
+            merged=True,
+            tenants=[s.tenant for s in sessions],
+        )
 
     async def _drain_watchdog(self) -> None:
         try:

@@ -247,6 +247,7 @@ def watched_run(
     *,
     threshold: float | None = None,
     check: bool = True,
+    watch: LoopWatch | None = None,
 ) -> tuple[_T, LoopWatch]:
     """``asyncio.run`` on an instrumented loop; returns (result, watch).
 
@@ -255,9 +256,12 @@ def watched_run(
     surface their orphan diagnostics deterministically.  With
     ``check=True`` a stall or orphan raises :class:`LoopStallError`;
     pass ``check=False`` to inspect the watch yourself (the tests'
-    cross-validation path).
+    cross-validation path).  A caller-supplied ``watch`` lets the
+    daemon's telemetry snapshot read the loop-health metrics *while*
+    the run is still in flight (``threshold`` is then ignored).
     """
-    watch = LoopWatch(stall_threshold() if threshold is None else threshold)
+    if watch is None:
+        watch = LoopWatch(stall_threshold() if threshold is None else threshold)
     loop = InstrumentedEventLoop(watch)
     try:
         asyncio.set_event_loop(loop)

@@ -37,6 +37,7 @@ from typing import Any
 from ..core.engine import SimulationResult, Simulator
 from ..core.errors import SimulationError
 from ..core.job import Instance
+from ..obs.live import TenantTelemetry
 from ..obs.records import KIND_DECISION, KIND_INSTANT
 from ..obs.recorder import TraceRecorder
 from ..schedulers.registry import make_scheduler
@@ -62,6 +63,10 @@ class TenantSession:
     suppress:
         Number of regenerated output records to swallow before emitting
         (checkpoint restore only — they were delivered pre-crash).
+    telemetry:
+        Live :class:`~repro.obs.live.TenantTelemetry` to feed from the
+        per-op collect loop (``None``, the default, costs nothing —
+        the daemon arms it when ``REPRO_TELEMETRY`` is on).
     """
 
     def __init__(
@@ -71,8 +76,10 @@ class TenantSession:
         scheduler: str = DEFAULT_SCHEDULER,
         params: dict[str, Any] | None = None,
         suppress: int = 0,
+        telemetry: TenantTelemetry | None = None,
     ) -> None:
         self.tenant = tenant
+        self.telemetry = telemetry
         self.scheduler_name = scheduler
         self.params: dict[str, Any] = dict(params or {})
         try:
@@ -86,7 +93,7 @@ class TenantSession:
         self.clairvoyant = bool(
             getattr(type(sched), "requires_clairvoyance", False)
         )
-        self.recorder = TraceRecorder()
+        self.recorder = TraceRecorder(tag={"tenant": tenant})
         self.sim = Simulator(
             sched,
             instance=Instance([], name=f"serve/{tenant}"),
@@ -273,12 +280,20 @@ class TenantSession:
             raise
 
     def _collect(self) -> list[dict[str, Any]]:
-        """Map the recorder's new records to protocol output records."""
+        """Map the recorder's new records to protocol output records.
+
+        The live telemetry feed piggybacks on this loop — the records
+        are already being walked once per op, so aggregation costs only
+        the accumulator updates, not a second dispatch pass.
+        """
         records = self.recorder.records
         new = records[self._rec_idx :]
         self._rec_idx = len(records)
+        telemetry = self.telemetry
         out: list[dict[str, Any]] = []
         for record in new:
+            if telemetry is not None:
+                telemetry.observe(record)
             if record.kind == KIND_DECISION:
                 decision: dict[str, Any] = {
                     "kind": "decision",

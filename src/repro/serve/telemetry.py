@@ -1,0 +1,123 @@
+"""Read-only telemetry listener: Prometheus text + JSON snapshots.
+
+A deliberately tiny HTTP/1.0 responder attached to the daemon's event
+loop.  It exists so operators (and the ``repro obs top`` dashboard) can
+*watch* a running daemon without speaking the JSONL protocol or holding
+a scheduling connection open:
+
+``GET /metrics``
+    Prometheus text exposition
+    (:func:`repro.obs.live.render_prometheus`).
+``GET /snapshot`` (also ``/snapshot.json`` or ``/``)
+    The full :meth:`repro.obs.live.LiveAggregator.snapshot` JSON —
+    per-tenant span / OPT-LB / ratio / queue depth / decision mix,
+    daemon intake counters, and loopwatch metrics when armed.
+``GET /healthz``
+    ``ok`` (liveness probe).
+
+The listener is strictly read-only — it can never mutate tenant state —
+and strictly bounded: the stream reader is capped at ``_LIMIT`` bytes,
+at most ``_MAX_HEADER_LINES`` header lines are drained, and each
+request gets ``_REQUEST_TIMEOUT`` seconds before the connection is
+dropped.  Responses close the connection (``Connection: close``); one
+scrape is one connection, exactly like Prometheus expects.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING
+
+from ..obs.live import render_prometheus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .daemon import ServeDaemon
+
+__all__ = ["TelemetryServer"]
+
+#: StreamReader buffer bound — request lines are tiny (RL019: explicit).
+_LIMIT = 4096
+#: Header lines drained before the request is answered regardless.
+_MAX_HEADER_LINES = 64
+#: Seconds a client gets to deliver its request line and headers.
+_REQUEST_TIMEOUT = 5.0
+
+
+class TelemetryServer:
+    """The daemon's read-only telemetry endpoint (see module docstring)."""
+
+    def __init__(self, daemon: "ServeDaemon") -> None:
+        self._daemon = daemon
+        self._server: asyncio.AbstractServer | None = None
+        self.address: str | None = None
+
+    async def start(self, host: str, port: int) -> str:
+        """Bind and listen; returns the bound ``tcp:host:port`` address."""
+        self._server = await asyncio.start_server(
+            self._on_connection, host, port, limit=_LIMIT
+        )
+        sockets = self._server.sockets
+        bound = sockets[0].getsockname() if sockets else (host, port)
+        self.address = f"tcp:{bound[0]}:{bound[1]}"
+        return self.address
+
+    async def close(self) -> None:
+        """Stop listening (in-flight responses finish on their own)."""
+        server = self._server
+        if server is None:
+            return
+        self._server = None
+        server.close()
+        await server.wait_closed()
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await asyncio.wait_for(
+                reader.readline(), timeout=_REQUEST_TIMEOUT
+            )
+            parts = request.decode("latin-1", "replace").split()
+            method = parts[0].upper() if parts else ""
+            path = parts[1] if len(parts) > 1 else "/"
+            for _ in range(_MAX_HEADER_LINES):
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=_REQUEST_TIMEOUT
+                )
+                if not line.rstrip(b"\r\n"):
+                    break
+            status, content_type, body = self._respond(method, path)
+            head = (
+                f"HTTP/1.0 {status}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            )
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+        except (asyncio.TimeoutError, ValueError, ConnectionError, OSError):
+            pass  # slow, oversized, or vanished client — drop it
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    def _respond(
+        self, method: str, path: str
+    ) -> tuple[str, str, bytes]:
+        """Route one request to ``(status, content type, body)``."""
+        if method != "GET":
+            return "405 Method Not Allowed", "text/plain", b"read-only\n"
+        path = path.partition("?")[0]
+        if path == "/metrics":
+            text = render_prometheus(self._daemon.telemetry_snapshot())
+            return "200 OK", "text/plain; version=0.0.4", text.encode()
+        if path in ("/", "/snapshot", "/snapshot.json"):
+            payload = json.dumps(self._daemon.telemetry_snapshot(), indent=2)
+            return "200 OK", "application/json", payload.encode() + b"\n"
+        if path == "/healthz":
+            return "200 OK", "text/plain", b"ok\n"
+        return "404 Not Found", "text/plain", b"not found\n"

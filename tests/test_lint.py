@@ -530,6 +530,45 @@ class TestRL012:
             assert findings == [], f"{rel}: {findings}"
 
 
+class TestLiveTelemetryScope:
+    """RL011/RL012 cover the live telemetry plane (repro/obs/live.py).
+
+    The per-record ``_handle_*`` feed runs on every armed serve
+    session's collect loop, so it is policed exactly like the engine
+    cores — via the ``live_feed_*`` fixture pair — while the rest of
+    the obs package (per-scrape rendering, CLI) stays exempt.
+    """
+
+    LIVE = "src/repro/obs/live.py"
+    BAD_FIXTURE = FIXTURES / "live_feed_leaky.py"
+    CLEAN_FIXTURE = FIXTURES / "live_feed_clean.py"
+
+    def test_leaky_fixture_flagged_by_both_rules(self):
+        findings = lint_source(self.BAD_FIXTURE.read_text(), self.LIVE)
+        assert codes(findings) == {"RL011", "RL012"}
+        rl012 = [f for f in findings if f.rule == "RL012"]
+        # one Job(...) ctor, one attribute-gather comprehension
+        assert {f.symbol for f in rl012} == {"Job", "_handle_start"}
+
+    def test_leaky_fixture_non_hot_section_passes(self):
+        """render_snapshot allocates per row but runs per scrape."""
+        findings = lint_source(self.BAD_FIXTURE.read_text(), self.LIVE)
+        assert all("render_snapshot" not in f.message for f in findings)
+
+    def test_clean_fixture_passes(self):
+        assert lint_source(self.CLEAN_FIXTURE.read_text(), self.LIVE) == []
+
+    def test_other_obs_files_not_policed(self):
+        src = "def _handle_release(self, attrs):\n    print(attrs)\n"
+        assert lint_source(src, "src/repro/obs/top.py") == []
+        assert lint_source(src, "src/repro/obs/cli.py") == []
+
+    def test_shipped_live_module_is_clean(self):
+        path = REPO_ROOT / "src/repro/obs/live.py"
+        findings = lint_source(path.read_text(), str(path))
+        assert findings == [], f"live.py: {findings}"
+
+
 # ---------------------------------------------------------------------------
 # Suppressions, baseline, runner
 # ---------------------------------------------------------------------------
